@@ -1,0 +1,164 @@
+// Benchmarks: one testing.B target per paper table/figure (regenerating
+// the same rows the experiment runners print, at reduced scale so the
+// suite completes quickly), plus microbenchmarks of the substrate
+// (compiler, simulator, compressor, metadata encoder).
+//
+// Full-scale regeneration is `go run ./cmd/regless -experiment all`.
+package repro_test
+
+import (
+	"testing"
+
+	repro "repro"
+	"repro/internal/compress"
+	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/metadata"
+	"repro/internal/regions"
+)
+
+// benchOpts keeps per-iteration work modest: a 5-benchmark subset at 16
+// warps still exercises every code path the figures need.
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Warps:      16,
+		Benchmarks: []string{"bfs", "hotspot", "lud", "dwt2d", "streamcluster"},
+		MaxCycles:  20_000_000,
+	}
+}
+
+// runExperiment is the shared driver: a fresh suite per iteration so the
+// cost measured is the full regeneration, not a cache hit.
+func runExperiment(b *testing.B, id string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchOpts())
+		fn, ok := experiments.ByID(id)
+		if !ok {
+			b.Fatalf("unknown experiment %s", id)
+		}
+		tb, err := fn(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable1Parameters(b *testing.B)    { runExperiment(b, "table1") }
+func BenchmarkFig02WorkingSet(b *testing.B)     { runExperiment(b, "fig2") }
+func BenchmarkFig03BackingStore(b *testing.B)   { runExperiment(b, "fig3") }
+func BenchmarkFig05LiveRegisters(b *testing.B)  { runExperiment(b, "fig5") }
+func BenchmarkFig11Area(b *testing.B)           { runExperiment(b, "fig11") }
+func BenchmarkFig12Power(b *testing.B)          { runExperiment(b, "fig12") }
+func BenchmarkFig13Pareto(b *testing.B)         { runExperiment(b, "fig13") }
+func BenchmarkFig14RFEnergy(b *testing.B)       { runExperiment(b, "fig14") }
+func BenchmarkFig15GPUEnergy(b *testing.B)      { runExperiment(b, "fig15") }
+func BenchmarkFig16Runtime(b *testing.B)        { runExperiment(b, "fig16") }
+func BenchmarkFig17PreloadSources(b *testing.B) { runExperiment(b, "fig17") }
+func BenchmarkFig18L1Traffic(b *testing.B)      { runExperiment(b, "fig18") }
+func BenchmarkFig19RegionRegs(b *testing.B)     { runExperiment(b, "fig19") }
+func BenchmarkTable2RegionSizes(b *testing.B)   { runExperiment(b, "table2") }
+
+// Extension experiments (beyond the paper's figures).
+func BenchmarkAblations(b *testing.B)        { runExperiment(b, "ablation") }
+func BenchmarkGPUScale(b *testing.B)         { runExperiment(b, "gpuscale") }
+func BenchmarkOversubscription(b *testing.B) { runExperiment(b, "oversub") }
+func BenchmarkEnergyBreakdown(b *testing.B)  { runExperiment(b, "breakdown") }
+func BenchmarkSensitivity(b *testing.B)      { runExperiment(b, "sensitivity") }
+
+// --- substrate microbenchmarks ---
+
+// BenchmarkSimBaseline measures raw simulation throughput under the
+// baseline register file (reported as cycles simulated per second).
+func BenchmarkSimBaseline(b *testing.B) {
+	k := kernels.MustLoad("lud")
+	b.ReportAllocs()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := repro.Simulate(k, repro.Baseline, repro.SimOptions{Warps: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+}
+
+// BenchmarkSimRegLess measures simulation throughput with the full
+// RegLess machinery active.
+func BenchmarkSimRegLess(b *testing.B) {
+	k := kernels.MustLoad("lud")
+	b.ReportAllocs()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := repro.Simulate(k, repro.RegLess, repro.SimOptions{Warps: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+}
+
+// BenchmarkCompile measures the RegLess compiler (liveness, Algorithm 2,
+// region creation, annotation, metadata encoding).
+func BenchmarkCompile(b *testing.B) {
+	k := kernels.MustLoad("heartwall") // control-heavy: worst case
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := regions.Compile(k, regions.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := metadata.Apply(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompressorMatch measures the pattern matcher on a mixed value
+// population.
+func BenchmarkCompressorMatch(b *testing.B) {
+	var vals [4][isa.WarpWidth]uint32
+	for i := 0; i < isa.WarpWidth; i++ {
+		vals[0][i] = 42                         // const
+		vals[1][i] = 100 + uint32(i)            // stride-1
+		vals[2][i] = 0x1000 + 4*uint32(i)       // stride-4
+		vals[3][i] = uint32(i*i)*2654435761 + 7 // incompressible
+	}
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		if compress.Match(&vals[i%4]) != compress.PatNone {
+			hits++
+		}
+	}
+	if hits == 0 {
+		b.Fatal("no matches")
+	}
+}
+
+// BenchmarkMetadataEncode measures the bit-level annotation encoder.
+func BenchmarkMetadataEncode(b *testing.B) {
+	k := kernels.MustLoad("lud")
+	c, err := regions.Compile(k, regions.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	annos := make([]metadata.Annotations, 0, len(c.Regions))
+	for _, r := range c.Regions {
+		annos = append(annos, metadata.Build(c, r))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range annos {
+			if _, err := metadata.Encode(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Command regless runs the RegLess reproduction's experiments: every
+// table and figure of the paper's evaluation, a single benchmark under a
+// chosen register scheme, or the whole suite.
+//
+// Usage:
+//
+//	regless -experiment all                 # every table and figure
+//	regless -experiment fig16               # one experiment
+//	regless -bench hotspot -scheme regless  # one run with stats
+//	regless -experiment all -markdown       # markdown output
+//	regless -warps 32                       # scale the SM occupancy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/launch"
+	"repro/internal/rf"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment id (table1, fig2..fig19, table2, ablation, gpuscale, oversub, or 'all')")
+		bench      = flag.String("bench", "", "run one benchmark (with -scheme)")
+		app        = flag.String("app", "", "run a multi-kernel application (backprop_app, bfs_app, srad_app)")
+		scheme     = flag.String("scheme", "regless", "scheme for -bench: baseline, baseline-2level, rfv, rfh, regless, regless-nocomp")
+		capacity   = flag.Int("capacity", experiments.DefaultCapacity, "RegLess OSU registers per SM")
+		warps      = flag.Int("warps", 64, "warps per SM")
+		benchList  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 21)")
+		markdown   = flag.Bool("markdown", false, "emit markdown tables")
+		list       = flag.Bool("list", false, "list benchmarks and exit")
+		timeline   = flag.Bool("timeline", false, "with -bench: render a warp-state timeline")
+		bucket     = flag.Int("bucket", 100, "timeline bucket size in cycles")
+		csvOut     = flag.Bool("csv", false, "with -timeline: emit CSV instead of ASCII")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range kernels.Suite() {
+			fmt.Printf("%-16s %s\n", b.Name, b.Character)
+		}
+		return
+	}
+
+	opts := experiments.Default()
+	opts.Warps = *warps
+	if *benchList != "" {
+		opts.Benchmarks = strings.Split(*benchList, ",")
+	}
+	suite := experiments.NewSuite(opts)
+
+	switch {
+	case *app != "":
+		runApp(*app, experiments.Scheme(*scheme), *capacity, *warps)
+	case *bench != "" && *timeline:
+		runTimeline(*bench, experiments.Scheme(*scheme), *capacity, *warps, *bucket, *csvOut)
+	case *bench != "":
+		runOne(suite, *bench, experiments.Scheme(*scheme), *capacity)
+	case *experiment == "all":
+		tables, err := experiments.All(suite)
+		check(err)
+		for _, tb := range tables {
+			fmt.Println(render(tb, *markdown))
+		}
+	case *experiment != "":
+		fn, ok := experiments.ByID(*experiment)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+			os.Exit(2)
+		}
+		tb, err := fn(suite)
+		check(err)
+		fmt.Println(render(tb, *markdown))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func render(tb *experiments.Table, md bool) string {
+	if md {
+		return tb.Markdown()
+	}
+	return tb.Render()
+}
+
+func runApp(name string, scheme experiments.Scheme, capacity, warps int) {
+	application, err := kernels.AppByName(name)
+	check(err)
+	cfg := sim.DefaultConfig()
+	cfg.MaxCycles = 60_000_000
+	factory := func(_ int, k *isa.Kernel) (sim.Provider, error) {
+		switch scheme {
+		case experiments.SchemeBaseline:
+			return rf.NewBaseline(), nil
+		case experiments.SchemeRegLess:
+			return core.New(core.ConfigForCapacity(capacity), k)
+		default:
+			return nil, fmt.Errorf("app runs support baseline and regless, not %q", scheme)
+		}
+	}
+	res, err := launch.RunApp(application, warps, cfg, factory, nil)
+	check(err)
+	fmt.Printf("application    %s (%d kernels), scheme %s\n", application.Name, len(application.Kernels), scheme)
+	for i, st := range res.PerKernel {
+		fmt.Printf("  kernel %d (%-18s) %7d cycles, IPC %.2f, SIMT eff %.2f\n",
+			i, application.Kernels[i].Name, st.Cycles, st.IPC(), st.SIMTEfficiency())
+	}
+	fmt.Printf("total          %d cycles; L2 hits across launches: %d\n", res.Cycles, res.MemStats.L2Hits)
+}
+
+func runTimeline(bench string, scheme experiments.Scheme, capacity, warps, bucket int, csv bool) {
+	smv, _, err := experiments.BuildSM(bench, scheme, capacity, warps, 60_000_000)
+	check(err)
+	res, err := trace.Run(smv, bucket)
+	check(err)
+	if csv {
+		fmt.Print(res.CSV())
+		return
+	}
+	fmt.Printf("%s under %s:\n", bench, scheme)
+	fmt.Print(res.Render(160))
+	fmt.Printf("total: %d cycles, IPC %.2f\n", res.Stats.Cycles, res.Stats.IPC())
+}
+
+func runOne(suite *experiments.Suite, bench string, scheme experiments.Scheme, capacity int) {
+	r, err := suite.Get(bench, scheme, capacity)
+	check(err)
+	st := r.Stats
+	fmt.Printf("benchmark      %s\n", bench)
+	fmt.Printf("scheme         %s", scheme)
+	if scheme == experiments.SchemeRegLess || scheme == experiments.SchemeRegLessNC {
+		fmt.Printf(" (%d registers/SM)", capacity)
+	}
+	fmt.Println()
+	fmt.Printf("cycles         %d\n", st.Cycles)
+	fmt.Printf("instructions   %d (IPC %.2f, SIMT efficiency %.2f)\n", st.DynInsns, st.IPC(), st.SIMTEfficiency())
+	fmt.Printf("reg accesses   %d reads, %d writes\n", r.Prov.StructReads, r.Prov.StructWrites)
+	fmt.Printf("working set    %.1f KB per 100-cycle window\n", st.WorkingSetKB)
+	if p := r.Prov.Preloads(); p > 0 {
+		fmt.Printf("preloads       %d (OSU %.1f%%, compressor %.1f%%, L1 %.2f%%, L2/DRAM %.3f%%)\n",
+			p,
+			100*float64(r.Prov.PreloadFromOSU)/float64(p),
+			100*float64(r.Prov.PreloadFromCompressor)/float64(p),
+			100*float64(r.Prov.PreloadFromL1)/float64(p),
+			100*float64(r.Prov.PreloadFromL2DRAM)/float64(p))
+		fmt.Printf("regions        %d activations, %.1f cycles/region, %d metadata insns\n",
+			r.Prov.RegionActivations,
+			float64(r.Prov.RegionCycles)/float64(max64(r.Prov.RegionActivations, 1)),
+			r.Prov.MetaInsns)
+		fmt.Printf("L1 traffic     %d preload reads, %d stores, %d invalidations\n",
+			r.Prov.L1PreloadReads, r.Prov.L1StoreWrites, r.Prov.L1Invalidates)
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,117 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+)
+
+// ExampleSimulate runs one suite benchmark under the baseline register
+// file and under RegLess and compares them.
+func ExampleSimulate() {
+	k, err := repro.LoadBenchmark("nw")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := repro.SimOptions{Warps: 16}
+	base, err := repro.Simulate(k, repro.Baseline, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rgls, err := repro.Simulate(k, repro.RegLess, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("same instructions:", base.Instructions == rgls.Instructions)
+	fmt.Println("register energy below half:", rgls.Energy.RFTotal < base.Energy.RFTotal/2)
+	fmt.Println("run time within 15%:", float64(rgls.Cycles) < 1.15*float64(base.Cycles))
+	// Output:
+	// same instructions: true
+	// register energy below half: true
+	// run time within 15%: true
+}
+
+// ExampleParseKernelAsm assembles a kernel from text and simulates it.
+func ExampleParseKernelAsm() {
+	src := `
+.kernel scale warps_per_cta=4
+    tid   r0
+    shli  r1, r0, 2
+    ldg   r2, [r1 + 0x1000000]
+    imuli r3, r2, 3
+    stg   [r1 + 0x2000000], r3
+    exit
+`
+	k, err := repro.ParseKernelAsm(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := repro.Simulate(k, repro.RegLess, repro.SimOptions{Warps: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("kernel:", k.Name)
+	fmt.Println("instructions per warp:", res.Instructions/4)
+	// Output:
+	// kernel: scale
+	// instructions per warp: 6
+}
+
+// ExampleCompileKernel shows the RegLess compiler splitting a global load
+// from its first use (Algorithm 1's load/use rule).
+func ExampleCompileKernel() {
+	src := `
+.kernel loaduse warps_per_cta=4
+    tid   r0
+    shli  r1, r0, 2
+    ldg   r2, [r1 + 0x1000000]
+    iaddi r3, r2, 7
+    stg   [r1 + 0x2000000], r3
+    exit
+`
+	k, err := repro.ParseKernelAsm(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := repro.CompileKernel(k, repro.DefaultCompilerConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	loadRegion := c.RegionOf[2] // the ldg
+	useRegion := c.RegionOf[3]  // its first use
+	fmt.Println("load and use share a region:", loadRegion == useRegion)
+	fmt.Println("regions:", len(c.Regions) >= 2)
+	// Output:
+	// load and use share a region: false
+	// regions: true
+}
+
+// ExampleNewKernelBuilder builds a kernel programmatically, allocates
+// registers, and prints its assembly.
+func ExampleNewKernelBuilder() {
+	b := repro.NewKernelBuilder("double", 4)
+	tid := b.Tid()
+	addr := b.Muli(tid, 4)
+	v := b.Ldg(addr, 0x1000000)
+	dv := b.Iadd(v, v)
+	b.Stg(addr, dv, 0x2000000)
+	b.Exit()
+	virt, err := b.Kernel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, err := repro.AllocateRegisters(virt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(repro.FormatKernelAsm(k))
+	// Output:
+	// .kernel double warps_per_cta=4
+	//     tid r0
+	//     imuli r1, r0, 4
+	//     ldg r0, [r1 + 0x1000000]
+	//     iadd r2, r0, r0
+	//     stg [r1 + 0x2000000], r2
+	//     exit
+}

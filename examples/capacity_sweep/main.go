@@ -1,0 +1,53 @@
+// Capacity sweep: how small can the operand staging unit get? Runs one
+// benchmark across OSU capacities from 1/16th to the full register file's
+// size and prints the run-time/energy trade-off the paper's Figure 13
+// explores, plus where the preloads were served from at each point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	repro "repro"
+)
+
+func main() {
+	bench := flag.String("bench", "dwt2d", "benchmark to sweep")
+	warps := flag.Int("warps", 64, "warps per SM")
+	flag.Parse()
+
+	k, err := repro.LoadBenchmark(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := repro.Simulate(k, repro.Baseline, repro.SimOptions{Warps: *warps})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s, %d warps — baseline: %d cycles\n\n", *bench, *warps, base.Cycles)
+	fmt.Printf("%8s  %9s  %10s  %9s  %22s\n",
+		"capacity", "run time", "RF energy", "GPU", "preloads OSU/L1/deep")
+	for _, capacity := range []int{128, 192, 256, 384, 512, 1024, 2048} {
+		r, err := repro.Simulate(k, repro.RegLess, repro.SimOptions{Warps: *warps, Capacity: capacity})
+		if err != nil {
+			log.Fatalf("capacity %d: %v", capacity, err)
+		}
+		p := r.Provider
+		n := float64(p.Preloads())
+		if n == 0 {
+			n = 1
+		}
+		fmt.Printf("%8d  %8.3fx  %9.3fx  %8.3fx  %6.1f%% %6.2f%% %7.3f%%\n",
+			capacity,
+			float64(r.Cycles)/float64(base.Cycles),
+			r.Energy.RFTotal/base.Energy.RFTotal,
+			r.Energy.Total/base.Energy.Total,
+			100*float64(p.PreloadFromOSU+p.PreloadFromCompressor)/n,
+			100*float64(p.PreloadFromL1)/n,
+			100*float64(p.PreloadFromL2DRAM)/n)
+	}
+	fmt.Println("\nThe knee is where the working set stops fitting: run time climbs as")
+	fmt.Println("preloads start missing to the memory system (the paper chooses 512).")
+}

@@ -1,0 +1,54 @@
+// Quickstart: run one benchmark under the baseline register file and under
+// RegLess, and print the paper's headline comparison — same result, same
+// speed, a quarter of the register storage, most of the register energy
+// gone.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+)
+
+func main() {
+	k, err := repro.LoadBenchmark("hotspot")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := repro.SimOptions{Warps: 64, Capacity: 512}
+	base, err := repro.Simulate(k, repro.Baseline, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rgl, err := repro.Simulate(k, repro.RegLess, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("hotspot, 64 warps, one SM")
+	fmt.Printf("%-28s %12s %12s\n", "", "baseline RF", "RegLess-512")
+	fmt.Printf("%-28s %12d %12d\n", "cycles", base.Cycles, rgl.Cycles)
+	fmt.Printf("%-28s %12.2f %12.2f\n", "IPC", base.IPC, rgl.IPC)
+	fmt.Printf("%-28s %12.0f %12.0f\n", "register energy (model units)",
+		base.Energy.RFTotal, rgl.Energy.RFTotal)
+	fmt.Printf("%-28s %12.0f %12.0f\n", "total GPU energy",
+		base.Energy.Total, rgl.Energy.Total)
+	fmt.Println()
+	fmt.Printf("run time ratio        %.3f (paper: ~1.00 average)\n",
+		float64(rgl.Cycles)/float64(base.Cycles))
+	fmt.Printf("register energy ratio %.3f (paper: 0.247 average)\n",
+		rgl.Energy.RFTotal/base.Energy.RFTotal)
+	fmt.Printf("GPU energy ratio      %.3f (paper: 0.89 average)\n",
+		rgl.Energy.Total/base.Energy.Total)
+
+	p := rgl.Provider
+	if n := p.Preloads(); n > 0 {
+		fmt.Printf("\npreloads served by: OSU %.1f%%, compressor %.1f%%, L1 %.2f%%, L2/DRAM %.3f%%\n",
+			100*float64(p.PreloadFromOSU)/float64(n),
+			100*float64(p.PreloadFromCompressor)/float64(n),
+			100*float64(p.PreloadFromL1)/float64(n),
+			100*float64(p.PreloadFromL2DRAM)/float64(n))
+	}
+}

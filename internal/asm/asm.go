@@ -1,0 +1,387 @@
+// Package asm provides a textual assembly format for repro kernels: a
+// parser and a formatter that round-trip exactly. The format lets kernels
+// be written and inspected as plain text instead of through the Go
+// builder:
+//
+//	.kernel saxpy warps_per_cta=8
+//	    tid   r0
+//	    shli  r1, r0, 2
+//	    movi  r2, 3
+//	    movi  r7, 8
+//	loop:
+//	    ldg   r3, [r1 + 0x1000000]
+//	    imad  r5, r2, r3, r4
+//	    stg   [r1 + 0x2000000], r5
+//	    iaddi r1, r1, 32768
+//	    iaddi r7, r7, -1
+//	    bnz   r7, loop
+//	    exit
+//
+// Registers are architectural (r0..r63): parsed kernels need no register
+// allocation. `;` and `//` start comments. Immediates accept decimal,
+// hex (0x...), and negative values (two's complement). Memory operands
+// are `[rN + offset]` or `[rN]`. Branch targets are labels; a label on
+// its own line starts a new basic block.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Parse assembles source text into a kernel.
+func Parse(src string) (*isa.Kernel, error) {
+	p := &parser{labels: map[string]int{}}
+	lines := strings.Split(src, "\n")
+	for i, raw := range lines {
+		if err := p.line(raw); err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+	}
+	return p.finish()
+}
+
+type pendingInsn struct {
+	in    isa.Instruction
+	label string // branch target to patch ("" if none)
+	line  int
+}
+
+type parser struct {
+	name        string
+	warpsPerCTA int
+	labels      map[string]int // label -> instruction index
+	insns       []pendingInsn
+	maxReg      int
+	curLine     int
+	sawKernel   bool
+}
+
+func (p *parser) line(raw string) error {
+	p.curLine++
+	s := raw
+	if i := strings.Index(s, ";"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	if strings.HasPrefix(s, ".kernel") {
+		return p.kernelDirective(s)
+	}
+	if strings.HasSuffix(s, ":") {
+		label := strings.TrimSuffix(s, ":")
+		if !validIdent(label) {
+			return fmt.Errorf("bad label %q", label)
+		}
+		if _, dup := p.labels[label]; dup {
+			return fmt.Errorf("duplicate label %q", label)
+		}
+		p.labels[label] = len(p.insns)
+		return nil
+	}
+	if !p.sawKernel {
+		return fmt.Errorf("instruction before .kernel directive")
+	}
+	return p.insn(s)
+}
+
+func (p *parser) kernelDirective(s string) error {
+	if p.sawKernel {
+		return fmt.Errorf("multiple .kernel directives")
+	}
+	fields := strings.Fields(s)
+	if len(fields) < 2 {
+		return fmt.Errorf(".kernel needs a name")
+	}
+	p.name = fields[1]
+	p.warpsPerCTA = 8
+	for _, f := range fields[2:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return fmt.Errorf("bad directive option %q", f)
+		}
+		switch k {
+		case "warps_per_cta":
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad warps_per_cta %q", v)
+			}
+			p.warpsPerCTA = n
+		default:
+			return fmt.Errorf("unknown option %q", k)
+		}
+	}
+	p.sawKernel = true
+	return nil
+}
+
+var opByName = func() map[string]isa.Opcode {
+	m := map[string]isa.Opcode{}
+	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func (p *parser) insn(s string) error {
+	mn, rest, _ := strings.Cut(s, " ")
+	op, ok := opByName[mn]
+	if !ok {
+		return fmt.Errorf("unknown opcode %q", mn)
+	}
+	args := splitArgs(rest)
+	in := isa.Instruction{Op: op, Dst: isa.NoReg, Src: [3]isa.Reg{isa.NoReg, isa.NoReg, isa.NoReg}}
+	label := ""
+
+	take := func() (string, error) {
+		if len(args) == 0 {
+			return "", fmt.Errorf("%s: missing operand", mn)
+		}
+		a := args[0]
+		args = args[1:]
+		return a, nil
+	}
+	reg := func() (isa.Reg, error) {
+		a, err := take()
+		if err != nil {
+			return isa.NoReg, err
+		}
+		return p.parseReg(a)
+	}
+	imm := func() (uint32, error) {
+		a, err := take()
+		if err != nil {
+			return 0, err
+		}
+		return parseImm(a)
+	}
+
+	var err error
+	switch {
+	case op == isa.OpNOP || op == isa.OpBAR || op == isa.OpEXIT:
+		// no operands
+	case op == isa.OpBRA:
+		label, err = take()
+	case op == isa.OpBNZ || op == isa.OpBZ:
+		if in.Src[0], err = reg(); err == nil {
+			label, err = take()
+		}
+	case op == isa.OpMOVI:
+		if in.Dst, err = reg(); err == nil {
+			in.Imm, err = imm()
+		}
+	case op == isa.OpTID || op == isa.OpLANE || op == isa.OpWID:
+		in.Dst, err = reg()
+	case op.IsLoad():
+		if in.Dst, err = reg(); err == nil {
+			var a string
+			if a, err = take(); err == nil {
+				in.Src[0], in.Imm, err = p.parseMem(a)
+			}
+		}
+	case op.IsStore():
+		var a string
+		if a, err = take(); err == nil {
+			if in.Src[0], in.Imm, err = p.parseMem(a); err == nil {
+				in.Src[1], err = reg()
+			}
+		}
+	case op.NumSrc() == 1 && op.HasDst(): // reg-imm ops and SFU
+		if in.Dst, err = reg(); err == nil {
+			if in.Src[0], err = reg(); err == nil && op != isa.OpSFU {
+				in.Imm, err = imm()
+			}
+		}
+	case op.NumSrc() == 2 && op.HasDst():
+		if in.Dst, err = reg(); err == nil {
+			if in.Src[0], err = reg(); err == nil {
+				in.Src[1], err = reg()
+			}
+		}
+	case op.NumSrc() == 3 && op.HasDst():
+		if in.Dst, err = reg(); err == nil {
+			if in.Src[0], err = reg(); err == nil {
+				if in.Src[1], err = reg(); err == nil {
+					in.Src[2], err = reg()
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("unhandled opcode %q", mn)
+	}
+	if err != nil {
+		return err
+	}
+	if len(args) != 0 {
+		return fmt.Errorf("%s: trailing operands %v", mn, args)
+	}
+	p.insns = append(p.insns, pendingInsn{in: in, label: label, line: p.curLine})
+	return nil
+}
+
+func (p *parser) parseReg(a string) (isa.Reg, error) {
+	if !strings.HasPrefix(a, "r") {
+		return isa.NoReg, fmt.Errorf("bad register %q", a)
+	}
+	n, err := strconv.Atoi(a[1:])
+	if err != nil || n < 0 || n > 255 {
+		return isa.NoReg, fmt.Errorf("bad register %q", a)
+	}
+	if n > p.maxReg {
+		p.maxReg = n
+	}
+	return isa.Reg(n), nil
+}
+
+// parseMem handles "[rN + off]", "[rN - off]", and "[rN]".
+func (p *parser) parseMem(a string) (isa.Reg, uint32, error) {
+	if !strings.HasPrefix(a, "[") || !strings.HasSuffix(a, "]") {
+		return isa.NoReg, 0, fmt.Errorf("bad memory operand %q", a)
+	}
+	inner := strings.TrimSpace(a[1 : len(a)-1])
+	regPart := inner
+	immPart := ""
+	neg := false
+	if i := strings.IndexAny(inner, "+-"); i > 0 {
+		neg = inner[i] == '-'
+		regPart = strings.TrimSpace(inner[:i])
+		immPart = strings.TrimSpace(inner[i+1:])
+	}
+	r, err := p.parseReg(regPart)
+	if err != nil {
+		return isa.NoReg, 0, err
+	}
+	var off uint32
+	if immPart != "" {
+		off, err = parseImm(immPart)
+		if err != nil {
+			return isa.NoReg, 0, err
+		}
+		if neg {
+			off = -off
+		}
+	}
+	return r, off, nil
+}
+
+func parseImm(a string) (uint32, error) {
+	neg := strings.HasPrefix(a, "-")
+	if neg {
+		a = a[1:]
+	}
+	v, err := strconv.ParseUint(a, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", a)
+	}
+	u := uint32(v)
+	if neg {
+		u = -u
+	}
+	return u, nil
+}
+
+func splitArgs(s string) []string {
+	var out []string
+	depth := 0
+	cur := strings.Builder{}
+	flush := func() {
+		if t := strings.TrimSpace(cur.String()); t != "" {
+			out = append(out, t)
+		}
+		cur.Reset()
+	}
+	for _, c := range s {
+		switch {
+		case c == '[':
+			depth++
+			cur.WriteRune(c)
+		case c == ']':
+			depth--
+			cur.WriteRune(c)
+		case c == ',' && depth == 0:
+			flush()
+		default:
+			cur.WriteRune(c)
+		}
+	}
+	flush()
+	return out
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// finish resolves labels into basic blocks and branch targets.
+func (p *parser) finish() (*isa.Kernel, error) {
+	if !p.sawKernel {
+		return nil, fmt.Errorf("missing .kernel directive")
+	}
+	if len(p.insns) == 0 {
+		return nil, fmt.Errorf("empty kernel")
+	}
+	// Block boundaries: instruction 0, every label target, and every
+	// instruction after a branch/exit.
+	starts := map[int]bool{0: true}
+	for _, idx := range p.labels {
+		if idx >= len(p.insns) {
+			return nil, fmt.Errorf("label at end of kernel (no instruction follows)")
+		}
+		starts[idx] = true
+	}
+	for i, pi := range p.insns {
+		if pi.in.Op.IsBranch() || pi.in.Op == isa.OpEXIT {
+			starts[i+1] = true
+		}
+	}
+	// Assign block IDs in order.
+	blockOf := make([]int, len(p.insns)+1)
+	id := -1
+	for i := 0; i < len(p.insns); i++ {
+		if starts[i] {
+			id++
+		}
+		blockOf[i] = id
+	}
+	blockOf[len(p.insns)] = id + 1
+
+	k := &isa.Kernel{Name: p.name, WarpsPerCTA: p.warpsPerCTA, NumRegs: p.maxReg + 1}
+	var cur *isa.BasicBlock
+	for i, pi := range p.insns {
+		if starts[i] {
+			cur = &isa.BasicBlock{ID: blockOf[i]}
+			k.Blocks = append(k.Blocks, cur)
+		}
+		in := pi.in
+		if pi.label != "" {
+			target, ok := p.labels[pi.label]
+			if !ok {
+				return nil, fmt.Errorf("line %d: undefined label %q", pi.line, pi.label)
+			}
+			in.Target = blockOf[target]
+		}
+		cur.Insns = append(cur.Insns, in)
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}

@@ -1,0 +1,164 @@
+package asm
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+)
+
+const saxpySrc = `
+; simple strided saxpy
+.kernel saxpy warps_per_cta=8
+    tid   r0
+    shli  r1, r0, 2
+    movi  r2, 3
+    movi  r7, 8
+loop:
+    ldg   r3, [r1 + 0x1000000]
+    ldg   r4, [r1 + 0x1800000]
+    imad  r5, r2, r3, r4   // a*x + y
+    stg   [r1 + 0x2000000], r5
+    iaddi r1, r1, 32768
+    iaddi r7, r7, -1
+    bnz   r7, loop
+    exit
+`
+
+func TestParseSaxpy(t *testing.T) {
+	k, err := Parse(saxpySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "saxpy" || k.WarpsPerCTA != 8 {
+		t.Fatalf("header: %q %d", k.Name, k.WarpsPerCTA)
+	}
+	if k.NumRegs != 8 {
+		t.Fatalf("NumRegs = %d, want 8", k.NumRegs)
+	}
+	if len(k.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3 (entry, loop, exit)", len(k.Blocks))
+	}
+	// The bnz targets the loop block.
+	var bnz *isa.Instruction
+	for _, blk := range k.Blocks {
+		for i := range blk.Insns {
+			if blk.Insns[i].Op == isa.OpBNZ {
+				bnz = &blk.Insns[i]
+			}
+		}
+	}
+	if bnz == nil || bnz.Target != 1 {
+		t.Fatalf("bnz = %+v", bnz)
+	}
+	// It runs.
+	if _, err := exec.Run(k, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing directive": "tid r0\nexit",
+		"unknown opcode":    ".kernel x\n    frob r0\n    exit",
+		"bad register":      ".kernel x\n    tid rX\n    exit",
+		"undefined label":   ".kernel x\n    movi r0, 1\n    bnz r0, nowhere\n    exit",
+		"duplicate label":   ".kernel x\nl:\n    movi r0, 1\nl:\n    exit",
+		"trailing operands": ".kernel x\n    tid r0, r1\n    exit",
+		"missing operand":   ".kernel x\n    iadd r0, r1\n    exit",
+		"bad memory":        ".kernel x\n    ldg r0, r1\n    exit",
+		"empty kernel":      ".kernel x",
+		"label at end":      ".kernel x\n    exit\nend:",
+		"bad imm":           ".kernel x\n    movi r0, abc\n    exit",
+		"double directive":  ".kernel x\n.kernel y\n    exit",
+		"no exit":           ".kernel x\n    movi r0, 1",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: parse accepted invalid input", name)
+		}
+	}
+}
+
+func TestFormatParseRoundTripSuite(t *testing.T) {
+	for _, bm := range kernels.Suite() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			t.Parallel()
+			k := kernels.MustLoad(bm.Name)
+			text := Format(k)
+			k2, err := Parse(text)
+			if err != nil {
+				t.Fatalf("reparse failed: %v\n%s", err, text)
+			}
+			if k2.NumRegs != k.NumRegs || k2.WarpsPerCTA != k.WarpsPerCTA {
+				t.Fatalf("header mismatch: %d/%d vs %d/%d",
+					k2.NumRegs, k2.WarpsPerCTA, k.NumRegs, k.WarpsPerCTA)
+			}
+			if len(k2.Blocks) != len(k.Blocks) {
+				t.Fatalf("block count %d vs %d", len(k2.Blocks), len(k.Blocks))
+			}
+			for bi := range k.Blocks {
+				a, b := k.Blocks[bi], k2.Blocks[bi]
+				if !reflect.DeepEqual(a.Insns, b.Insns) {
+					t.Fatalf("block %d differs:\n%v\nvs\n%v", bi, a.Insns, b.Insns)
+				}
+			}
+			// And behaviour is identical.
+			ref, err := exec.Run(k, 8, exec.NewMemory(nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := exec.Run(k2, 8, exec.NewMemory(nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref.Stores, got.Stores) {
+				t.Fatal("round-tripped kernel behaves differently")
+			}
+		})
+	}
+}
+
+func TestNegativeOffsets(t *testing.T) {
+	src := `.kernel neg warps_per_cta=1
+    movi r0, 0x1000
+    ldg  r1, [r0 - 16]
+    stg  [r0 - 4], r1
+    iaddi r2, r1, -1
+    exit
+`
+	k, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := k.Blocks[0].Insns[1]
+	if int32(ld.Imm) != -16 {
+		t.Fatalf("load offset = %d", int32(ld.Imm))
+	}
+	// Round-trip keeps the negative rendering parseable.
+	if _, err := Parse(Format(k)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "\n\n.kernel c warps_per_cta=2   ; trailing comment\n" +
+		"    movi r0, 5 // value\n" +
+		"    ; full-line comment\n" +
+		"    stg [r0], r0\n" +
+		"    exit\n"
+	k, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.NumInsns() != 3 {
+		t.Fatalf("insns = %d, want 3", k.NumInsns())
+	}
+	if !strings.Contains(Format(k), "movi r0, 5") {
+		t.Fatalf("format output:\n%s", Format(k))
+	}
+}

@@ -1,0 +1,88 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Format renders a kernel in the package's assembly syntax. The output
+// parses back to an identical kernel (round-trip property, tested).
+func Format(k *isa.Kernel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".kernel %s warps_per_cta=%d\n", k.Name, k.WarpsPerCTA)
+
+	// Blocks that are branch targets need labels.
+	needLabel := map[int]bool{}
+	for _, blk := range k.Blocks {
+		for i := range blk.Insns {
+			in := &blk.Insns[i]
+			if in.Op.IsBranch() && in.Op != isa.OpBAR {
+				needLabel[in.Target] = true
+			}
+		}
+	}
+	label := func(b int) string { return fmt.Sprintf("B%d", b) }
+
+	for _, blk := range k.Blocks {
+		if needLabel[blk.ID] {
+			fmt.Fprintf(&b, "%s:\n", label(blk.ID))
+		}
+		for i := range blk.Insns {
+			in := &blk.Insns[i]
+			fmt.Fprintf(&b, "    %s\n", formatInsn(in, label))
+		}
+	}
+	return b.String()
+}
+
+func formatInsn(in *isa.Instruction, label func(int) string) string {
+	op := in.Op
+	mn := op.String()
+	switch {
+	case op == isa.OpNOP || op == isa.OpBAR || op == isa.OpEXIT:
+		return mn
+	case op == isa.OpBRA:
+		return fmt.Sprintf("%s %s", mn, label(in.Target))
+	case op == isa.OpBNZ || op == isa.OpBZ:
+		return fmt.Sprintf("%s %s, %s", mn, in.Src[0], label(in.Target))
+	case op == isa.OpMOVI:
+		return fmt.Sprintf("%s %s, %s", mn, in.Dst, immStr(in.Imm))
+	case op == isa.OpTID || op == isa.OpLANE || op == isa.OpWID:
+		return fmt.Sprintf("%s %s", mn, in.Dst)
+	case op.IsLoad():
+		return fmt.Sprintf("%s %s, %s", mn, in.Dst, memStr(in.Src[0], in.Imm))
+	case op.IsStore():
+		return fmt.Sprintf("%s %s, %s", mn, memStr(in.Src[0], in.Imm), in.Src[1])
+	case op == isa.OpSFU:
+		return fmt.Sprintf("%s %s, %s", mn, in.Dst, in.Src[0])
+	case op.NumSrc() == 1:
+		return fmt.Sprintf("%s %s, %s, %s", mn, in.Dst, in.Src[0], immStr(in.Imm))
+	case op.NumSrc() == 2:
+		return fmt.Sprintf("%s %s, %s, %s", mn, in.Dst, in.Src[0], in.Src[1])
+	default:
+		return fmt.Sprintf("%s %s, %s, %s, %s", mn, in.Dst, in.Src[0], in.Src[1], in.Src[2])
+	}
+}
+
+// immStr renders small negative values (two's complement) readably.
+func immStr(v uint32) string {
+	if int32(v) < 0 && int32(v) > -4096 {
+		return fmt.Sprintf("%d", int32(v))
+	}
+	if v >= 0x10000 {
+		return fmt.Sprintf("0x%x", v)
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func memStr(r isa.Reg, off uint32) string {
+	if off == 0 {
+		return fmt.Sprintf("[%s]", r)
+	}
+	if int32(off) < 0 && int32(off) > -4096 {
+		return fmt.Sprintf("[%s - %d]", r, -int32(off))
+	}
+	return fmt.Sprintf("[%s + %s]", r, immStr(off))
+}

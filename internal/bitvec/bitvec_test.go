@@ -1,0 +1,164 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Get(i) {
+			t.Fatalf("bit %d set in empty set", i)
+		}
+		s.Set(i)
+		if !s.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		s.Clear(i)
+		if s.Get(i) {
+			t.Fatalf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestCountMembers(t *testing.T) {
+	s := New(200)
+	want := []int{3, 64, 65, 130, 199}
+	for _, i := range want {
+		s.Set(i)
+	}
+	if got := s.Count(); got != len(want) {
+		t.Fatalf("Count = %d, want %d", got, len(want))
+	}
+	got := s.Members()
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOrAndNot(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Set(1)
+	a.Set(70)
+	b.Set(70)
+	b.Set(99)
+	if !a.Or(b) {
+		t.Fatal("Or reported no change")
+	}
+	for _, i := range []int{1, 70, 99} {
+		if !a.Get(i) {
+			t.Fatalf("bit %d missing after Or", i)
+		}
+	}
+	if a.Or(b) {
+		t.Fatal("second Or reported change")
+	}
+	a.AndNot(b)
+	if a.Get(70) || a.Get(99) || !a.Get(1) {
+		t.Fatalf("AndNot wrong: %v", a)
+	}
+}
+
+func TestEqualCopy(t *testing.T) {
+	a := New(64)
+	a.Set(5)
+	b := a.Copy()
+	if !a.Equal(b) {
+		t.Fatal("copy not equal")
+	}
+	b.Set(6)
+	if a.Equal(b) {
+		t.Fatal("mutation of copy affected equality check")
+	}
+	if a.Get(6) {
+		t.Fatal("copy shares storage")
+	}
+}
+
+func TestIntersectsEmpty(t *testing.T) {
+	a := New(128)
+	b := New(128)
+	if a.Intersects(b) {
+		t.Fatal("empty sets intersect")
+	}
+	if !a.Empty() {
+		t.Fatal("new set not empty")
+	}
+	a.Set(100)
+	b.Set(100)
+	if !a.Intersects(b) {
+		t.Fatal("sets with common bit do not intersect")
+	}
+	a.Reset()
+	if !a.Empty() {
+		t.Fatal("Reset did not empty the set")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(16)
+	s.Set(2)
+	s.Set(9)
+	if got := s.String(); got != "{2, 9}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: Or is equivalent to set union on member lists.
+func TestQuickOrIsUnion(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := New(256), New(256)
+		want := map[int]bool{}
+		for _, x := range xs {
+			a.Set(int(x))
+			want[int(x)] = true
+		}
+		for _, y := range ys {
+			b.Set(int(y))
+			want[int(y)] = true
+		}
+		a.Or(b)
+		if a.Count() != len(want) {
+			return false
+		}
+		for _, m := range a.Members() {
+			if !want[m] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ForEach visits exactly the set bits in ascending order.
+func TestQuickForEachOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		s := New(512)
+		n := rng.Intn(100)
+		for i := 0; i < n; i++ {
+			s.Set(rng.Intn(512))
+		}
+		prev := -1
+		s.ForEach(func(i int) {
+			if i <= prev {
+				t.Fatalf("ForEach out of order: %d after %d", i, prev)
+			}
+			if !s.Get(i) {
+				t.Fatalf("ForEach visited unset bit %d", i)
+			}
+			prev = i
+		})
+	}
+}

@@ -1,0 +1,147 @@
+package cfg
+
+import (
+	"repro/internal/isa"
+)
+
+// RegPlan summarizes one architectural register's lifetime structure: where
+// it is defined, where its live ranges end, and where a whole-register
+// cache invalidation may safely be placed (paper §4.3–4.4). The RegLess
+// compiler (package regions) consumes these to emit erase / evict /
+// invalidate annotations.
+//
+// A register's value may only be deleted from the memory system at a point
+// that (a) postdominates every definition and death point, so all divergent
+// paths that used it have reconverged, and (b) has the register dead in the
+// liveness solution. InvalidationChain lists the candidate blocks in order
+// (the common postdominator, then its postdominators); an empty chain means
+// the register's final death coincides with kernel exit.
+type RegPlan struct {
+	Reg isa.Reg
+	// Defs are global instruction indexes that write the register.
+	Defs []int
+	// SoftDefCount is how many of Defs are soft definitions.
+	SoftDefCount int
+	// LastUses are global instruction indexes of reads after which the
+	// register is no longer live on the fallthrough path.
+	LastUses []int
+	// EdgeDeaths are CFG edges on which the register dies (live at the
+	// source block end, dead into the target) — e.g. loop exits.
+	EdgeDeaths []Edge
+	// InvalidationChain is the ordered list of candidate blocks for the
+	// invalidation annotation: the nearest common postdominator of all
+	// defs and deaths, followed by its postdominator chain.
+	InvalidationChain []int
+	// LastPointInHead is the global index of the last def or use of the
+	// register inside InvalidationChain[0], or -1 if none; the
+	// invalidation must be placed after it.
+	LastPointInHead int
+}
+
+// PlanRegisters computes a RegPlan for every register that is defined at
+// least once in reachable code.
+func (lv *Liveness) PlanRegisters() []RegPlan {
+	g := lv.G
+	k := g.K
+	plans := make([]RegPlan, 0, k.NumRegs)
+
+	for r := 0; r < k.NumRegs; r++ {
+		reg := isa.Reg(r)
+		plan := RegPlan{Reg: reg, LastPointInHead: -1}
+		blocks := map[int]bool{} // blocks containing defs or deaths
+
+		for b, blk := range k.Blocks {
+			if !g.Reachable(b) {
+				continue
+			}
+			for i := range blk.Insns {
+				in := &blk.Insns[i]
+				gi := g.GlobalIndex(isa.PC{Block: b, Index: i})
+				if in.Op.HasDst() && in.Dst == reg {
+					plan.Defs = append(plan.Defs, gi)
+					if lv.SoftDef[gi] {
+						plan.SoftDefCount++
+					}
+					blocks[b] = true
+				}
+				reads := false
+				for _, s := range in.SrcRegs() {
+					if s == reg {
+						reads = true
+					}
+				}
+				if reads && lv.IsLastUse(gi, reg) {
+					plan.LastUses = append(plan.LastUses, gi)
+					blocks[b] = true
+				}
+			}
+			// Edge deaths: live out of b overall, dead into a
+			// particular successor.
+			if lv.blockOut[b].Get(r) {
+				for _, s := range g.Succs[b] {
+					if !lv.blockIn[s].Get(r) {
+						plan.EdgeDeaths = append(plan.EdgeDeaths, Edge{From: b, To: s})
+						blocks[s] = true
+					}
+				}
+			}
+		}
+		if len(plan.Defs) == 0 {
+			continue
+		}
+		plan.InvalidationChain, plan.LastPointInHead = lv.invalidationChain(reg, blocks)
+		plans = append(plans, plan)
+	}
+	return plans
+}
+
+// invalidationChain finds the nearest common postdominator of the given
+// blocks and returns it with its postdominator chain, plus the last
+// def/use position of reg inside the head block.
+func (lv *Liveness) invalidationChain(reg isa.Reg, blocks map[int]bool) ([]int, int) {
+	g := lv.G
+	if len(blocks) == 0 {
+		return nil, -1
+	}
+	// Start from any member; walk its postdominator chain until a block
+	// postdominating all members is found.
+	var start int
+	for b := range blocks {
+		start = b
+		break
+	}
+	head := -1
+	for _, cand := range g.PostDominators(start) {
+		all := true
+		for b := range blocks {
+			if !g.PostDominates(cand, b) {
+				all = false
+				break
+			}
+		}
+		if all {
+			head = cand
+			break
+		}
+	}
+	if head == -1 {
+		return nil, -1
+	}
+	chain := g.PostDominators(head)
+	// Last def/use of reg inside the head block.
+	last := -1
+	blk := g.K.Blocks[head]
+	for i := range blk.Insns {
+		in := &blk.Insns[i]
+		touches := in.Op.HasDst() && in.Dst == reg
+		for _, s := range in.SrcRegs() {
+			if s == reg {
+				touches = true
+			}
+		}
+		if touches {
+			last = g.GlobalIndex(isa.PC{Block: head, Index: i})
+		}
+	}
+	return chain, last
+}

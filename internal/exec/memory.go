@@ -1,0 +1,90 @@
+// Package exec executes kernels functionally: per-warp architectural
+// register state with full 32-lane values, a SIMT reconvergence stack for
+// control divergence, and a functional memory. The timing simulator
+// (package sim) drives one exec.Warp per hardware warp, deciding *when*
+// each instruction issues while exec decides *what* it computes.
+//
+// Executing functionally at issue time means register values observed by
+// the RegLess hardware models (notably the compressor's pattern matcher)
+// are genuine values produced by real address arithmetic and loop
+// induction, not synthesized statistics.
+package exec
+
+// Memory is the functional (value-level) memory: a global space plus one
+// shared-memory space per CTA. Uninitialized global words read through an
+// init generator so loads always return deterministic values.
+type Memory struct {
+	global map[uint32]uint32
+	shared map[int]map[uint32]uint32
+	init   func(addr uint32) uint32
+}
+
+// NewMemory returns a Memory whose uninitialized global words read as
+// init(addr); a nil init reads as a mixed hash of the address (so values
+// are deterministic but not trivially compressible).
+func NewMemory(init func(addr uint32) uint32) *Memory {
+	if init == nil {
+		init = func(addr uint32) uint32 { return Mix(addr) }
+	}
+	return &Memory{
+		global: make(map[uint32]uint32),
+		shared: make(map[int]map[uint32]uint32),
+		init:   init,
+	}
+}
+
+// Mix is a deterministic 32-bit hash used for SFU results and default
+// memory contents.
+func Mix(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}
+
+func wordAddr(addr uint32) uint32 { return addr &^ 3 }
+
+// LoadGlobal reads the 32-bit word containing addr.
+func (m *Memory) LoadGlobal(addr uint32) uint32 {
+	a := wordAddr(addr)
+	if v, ok := m.global[a]; ok {
+		return v
+	}
+	return m.init(a)
+}
+
+// StoreGlobal writes the 32-bit word containing addr.
+func (m *Memory) StoreGlobal(addr, val uint32) {
+	m.global[wordAddr(addr)] = val
+}
+
+// LoadShared reads from cta's shared memory (zero-initialized).
+func (m *Memory) LoadShared(cta int, addr uint32) uint32 {
+	s := m.shared[cta]
+	if s == nil {
+		return 0
+	}
+	return s[wordAddr(addr)]
+}
+
+// StoreShared writes to cta's shared memory.
+func (m *Memory) StoreShared(cta int, addr, val uint32) {
+	s := m.shared[cta]
+	if s == nil {
+		s = make(map[uint32]uint32)
+		m.shared[cta] = s
+	}
+	s[wordAddr(addr)] = val
+}
+
+// GlobalStores returns a copy of every explicitly written global word —
+// the kernel's observable output, used by equivalence tests.
+func (m *Memory) GlobalStores() map[uint32]uint32 {
+	out := make(map[uint32]uint32, len(m.global))
+	for k, v := range m.global {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,354 @@
+package exec
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/cfg"
+	"repro/internal/isa"
+)
+
+// FullMask has all 32 lanes active.
+const FullMask uint32 = 0xFFFFFFFF
+
+// frame is one SIMT reconvergence stack entry: execute from pc under mask
+// until reaching block rejoin (-1 = never, the bottom frame).
+type frame struct {
+	pc     isa.PC
+	rejoin int
+	mask   uint32
+}
+
+// StepInfo describes one executed instruction, for the timing simulator.
+type StepInfo struct {
+	PC   isa.PC
+	Insn *isa.Instruction
+	// Mask is the active-lane mask the instruction executed under.
+	Mask uint32
+	// Addrs holds the per-active-lane byte addresses of a memory
+	// operation, in lane order (length = popcount(Mask)); nil otherwise.
+	// The slice aliases an internal buffer valid until the next Step.
+	Addrs []uint32
+	// Exited reports that the warp finished with this instruction.
+	Exited bool
+	// AtBarrier reports the instruction was a barrier (the caller gates
+	// barrier release; Step already advanced past it).
+	AtBarrier bool
+}
+
+// Warp is the functional state of one hardware warp executing a kernel.
+type Warp struct {
+	ID  int // global warp id on the SM
+	CTA int // CTA the warp belongs to
+
+	K    *isa.Kernel
+	G    *cfg.Graph
+	Mem  *Memory
+	Regs [][isa.WarpWidth]uint32
+
+	stack   []frame
+	done    bool
+	addrBuf [isa.WarpWidth]uint32
+	stepped uint64 // dynamic instruction count
+}
+
+// NewWarp creates a warp at the kernel entry with all lanes active.
+// Graph g must be cfg.New(k) (shared across warps).
+func NewWarp(k *isa.Kernel, g *cfg.Graph, id, cta int, mem *Memory) *Warp {
+	w := &Warp{
+		ID:   id,
+		CTA:  cta,
+		K:    k,
+		G:    g,
+		Mem:  mem,
+		Regs: make([][isa.WarpWidth]uint32, k.NumRegs),
+	}
+	w.stack = append(w.stack, frame{pc: isa.PC{Block: 0, Index: 0}, rejoin: -1, mask: FullMask})
+	return w
+}
+
+// Done reports whether every lane has exited.
+func (w *Warp) Done() bool { return w.done }
+
+// Steps returns the dynamic instruction count executed so far.
+func (w *Warp) Steps() uint64 { return w.stepped }
+
+// PC returns the next instruction's location. Only valid when !Done().
+func (w *Warp) PC() isa.PC { return w.top().pc }
+
+// Insn returns the next instruction to execute. Only valid when !Done().
+func (w *Warp) Insn() *isa.Instruction { return w.K.At(w.top().pc) }
+
+// ActiveMask returns the current active-lane mask.
+func (w *Warp) ActiveMask() uint32 {
+	if w.done {
+		return 0
+	}
+	return w.top().mask
+}
+
+func (w *Warp) top() *frame { return &w.stack[len(w.stack)-1] }
+
+// ReadReg returns a copy of a register's lane values.
+func (w *Warp) ReadReg(r isa.Reg) [isa.WarpWidth]uint32 { return w.Regs[r] }
+
+// Step executes exactly one instruction at the current PC under the
+// current mask, updating architectural state and the SIMT stack, and
+// returns what happened. The caller must not Step a Done warp.
+func (w *Warp) Step() StepInfo {
+	if w.done {
+		panic("exec: Step on finished warp")
+	}
+	f := w.top()
+	pc := f.pc
+	in := w.K.At(pc)
+	mask := f.mask
+	info := StepInfo{PC: pc, Insn: in, Mask: mask}
+	w.stepped++
+
+	switch in.Op {
+	case isa.OpNOP:
+		w.advance()
+	case isa.OpMOVI:
+		w.writeDst(in.Dst, mask, func(lane int) uint32 { return in.Imm })
+		w.advance()
+	case isa.OpTID:
+		w.writeDst(in.Dst, mask, func(lane int) uint32 {
+			return uint32(w.ID*isa.WarpWidth + lane)
+		})
+		w.advance()
+	case isa.OpLANE:
+		w.writeDst(in.Dst, mask, func(lane int) uint32 { return uint32(lane) })
+		w.advance()
+	case isa.OpWID:
+		w.writeDst(in.Dst, mask, func(lane int) uint32 { return uint32(w.ID) })
+		w.advance()
+	case isa.OpIADD:
+		w.binop(in, mask, func(a, b uint32) uint32 { return a + b })
+	case isa.OpISUB:
+		w.binop(in, mask, func(a, b uint32) uint32 { return a - b })
+	case isa.OpIADDI:
+		w.immop(in, mask, func(a, imm uint32) uint32 { return a + imm })
+	case isa.OpIMUL:
+		w.binop(in, mask, func(a, b uint32) uint32 { return a * b })
+	case isa.OpIMULI:
+		w.immop(in, mask, func(a, imm uint32) uint32 { return a * imm })
+	case isa.OpIMAD:
+		w.triop(in, mask, func(a, b, c uint32) uint32 { return a*b + c })
+	case isa.OpAND:
+		w.binop(in, mask, func(a, b uint32) uint32 { return a & b })
+	case isa.OpOR:
+		w.binop(in, mask, func(a, b uint32) uint32 { return a | b })
+	case isa.OpXOR:
+		w.binop(in, mask, func(a, b uint32) uint32 { return a ^ b })
+	case isa.OpSHLI:
+		w.immop(in, mask, func(a, imm uint32) uint32 { return a << (imm & 31) })
+	case isa.OpSHRI:
+		w.immop(in, mask, func(a, imm uint32) uint32 { return a >> (imm & 31) })
+	case isa.OpMIN:
+		w.binop(in, mask, func(a, b uint32) uint32 {
+			if a < b {
+				return a
+			}
+			return b
+		})
+	case isa.OpMAX:
+		w.binop(in, mask, func(a, b uint32) uint32 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+	case isa.OpSELP:
+		w.triop(in, mask, func(a, b, c uint32) uint32 {
+			if c != 0 {
+				return a
+			}
+			return b
+		})
+	case isa.OpFADD:
+		w.binop(in, mask, func(a, b uint32) uint32 { return a + b })
+	case isa.OpFMUL:
+		w.binop(in, mask, func(a, b uint32) uint32 { return a * b })
+	case isa.OpFFMA:
+		w.triop(in, mask, func(a, b, c uint32) uint32 { return a*b + c })
+	case isa.OpSFU:
+		src := &w.Regs[in.Src[0]]
+		w.writeDst(in.Dst, mask, func(lane int) uint32 { return Mix(src[lane]) })
+		w.advance()
+	case isa.OpLDG, isa.OpLDS:
+		addrs := &w.Regs[in.Src[0]]
+		n := 0
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if mask&(1<<uint(lane)) == 0 {
+				continue
+			}
+			a := addrs[lane] + in.Imm
+			w.addrBuf[n] = a
+			n++
+			if in.Op == isa.OpLDG {
+				w.Regs[in.Dst][lane] = w.Mem.LoadGlobal(a)
+			} else {
+				w.Regs[in.Dst][lane] = w.Mem.LoadShared(w.CTA, a)
+			}
+		}
+		info.Addrs = w.addrBuf[:n]
+		w.advance()
+	case isa.OpSTG, isa.OpSTS:
+		addrs := &w.Regs[in.Src[0]]
+		vals := &w.Regs[in.Src[1]]
+		n := 0
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if mask&(1<<uint(lane)) == 0 {
+				continue
+			}
+			a := addrs[lane] + in.Imm
+			w.addrBuf[n] = a
+			n++
+			if in.Op == isa.OpSTG {
+				w.Mem.StoreGlobal(a, vals[lane])
+			} else {
+				w.Mem.StoreShared(w.CTA, a, vals[lane])
+			}
+		}
+		info.Addrs = w.addrBuf[:n]
+		w.advance()
+	case isa.OpBNZ, isa.OpBZ:
+		cond := &w.Regs[in.Src[0]]
+		var taken uint32
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			bit := uint32(1) << uint(lane)
+			if mask&bit == 0 {
+				continue
+			}
+			nz := cond[lane] != 0
+			if (in.Op == isa.OpBNZ) == nz {
+				taken |= bit
+			}
+		}
+		w.branch(pc, in.Target, taken, mask)
+	case isa.OpBRA:
+		w.jump(in.Target)
+	case isa.OpBAR:
+		info.AtBarrier = true
+		w.advance()
+	case isa.OpEXIT:
+		w.exit(mask)
+		info.Exited = w.done
+	default:
+		panic(fmt.Sprintf("exec: unhandled opcode %v", in.Op))
+	}
+	return info
+}
+
+func (w *Warp) writeDst(dst isa.Reg, mask uint32, f func(lane int) uint32) {
+	regs := &w.Regs[dst]
+	for lane := 0; lane < isa.WarpWidth; lane++ {
+		if mask&(1<<uint(lane)) != 0 {
+			regs[lane] = f(lane)
+		}
+	}
+}
+
+func (w *Warp) binop(in *isa.Instruction, mask uint32, f func(a, b uint32) uint32) {
+	a := &w.Regs[in.Src[0]]
+	b := &w.Regs[in.Src[1]]
+	w.writeDst(in.Dst, mask, func(lane int) uint32 { return f(a[lane], b[lane]) })
+	w.advance()
+}
+
+func (w *Warp) immop(in *isa.Instruction, mask uint32, f func(a, imm uint32) uint32) {
+	a := &w.Regs[in.Src[0]]
+	w.writeDst(in.Dst, mask, func(lane int) uint32 { return f(a[lane], in.Imm) })
+	w.advance()
+}
+
+func (w *Warp) triop(in *isa.Instruction, mask uint32, f func(a, b, c uint32) uint32) {
+	a := &w.Regs[in.Src[0]]
+	b := &w.Regs[in.Src[1]]
+	c := &w.Regs[in.Src[2]]
+	w.writeDst(in.Dst, mask, func(lane int) uint32 { return f(a[lane], b[lane], c[lane]) })
+	w.advance()
+}
+
+// advance moves to the next instruction, following fallthrough at block
+// ends and popping reconvergence frames whose rejoin block is reached.
+func (w *Warp) advance() {
+	f := w.top()
+	f.pc.Index++
+	if f.pc.Index >= len(w.K.Blocks[f.pc.Block].Insns) {
+		w.toBlock(f.pc.Block + 1)
+	}
+}
+
+// jump transfers the top frame to the start of block b, handling
+// reconvergence pops.
+func (w *Warp) jump(b int) { w.toBlock(b) }
+
+func (w *Warp) toBlock(b int) {
+	f := w.top()
+	f.pc = isa.PC{Block: b, Index: 0}
+	// Pop frames whose reconvergence block has been reached. The frame
+	// below resumes at its own pc: sibling frames hold the other
+	// divergent path, and the parent frame was parked at this rejoin
+	// block when the divergence was created.
+	for len(w.stack) > 1 && w.top().pc.Block == w.top().rejoin {
+		w.stack = w.stack[:len(w.stack)-1]
+	}
+}
+
+// branch handles a potentially divergent conditional branch at pc with the
+// given taken mask.
+func (w *Warp) branch(pc isa.PC, target int, taken, mask uint32) {
+	fall := mask &^ taken
+	switch {
+	case taken == 0:
+		w.advance()
+	case fall == 0:
+		w.jump(target)
+	default:
+		// Divergence: reconverge at the immediate postdominator of
+		// the branch block. Replace the current frame position with
+		// the reconvergence point, then push the fallthrough and
+		// taken paths (taken executes first).
+		rejoin := w.G.IPDom[pc.Block]
+		f := w.top()
+		if rejoin == -1 {
+			// No reconvergence (both arms exit); run arms to
+			// completion with rejoin sentinel -1.
+			f.pc = isa.PC{Block: pc.Block, Index: len(w.K.Blocks[pc.Block].Insns) - 1}
+			// This frame becomes unreachable once both arms exit.
+		} else {
+			f.pc = isa.PC{Block: rejoin, Index: 0}
+		}
+		w.stack = append(w.stack,
+			frame{pc: isa.PC{Block: pc.Block + 1, Index: 0}, rejoin: rejoin, mask: fall},
+			frame{pc: isa.PC{Block: target, Index: 0}, rejoin: rejoin, mask: taken},
+		)
+		// Immediately pop if a pushed path starts at its rejoin
+		// (degenerate hammock).
+		for len(w.stack) > 1 && w.top().pc.Block == w.top().rejoin {
+			w.stack = w.stack[:len(w.stack)-1]
+		}
+	}
+}
+
+// exit retires the given lanes from every stack frame.
+func (w *Warp) exit(mask uint32) {
+	for i := range w.stack {
+		w.stack[i].mask &^= mask
+	}
+	// Pop empty frames.
+	for len(w.stack) > 0 && w.top().mask == 0 {
+		w.stack = w.stack[:len(w.stack)-1]
+	}
+	if len(w.stack) == 0 {
+		w.done = true
+	}
+}
+
+// StackDepth exposes the SIMT stack depth (diagnostics and tests).
+func (w *Warp) StackDepth() int { return len(w.stack) }
+
+// ActiveLaneCount returns the popcount of the current mask.
+func (w *Warp) ActiveLaneCount() int { return bits.OnesCount32(w.ActiveMask()) }

@@ -1,0 +1,239 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/isa"
+)
+
+func runSingleWarp(t *testing.T, k *isa.Kernel) (*Warp, *Memory) {
+	t.Helper()
+	mem := NewMemory(nil)
+	g := cfg.New(k)
+	w := NewWarp(k, g, 0, 0, mem)
+	for steps := 0; !w.Done(); steps++ {
+		if steps > 1_000_000 {
+			t.Fatalf("kernel %q did not terminate", k.Name)
+		}
+		w.Step()
+	}
+	return w, mem
+}
+
+func TestStraightlineValues(t *testing.T) {
+	b := isa.NewBuilder("vals", 1)
+	tid := b.Tid()
+	four := b.Muli(tid, 4)
+	base := b.Movi(1 << 20)
+	addr := b.Iadd(four, base)
+	b.Stg(addr, tid, 0)
+	b.Exit()
+	k := b.MustKernel()
+	_, mem := runSingleWarp(t, k)
+	for lane := 0; lane < isa.WarpWidth; lane++ {
+		a := uint32(1<<20 + 4*lane)
+		if got := mem.LoadGlobal(a); got != uint32(lane) {
+			t.Fatalf("mem[%#x] = %d, want %d", a, got, lane)
+		}
+	}
+}
+
+func TestDivergentDiamond(t *testing.T) {
+	// Even lanes get 100, odd lanes get 200; all lanes then add lane id.
+	b := isa.NewBuilder("diamond", 1)
+	lane := b.Lane()
+	odd := b.OpImm(isa.OpIADDI, lane, 0)
+	b.Op2To(isa.OpAND, odd, odd, b.Movi(1))
+	r := b.NewReg()
+	elseL, join := b.Label(), b.Label()
+	b.Bnz(odd, elseL)
+	b.MoviTo(r, 100)
+	b.Bra(join)
+	b.Bind(elseL)
+	b.MoviTo(r, 200)
+	b.Bind(join)
+	sum := b.Iadd(r, lane)
+	addr := b.Muli(lane, 4)
+	b.Stg(addr, sum, 4096)
+	b.Exit()
+	k := b.MustKernel()
+	w, mem := runSingleWarp(t, k)
+	if w.StackDepth() != 0 {
+		t.Fatalf("stack depth = %d after exit", w.StackDepth())
+	}
+	for l := 0; l < isa.WarpWidth; l++ {
+		want := uint32(100 + l)
+		if l%2 == 1 {
+			want = uint32(200 + l)
+		}
+		if got := mem.LoadGlobal(uint32(4096 + 4*l)); got != want {
+			t.Fatalf("lane %d: got %d, want %d", l, got, want)
+		}
+	}
+}
+
+func TestDivergentLoopTripCounts(t *testing.T) {
+	// Each lane loops lane+1 times, accumulating 10 per trip.
+	b := isa.NewBuilder("divloop", 1)
+	lane := b.Lane()
+	i := b.Addi(lane, 1)
+	acc := b.Movi(0)
+	ten := b.Movi(10)
+	top := b.Label()
+	b.Bind(top)
+	b.Op2To(isa.OpIADD, acc, acc, ten)
+	b.OpImmTo(isa.OpIADDI, i, i, ^uint32(0))
+	b.Bnz(i, top)
+	addr := b.Muli(lane, 4)
+	b.Stg(addr, acc, 8192)
+	b.Exit()
+	k := b.MustKernel()
+	_, mem := runSingleWarp(t, k)
+	for l := 0; l < isa.WarpWidth; l++ {
+		want := uint32(10 * (l + 1))
+		if got := mem.LoadGlobal(uint32(8192 + 4*l)); got != want {
+			t.Fatalf("lane %d: acc = %d, want %d", l, got, want)
+		}
+	}
+}
+
+func TestNestedDivergence(t *testing.T) {
+	// Outer split on lane<16, inner split on lane parity.
+	b := isa.NewBuilder("nested", 1)
+	lane := b.Lane()
+	hi := b.OpImm(isa.OpSHRI, lane, 4) // 1 for lanes >= 16
+	parity := b.Op2(isa.OpAND, lane, b.Movi(1))
+	r := b.Movi(0)
+	outerElse, outerJoin := b.Label(), b.Label()
+	innerElse, innerJoin := b.Label(), b.Label()
+	b.Bnz(hi, outerElse)
+	// lanes < 16: inner diamond on parity
+	b.Bnz(parity, innerElse)
+	b.MoviTo(r, 1) // even low lanes
+	b.Bra(innerJoin)
+	b.Bind(innerElse)
+	b.MoviTo(r, 2) // odd low lanes
+	b.Bind(innerJoin)
+	b.Bra(outerJoin)
+	b.Bind(outerElse)
+	b.MoviTo(r, 3) // high lanes
+	b.Bind(outerJoin)
+	addr := b.Muli(lane, 4)
+	b.Stg(addr, r, 0)
+	b.Exit()
+	k := b.MustKernel()
+	_, mem := runSingleWarp(t, k)
+	for l := 0; l < isa.WarpWidth; l++ {
+		var want uint32
+		switch {
+		case l >= 16:
+			want = 3
+		case l%2 == 1:
+			want = 2
+		default:
+			want = 1
+		}
+		if got := mem.LoadGlobal(uint32(4 * l)); got != want {
+			t.Fatalf("lane %d: r = %d, want %d", l, got, want)
+		}
+	}
+}
+
+func TestDivergentExit(t *testing.T) {
+	// Odd lanes exit early; even lanes store.
+	b := isa.NewBuilder("dexit", 1)
+	lane := b.Lane()
+	parity := b.Op2(isa.OpAND, lane, b.Movi(1))
+	cont := b.Label()
+	b.Bz(parity, cont)
+	b.Exit() // odd lanes leave
+	b.Bind(cont)
+	addr := b.Muli(lane, 4)
+	b.Stg(addr, lane, 1024)
+	b.Exit()
+	k := b.MustKernel()
+	_, mem := runSingleWarp(t, k)
+	for l := 0; l < isa.WarpWidth; l += 2 {
+		if got := mem.LoadGlobal(uint32(1024 + 4*l)); got != uint32(l) {
+			t.Fatalf("even lane %d: got %d", l, got)
+		}
+	}
+	// Odd lanes never stored; their slots read as the init pattern.
+	a := uint32(1024 + 4)
+	if got := mem.LoadGlobal(a); got != Mix(a) {
+		t.Fatalf("odd lane slot written: %d", got)
+	}
+}
+
+func TestSharedMemoryAndBarrier(t *testing.T) {
+	// Warp 0 writes shared[lane], all warps barrier, then every warp
+	// reads shared[lane] and stores to its own global slot.
+	b := isa.NewBuilder("shmem", 2)
+	lane := b.Lane()
+	wid := b.Wid()
+	saddr := b.Muli(lane, 4)
+	val := b.Addi(lane, 500)
+	skip := b.Label()
+	b.Bnz(wid, skip) // only warp 0 (of the CTA... wid is global) writes
+	b.Sts(saddr, val, 0)
+	b.Bind(skip)
+	b.Bar()
+	got := b.Lds(saddr, 0)
+	tid := b.Tid()
+	gaddr := b.Muli(tid, 4)
+	b.Stg(gaddr, got, 1<<16)
+	b.Exit()
+	k := b.MustKernel()
+
+	mem := NewMemory(nil)
+	res, err := Run(k, 2, mem) // one CTA of 2 warps
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DynInsns == 0 {
+		t.Fatal("no instructions executed")
+	}
+	for tid := 0; tid < 2*isa.WarpWidth; tid++ {
+		want := uint32(500 + tid%isa.WarpWidth)
+		a := uint32(1<<16 + 4*tid)
+		if got := mem.LoadGlobal(a); got != want {
+			t.Fatalf("tid %d: got %d, want %d", tid, got, want)
+		}
+	}
+}
+
+func TestRunDeadlockDetection(t *testing.T) {
+	// Warp 0 exits before the barrier; warp 1 waits. With both in one
+	// CTA the barrier must still release (exited warps don't count).
+	b := isa.NewBuilder("bar-exit", 2)
+	wid := b.Wid()
+	wait := b.Label()
+	b.Bnz(wid, wait)
+	b.Exit() // warp 0 exits
+	b.Bind(wait)
+	b.Bar()
+	addr := b.Movi(64)
+	b.Stg(addr, wid, 0)
+	b.Exit()
+	k := b.MustKernel()
+	if _, err := Run(k, 2, nil); err != nil {
+		t.Fatalf("barrier with exited warp deadlocked: %v", err)
+	}
+}
+
+func TestRunLimitGuardsRunaway(t *testing.T) {
+	// An infinite loop must trip the step budget, not hang.
+	b := isa.NewBuilder("forever", 1)
+	one := b.Movi(1)
+	top := b.Label()
+	b.Bind(top)
+	b.Op2To(isa.OpIADD, one, one, one)
+	lbl := b.Movi(1)
+	b.Bnz(lbl, top)
+	b.Exit()
+	k := b.MustKernel()
+	if _, err := RunLimit(k, 1, nil, 10_000); err == nil {
+		t.Fatal("runaway kernel did not error")
+	}
+}

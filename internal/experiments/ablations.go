@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+)
+
+// AblationCapacity is where the design choices bite: small enough that the
+// OSU is under pressure (the compressor and the warp stack order matter),
+// large enough that nothing thrashes pathologically.
+const AblationCapacity = 256
+
+// ablationVariant is one RegLess configuration mutation.
+type ablationVariant struct {
+	name   string
+	mutate func(*core.Config)
+}
+
+func ablationVariants() []ablationVariant {
+	return []ablationVariant{
+		{"regless (paper design)", func(*core.Config) {}},
+		{"FIFO warp stack", func(c *core.Config) { c.FIFOStack = true }},
+		{"no compressor", func(c *core.Config) { c.EnableCompressor = false }},
+		{"const-only compressor", func(c *core.Config) {
+			c.CompressorPatterns = compress.PatternsConstOnly
+		}},
+		{"full-warp-only compressor", func(c *core.Config) {
+			c.CompressorPatterns = compress.PatternsFullWarpOnly
+		}},
+		{"no region size floor", func(c *core.Config) { c.Regions.MinRegionInsns = 1 }},
+		{"no metadata overhead", func(c *core.Config) { c.MetadataOverhead = false }},
+	}
+}
+
+// ablationRun is one measured variant on one benchmark.
+type ablationRun struct {
+	cycles   uint64
+	osuHit   float64 // preload fraction served without the memory system
+	l1PerKC  float64 // L1 requests per 1000 cycles
+	metaInsn uint64
+}
+
+func (s *Suite) runAblation(bench string, mutate func(*core.Config)) (*ablationRun, error) {
+	k, err := kernels.Load(bench)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.ConfigForCapacity(AblationCapacity)
+	mutate(&cfg)
+	p, err := core.New(cfg, k)
+	if err != nil {
+		return nil, err
+	}
+	simCfg := sim.DefaultConfig()
+	simCfg.Warps = s.Opts.Warps
+	simCfg.MaxCycles = s.Opts.MaxCycles
+	smv, err := sim.New(simCfg, k, p, exec.NewMemory(nil))
+	if err != nil {
+		return nil, err
+	}
+	st, err := smv.Run()
+	if err != nil {
+		return nil, err
+	}
+	ps := p.Stats()
+	out := &ablationRun{cycles: st.Cycles, metaInsn: ps.MetaInsns}
+	if n := ps.Preloads(); n > 0 {
+		out.osuHit = float64(ps.PreloadFromOSU+ps.PreloadFromCompressor) / float64(n)
+	}
+	out.l1PerKC = 1000 * float64(ps.L1PreloadReads+ps.L1StoreWrites+ps.L1Invalidates) / float64(st.Cycles)
+	return out, nil
+}
+
+// Ablations quantifies the design choices DESIGN.md §7 calls out, at a
+// 256-register OSU where they matter. Run-time columns are geomeans
+// normalized to the paper-design variant.
+func Ablations(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:     "ablation",
+		Title:  fmt.Sprintf("Design ablations at %d registers/SM (vs paper design)", AblationCapacity),
+		Header: []string{"Variant", "Run time", "Staged preloads", "L1 req/kcycle"},
+	}
+	variants := ablationVariants()
+	// Collect per-benchmark baselines (paper design) first.
+	baseCycles := map[string]uint64{}
+	for _, bench := range s.benchmarks() {
+		r, err := s.runAblation(bench, variants[0].mutate)
+		if err != nil {
+			return nil, err
+		}
+		baseCycles[bench] = r.cycles
+	}
+	for _, v := range variants {
+		var ratios []float64
+		var hitSum, l1Sum float64
+		n := 0
+		for _, bench := range s.benchmarks() {
+			r, err := s.runAblation(bench, v.mutate)
+			if err != nil {
+				return nil, err
+			}
+			ratios = append(ratios, float64(r.cycles)/float64(baseCycles[bench]))
+			hitSum += r.osuHit
+			l1Sum += r.l1PerKC
+			n++
+		}
+		t.AddRow(v.name, f3(GeoMean(ratios)), pct(hitSum/float64(n)), f2(l1Sum/float64(n)))
+	}
+	t.Note("LIFO vs FIFO isolates §5.1's warp-stack choice; pattern sets isolate §5.3's compressor design")
+	return t, nil
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"repro/internal/energy"
+)
+
+// EnergyBreakdown (extension) decomposes each benchmark's baseline GPU
+// energy into the model's components and shows where RegLess's savings
+// come from — the per-component view behind Figures 14 and 15.
+func EnergyBreakdown(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:    "breakdown",
+		Title: "GPU energy decomposition: baseline shares and RegLess deltas",
+		Header: []string{"Benchmark", "RF share", "Insn share", "Mem share", "Static share",
+			"RegLess RF", "RegLess total"},
+	}
+	for _, bench := range s.benchmarks() {
+		base, err := s.Get(bench, SchemeBaseline, 0)
+		if err != nil {
+			return nil, err
+		}
+		bb := energy.Compute(s.Params, base.EnergyScheme(), base.Activity())
+		rgl, err := s.Get(bench, SchemeRegLess, DefaultCapacity)
+		if err != nil {
+			return nil, err
+		}
+		rb := energy.Compute(s.Params, rgl.EnergyScheme(), rgl.Activity())
+		t.AddRow(bench,
+			pct(bb.RFTotal/bb.Total),
+			pct(bb.InsnEnergy/bb.Total),
+			pct(bb.MemEnergy/bb.Total),
+			pct(bb.GPUStaticEnergy/bb.Total),
+			f3(rb.RFTotal/bb.RFTotal),
+			f3(rb.Total/bb.Total))
+	}
+	t.Note("RF share is the per-benchmark ceiling on GPU savings (the No-RF bound of Fig 15)")
+	return t, nil
+}

@@ -1,0 +1,236 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6): one runner per figure, all built on a memoizing
+// simulation cache so figures sharing runs (e.g. the baseline) pay once.
+//
+// The per-experiment index in DESIGN.md maps each paper figure/table to
+// its function here and to the benchmark in bench_test.go that drives it.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/exec"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+	"repro/internal/rf"
+	"repro/internal/sim"
+)
+
+// Scheme names the register configurations under test.
+type Scheme string
+
+const (
+	// SchemeBaseline is the full 2048-entry register file with GTO.
+	SchemeBaseline Scheme = "baseline"
+	// SchemeRFV is register file virtualization (half-size RF,
+	// two-level scheduler, as in the paper's comparison).
+	SchemeRFV Scheme = "rfv"
+	// SchemeRFH is the register file hierarchy (8-entry per-warp
+	// buffer, two-level scheduler).
+	SchemeRFH Scheme = "rfh"
+	// SchemeRegLess is RegLess at the capacity given per run.
+	SchemeRegLess Scheme = "regless"
+	// SchemeRegLessNC is RegLess without the compressor (Figure 16).
+	SchemeRegLessNC Scheme = "regless-nocomp"
+	// SchemeBaseline2L is the baseline RF under the two-level warp
+	// scheduler (Figure 2's comparison).
+	SchemeBaseline2L Scheme = "baseline-2level"
+)
+
+// BaselineEntries is the full register file capacity per SM in registers.
+const BaselineEntries = 2048
+
+// RFVEntries is RFV's half-size physical file.
+const RFVEntries = 1024
+
+// RFHORFEntries is RFH's per-warp buffer capacity (Figure 3's
+// "8-entry scratchpad").
+const RFHORFEntries = 8
+
+// Options scales the experiments; Quick() shrinks them for tests.
+type Options struct {
+	Warps      int
+	Benchmarks []string
+	MaxCycles  uint64
+}
+
+// Default returns the full-scale options (Table 1's 64 warps per SM).
+func Default() Options {
+	return Options{Warps: 64, Benchmarks: kernels.Names(), MaxCycles: 60_000_000}
+}
+
+// Quick returns reduced-scale options for unit tests.
+func Quick() Options {
+	return Options{Warps: 16, Benchmarks: []string{"bfs", "hotspot", "lud", "nw", "streamcluster"}, MaxCycles: 20_000_000}
+}
+
+// Run is one completed simulation.
+type Run struct {
+	Bench    string
+	Scheme   Scheme
+	Capacity int // RegLess OSU registers per SM (0 otherwise)
+
+	Stats *sim.Stats
+	Prov  sim.ProviderStats
+	Mem   mem.Stats
+
+	// Provider is retained for scheme-specific inspection (RegLess's
+	// compiled regions).
+	RegLess *core.Provider
+}
+
+// Activity converts the run for the energy model.
+func (r *Run) Activity() energy.Activity {
+	return energy.FromRun(r.Stats, &r.Prov, r.Mem)
+}
+
+// EnergyScheme maps the run to its energy-model scheme.
+func (r *Run) EnergyScheme() energy.Scheme {
+	switch r.Scheme {
+	case SchemeBaseline, SchemeBaseline2L:
+		return energy.Scheme{Kind: energy.KindBaseline, Entries: BaselineEntries}
+	case SchemeRFV:
+		return energy.Scheme{Kind: energy.KindRFV, Entries: RFVEntries}
+	case SchemeRFH:
+		return energy.Scheme{Kind: energy.KindRFH, Entries: BaselineEntries}
+	case SchemeRegLessNC:
+		return energy.Scheme{Kind: energy.KindRegLess, Entries: r.Capacity, Compressor: false}
+	default:
+		return energy.Scheme{Kind: energy.KindRegLess, Entries: r.Capacity, Compressor: true}
+	}
+}
+
+type runKey struct {
+	bench    string
+	scheme   Scheme
+	capacity int
+}
+
+// Suite memoizes simulation runs across experiments.
+type Suite struct {
+	Opts   Options
+	Params energy.Params
+
+	mu    sync.Mutex
+	cache map[runKey]*Run
+}
+
+// NewSuite builds an experiment suite.
+func NewSuite(opts Options) *Suite {
+	return &Suite{Opts: opts, Params: energy.DefaultParams(), cache: map[runKey]*Run{}}
+}
+
+// Get returns the memoized run for (bench, scheme, capacity), simulating
+// on first use. capacity applies to RegLess schemes only (registers/SM).
+func (s *Suite) Get(bench string, scheme Scheme, capacity int) (*Run, error) {
+	if scheme != SchemeRegLess && scheme != SchemeRegLessNC {
+		capacity = 0
+	}
+	key := runKey{bench, scheme, capacity}
+	s.mu.Lock()
+	if r, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	r, err := s.simulate(bench, scheme, capacity)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s/%d: %w", bench, scheme, capacity, err)
+	}
+	s.mu.Lock()
+	s.cache[key] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+func (s *Suite) simulate(bench string, scheme Scheme, capacity int) (*Run, error) {
+	smv, rp, err := BuildSM(bench, scheme, capacity, s.Opts.Warps, s.Opts.MaxCycles)
+	if err != nil {
+		return nil, err
+	}
+	run := &Run{Bench: bench, Scheme: scheme, Capacity: capacity, RegLess: rp}
+	st, err := smv.Run()
+	if err != nil {
+		return nil, err
+	}
+	run.Stats = st
+	run.Prov = *smv.Provider.Stats()
+	run.Mem = smv.Mem.Stats
+	return run, nil
+}
+
+// BuildSM constructs a ready-to-run SM for (bench, scheme): the shared
+// assembly used by the suite cache and by tools that drive the simulation
+// themselves (the timeline tracer). The returned core provider is non-nil
+// only for RegLess schemes.
+func BuildSM(bench string, scheme Scheme, capacity, warps int, maxCycles uint64) (*sim.SM, *core.Provider, error) {
+	k, err := kernels.Load(bench)
+	if err != nil {
+		return nil, nil, err
+	}
+	simCfg := sim.DefaultConfig()
+	simCfg.Warps = warps
+	simCfg.MaxCycles = maxCycles
+
+	var provider sim.Provider
+	var rp *core.Provider
+	switch scheme {
+	case SchemeBaseline:
+		provider = rf.NewBaseline()
+	case SchemeBaseline2L:
+		provider = rf.NewBaseline()
+		simCfg.Sched = sim.SchedTwoLevel
+	case SchemeRFV:
+		provider = rf.NewRFV(RFVEntries)
+		simCfg.Sched = sim.SchedTwoLevel
+	case SchemeRFH:
+		provider = rf.NewRFH(RFHORFEntries)
+		simCfg.Sched = sim.SchedTwoLevel
+	case SchemeRegLess, SchemeRegLessNC:
+		cfg := core.ConfigForCapacity(capacity)
+		cfg.EnableCompressor = scheme == SchemeRegLess
+		p, err := core.New(cfg, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		rp = p
+		provider = p
+	default:
+		return nil, nil, fmt.Errorf("unknown scheme %q", scheme)
+	}
+	smv, err := sim.New(simCfg, k, provider, exec.NewMemory(nil))
+	if err != nil {
+		return nil, nil, err
+	}
+	return smv, rp, nil
+}
+
+// GeoMean returns the geometric mean of xs.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// sortedBenchmarks returns the option benchmarks in suite order.
+func (s *Suite) benchmarks() []string {
+	out := make([]string, len(s.Opts.Benchmarks))
+	copy(out, s.Opts.Benchmarks)
+	order := map[string]int{}
+	for i, n := range kernels.Names() {
+		order[n] = i
+	}
+	sort.Slice(out, func(a, b int) bool { return order[out[a]] < order[out[b]] })
+	return out
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/gpu"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/rf"
+	"repro/internal/sim"
+)
+
+// GPUScale (extension beyond the paper's per-SM evaluation) runs the full
+// multi-SM chip — private L1s and RegLess shards per SM, one shared 2 MB
+// L2 and DRAM interface — and checks that RegLess's per-SM conclusions
+// survive chip-level memory contention.
+func GPUScale(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:    "gpuscale",
+		Title: "Multi-SM scaling: RegLess vs baseline at chip level",
+		Header: []string{"Benchmark", "SMs", "Baseline cycles", "RegLess cycles",
+			"Run time", "DRAM accesses (base/rgls)"},
+	}
+	benches := s.benchmarks()
+	if len(benches) > 4 {
+		benches = benches[:4]
+	}
+	for _, bench := range benches {
+		k, err := kernels.Load(bench)
+		if err != nil {
+			return nil, err
+		}
+		for _, sms := range []int{1, 4, 8} {
+			cfg := gpu.DefaultConfig()
+			cfg.SMs = sms
+			cfg.SM.Warps = s.Opts.Warps
+			cfg.SM.MaxCycles = s.Opts.MaxCycles
+
+			base, err := runChip(cfg, k, func(int) (sim.Provider, error) {
+				return rf.NewBaseline(), nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%d SMs baseline: %w", bench, sms, err)
+			}
+			rgls, err := runChip(cfg, k, func(i int) (sim.Provider, error) {
+				c := core.ConfigForCapacity(DefaultCapacity)
+				c.AddrOffset = uint32(i) << 24
+				return core.New(c, k)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%d SMs regless: %w", bench, sms, err)
+			}
+			t.AddRow(bench, fmt.Sprintf("%d", sms),
+				fmt.Sprintf("%d", base.Cycles), fmt.Sprintf("%d", rgls.Cycles),
+				f3(float64(rgls.Cycles)/float64(base.Cycles)),
+				fmt.Sprintf("%d/%d", base.DRAMAccesses, rgls.DRAMAccesses))
+		}
+	}
+	t.Note("extension: the paper evaluates per-SM; this checks the shared-L2 chip")
+	return t, nil
+}
+
+func runChip(cfg gpu.Config, k *isa.Kernel, factory gpu.ProviderFactory) (*gpu.Result, error) {
+	g, err := gpu.New(cfg, k, factory, exec.NewMemory(nil))
+	if err != nil {
+		return nil, err
+	}
+	return g.Run()
+}

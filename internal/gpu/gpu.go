@@ -1,0 +1,120 @@
+// Package gpu scales the single-SM model up to the paper's full chip: N
+// streaming multiprocessors in lockstep, each with a private L1 and
+// register scheme, sharing one 2 MB L2 and the DRAM interface (Table 1's
+// 16-SM GTX 980). All SMs run the same kernel over disjoint global warp
+// ID ranges — the CUDA grid is striped across SMs — and share one
+// functional memory, so the multi-SM run is architecturally equivalent to
+// a single functional execution of SMs x WarpsPerSM warps.
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Config sizes the chip.
+type Config struct {
+	// SMs is the multiprocessor count (16 on the GTX 980).
+	SMs int
+	// SM is the per-SM configuration; WarpIDBase is set per SM.
+	SM sim.Config
+	// Shared sizes the chip-wide L2 and DRAM interface.
+	Shared mem.SharedL2Config
+}
+
+// DefaultConfig returns the 16-SM GTX 980 configuration.
+func DefaultConfig() Config {
+	return Config{SMs: 16, SM: sim.DefaultConfig(), Shared: mem.DefaultSharedL2Config()}
+}
+
+// ProviderFactory builds one SM's register provider. smIndex identifies
+// the SM (providers needing disjoint backing-store spaces derive an
+// address offset from it).
+type ProviderFactory func(smIndex int) (sim.Provider, error)
+
+// GPU is the lockstep multi-SM machine.
+type GPU struct {
+	Cfg    Config
+	SMs    []*sim.SM
+	Shared *mem.SharedL2
+	Mem    *exec.Memory
+
+	cycle uint64
+}
+
+// New builds the GPU: one SM per index, private L1s, shared L2.
+func New(cfgv Config, k *isa.Kernel, factory ProviderFactory, mm *exec.Memory) (*GPU, error) {
+	if cfgv.SMs <= 0 {
+		return nil, fmt.Errorf("gpu: need at least one SM")
+	}
+	if mm == nil {
+		mm = exec.NewMemory(nil)
+	}
+	shared := mem.NewSharedL2(cfgv.Shared)
+	g := &GPU{Cfg: cfgv, Shared: shared, Mem: mm}
+	for i := 0; i < cfgv.SMs; i++ {
+		p, err := factory(i)
+		if err != nil {
+			return nil, fmt.Errorf("gpu: SM %d provider: %w", i, err)
+		}
+		smCfg := cfgv.SM
+		smCfg.WarpIDBase = i * smCfg.Warps
+		hier := shared.AttachHierarchy(smCfg.Mem)
+		smv, err := sim.NewWithHierarchy(smCfg, k, p, mm, hier)
+		if err != nil {
+			return nil, fmt.Errorf("gpu: SM %d: %w", i, err)
+		}
+		g.SMs = append(g.SMs, smv)
+	}
+	return g, nil
+}
+
+// Result summarizes a multi-SM run.
+type Result struct {
+	// Cycles is the chip run time: the slowest SM.
+	Cycles uint64
+	// PerSM holds each SM's statistics.
+	PerSM []*sim.Stats
+	// TotalInsns sums dynamic instructions across SMs.
+	TotalInsns uint64
+	// SharedL2Hits/Misses/DRAM aggregate the shared level's traffic.
+	SharedL2Hits, SharedL2Misses, DRAMAccesses uint64
+}
+
+// Run advances every SM one cycle at a time (lockstep) until all finish.
+func (g *GPU) Run() (*Result, error) {
+	for {
+		allDone := true
+		for _, smv := range g.SMs {
+			if !smv.Done() {
+				allDone = false
+				smv.StepOne()
+			}
+		}
+		if allDone {
+			break
+		}
+		g.cycle++
+		if g.cycle >= g.Cfg.SM.MaxCycles {
+			return nil, fmt.Errorf("gpu: exceeded %d cycles", g.Cfg.SM.MaxCycles)
+		}
+	}
+	res := &Result{
+		SharedL2Hits:   g.Shared.Stats.L2Hits,
+		SharedL2Misses: g.Shared.Stats.L2Misses,
+		DRAMAccesses:   g.Shared.Stats.DRAMAccesses,
+	}
+	for _, smv := range g.SMs {
+		st := smv.Finalize()
+		res.PerSM = append(res.PerSM, st)
+		res.TotalInsns += st.DynInsns
+		if st.Cycles > res.Cycles {
+			res.Cycles = st.Cycles
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,128 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/kernels"
+	"repro/internal/rf"
+	"repro/internal/sim"
+)
+
+func smallCfg(sms, warps int) Config {
+	c := DefaultConfig()
+	c.SMs = sms
+	c.SM.Warps = warps
+	c.SM.MaxCycles = 10_000_000
+	return c
+}
+
+func baselineFactory() ProviderFactory {
+	return func(int) (sim.Provider, error) { return rf.NewBaseline(), nil }
+}
+
+func TestMultiSMEquivalence(t *testing.T) {
+	for _, name := range []string{"streamcluster", "nw", "bfs"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			k := kernels.MustLoad(name)
+			const sms, warps = 4, 8
+			mm := exec.NewMemory(nil)
+			g, err := New(smallCfg(sms, warps), k, baselineFactory(), mm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := g.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Architectural equivalence with one functional run of all
+			// warps.
+			ref, err := exec.Run(k, sms*warps, exec.NewMemory(nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TotalInsns != ref.DynInsns {
+				t.Fatalf("instructions: gpu %d, functional %d", res.TotalInsns, ref.DynInsns)
+			}
+			got := mm.GlobalStores()
+			if len(got) != len(ref.Stores) {
+				t.Fatalf("store count %d, want %d", len(got), len(ref.Stores))
+			}
+			for a, v := range ref.Stores {
+				if got[a] != v {
+					t.Fatalf("store mismatch at %#x: %d vs %d", a, got[a], v)
+				}
+			}
+			if res.Cycles == 0 || len(res.PerSM) != sms {
+				t.Fatalf("degenerate result %+v", res)
+			}
+		})
+	}
+}
+
+func TestMultiSMRegLess(t *testing.T) {
+	k := kernels.MustLoad("hotspot")
+	const sms, warps = 4, 8
+	factory := func(i int) (sim.Provider, error) {
+		cfg := core.DefaultConfig()
+		cfg.AddrOffset = uint32(i) << 24 // disjoint backing stores
+		return core.New(cfg, k)
+	}
+	mm := exec.NewMemory(nil)
+	g, err := New(smallCfg(sms, warps), k, factory, mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := exec.Run(k, sms*warps, exec.NewMemory(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mm.GlobalStores()
+	for a, v := range ref.Stores {
+		if got[a] != v {
+			t.Fatalf("RegLess multi-SM diverged at %#x", a)
+		}
+	}
+}
+
+func TestSharedL2Contention(t *testing.T) {
+	// More SMs hitting the same shared L2 must produce more shared-level
+	// traffic, and per-SM slowdown from contention must not corrupt
+	// results (equivalence is covered above). bfs reads shared tables
+	// (graph adjacency + visited), so SMs genuinely share L2 lines.
+	k := kernels.MustLoad("bfs")
+	run := func(sms int) *Result {
+		g, err := New(smallCfg(sms, 8), k, baselineFactory(), exec.NewMemory(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := g.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one := run(1)
+	four := run(4)
+	if four.SharedL2Hits+four.SharedL2Misses <= one.SharedL2Hits+one.SharedL2Misses {
+		t.Fatalf("shared L2 traffic did not scale: %d vs %d",
+			four.SharedL2Hits+four.SharedL2Misses, one.SharedL2Hits+one.SharedL2Misses)
+	}
+	// Read-shared input tables mean later SMs should enjoy some L2 hits.
+	if four.SharedL2Hits == 0 {
+		t.Fatal("no shared L2 hits despite shared read-only inputs")
+	}
+}
+
+func TestGPURejectsZeroSMs(t *testing.T) {
+	k := kernels.MustLoad("nw")
+	if _, err := New(Config{SMs: 0, SM: sim.DefaultConfig()}, k, baselineFactory(), nil); err == nil {
+		t.Fatal("accepted zero SMs")
+	}
+}

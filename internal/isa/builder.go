@@ -1,0 +1,271 @@
+package isa
+
+import "fmt"
+
+// Builder constructs kernels block-by-block with forward-reference labels.
+// It is the assembly layer used by package kernels to express the synthetic
+// Rodinia-like workloads and by tests to express microkernels.
+//
+// Typical use:
+//
+//	b := isa.NewBuilder("saxpy", 2)
+//	tid := b.Tid()
+//	...
+//	loop := b.Label()
+//	b.Bind(loop)
+//	...
+//	b.Bnz(cond, loop)
+//	b.Exit()
+//	k, err := b.Kernel()
+type Builder struct {
+	name        string
+	warpsPerCTA int
+	blocks      []*BasicBlock
+	cur         *BasicBlock
+	nextReg     Reg
+	labels      []int // label -> block ID, -1 if unbound
+	patches     []patch
+	err         error
+}
+
+type patch struct {
+	block, index int
+	label        Label
+}
+
+// Label is a forward-referenceable branch target.
+type Label int
+
+// NewBuilder returns a Builder for a kernel with the given name and CTA
+// size in warps.
+func NewBuilder(name string, warpsPerCTA int) *Builder {
+	b := &Builder{name: name, warpsPerCTA: warpsPerCTA}
+	b.startBlock()
+	return b
+}
+
+func (b *Builder) startBlock() {
+	blk := &BasicBlock{ID: len(b.blocks)}
+	b.blocks = append(b.blocks, blk)
+	b.cur = blk
+}
+
+// NewReg allocates a fresh architectural register.
+func (b *Builder) NewReg() Reg {
+	r := b.nextReg
+	b.nextReg++
+	return r
+}
+
+// Label allocates an unbound label.
+func (b *Builder) Label() Label {
+	b.labels = append(b.labels, -1)
+	return Label(len(b.labels) - 1)
+}
+
+// Bind attaches lbl to the next emitted instruction, starting a new basic
+// block if the current one is non-empty.
+func (b *Builder) Bind(lbl Label) {
+	if b.labels[lbl] != -1 {
+		b.fail("label %d bound twice", lbl)
+		return
+	}
+	if len(b.cur.Insns) > 0 {
+		b.startBlock()
+	}
+	b.labels[lbl] = b.cur.ID
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("builder %q: "+format, append([]any{b.name}, args...)...)
+	}
+}
+
+func (b *Builder) emit(in Instruction) {
+	// Normalize unused operand slots so instructions compare and render
+	// canonically regardless of how they were constructed.
+	for s := in.Op.NumSrc(); s < len(in.Src); s++ {
+		in.Src[s] = NoReg
+	}
+	if !in.Op.HasDst() {
+		in.Dst = NoReg
+	}
+	b.cur.Insns = append(b.cur.Insns, in)
+	if in.Op.IsBranch() || in.Op == OpEXIT {
+		b.startBlock()
+	}
+}
+
+// --- value producers ---
+
+// Movi emits Dst = imm and returns a fresh destination register.
+func (b *Builder) Movi(imm uint32) Reg { r := b.NewReg(); b.MoviTo(r, imm); return r }
+
+// MoviTo emits dst = imm.
+func (b *Builder) MoviTo(dst Reg, imm uint32) { b.emit(Instruction{Op: OpMOVI, Dst: dst, Imm: imm}) }
+
+// Tid emits Dst = global thread id into a fresh register.
+func (b *Builder) Tid() Reg { r := b.NewReg(); b.emit(Instruction{Op: OpTID, Dst: r}); return r }
+
+// Lane emits Dst = lane id into a fresh register.
+func (b *Builder) Lane() Reg { r := b.NewReg(); b.emit(Instruction{Op: OpLANE, Dst: r}); return r }
+
+// Wid emits Dst = warp id into a fresh register.
+func (b *Builder) Wid() Reg { r := b.NewReg(); b.emit(Instruction{Op: OpWID, Dst: r}); return r }
+
+// --- two/three source ops (fresh destination) ---
+
+// Op2 emits a two-source operation into a fresh register.
+func (b *Builder) Op2(op Opcode, s0, s1 Reg) Reg {
+	r := b.NewReg()
+	b.Op2To(op, r, s0, s1)
+	return r
+}
+
+// Op2To emits a two-source operation into dst.
+func (b *Builder) Op2To(op Opcode, dst, s0, s1 Reg) {
+	if op.NumSrc() != 2 || !op.HasDst() {
+		b.fail("Op2To: %v is not a 2-source ALU op", op)
+	}
+	b.emit(Instruction{Op: op, Dst: dst, Src: [3]Reg{s0, s1, NoReg}})
+}
+
+// Op3 emits a three-source operation into a fresh register.
+func (b *Builder) Op3(op Opcode, s0, s1, s2 Reg) Reg {
+	r := b.NewReg()
+	b.Op3To(op, r, s0, s1, s2)
+	return r
+}
+
+// Op3To emits a three-source operation into dst.
+func (b *Builder) Op3To(op Opcode, dst, s0, s1, s2 Reg) {
+	if op.NumSrc() != 3 || !op.HasDst() {
+		b.fail("Op3To: %v is not a 3-source op", op)
+	}
+	b.emit(Instruction{Op: op, Dst: dst, Src: [3]Reg{s0, s1, s2}})
+}
+
+// OpImm emits a register-immediate operation into a fresh register.
+func (b *Builder) OpImm(op Opcode, s0 Reg, imm uint32) Reg {
+	r := b.NewReg()
+	b.OpImmTo(op, r, s0, imm)
+	return r
+}
+
+// OpImmTo emits a register-immediate operation into dst.
+func (b *Builder) OpImmTo(op Opcode, dst, s0 Reg, imm uint32) {
+	if op.NumSrc() != 1 || !op.HasDst() {
+		b.fail("OpImmTo: %v is not a 1-source op", op)
+	}
+	b.emit(Instruction{Op: op, Dst: dst, Src: [3]Reg{s0, NoReg, NoReg}, Imm: imm})
+}
+
+// Iadd emits Dst = s0+s1 into a fresh register.
+func (b *Builder) Iadd(s0, s1 Reg) Reg { return b.Op2(OpIADD, s0, s1) }
+
+// Addi emits Dst = s0+imm into a fresh register.
+func (b *Builder) Addi(s0 Reg, imm uint32) Reg { return b.OpImm(OpIADDI, s0, imm) }
+
+// Muli emits Dst = s0*imm into a fresh register.
+func (b *Builder) Muli(s0 Reg, imm uint32) Reg { return b.OpImm(OpIMULI, s0, imm) }
+
+// Sfu emits a special-function op into a fresh register.
+func (b *Builder) Sfu(s0 Reg) Reg { return b.OpImm(OpSFU, s0, 0) }
+
+// --- memory ---
+
+// Ldg emits a global load from address register addr (+off) into a fresh
+// register.
+func (b *Builder) Ldg(addr Reg, off uint32) Reg {
+	r := b.NewReg()
+	b.LdgTo(r, addr, off)
+	return r
+}
+
+// LdgTo emits a global load into dst.
+func (b *Builder) LdgTo(dst, addr Reg, off uint32) {
+	b.emit(Instruction{Op: OpLDG, Dst: dst, Src: [3]Reg{addr, NoReg, NoReg}, Imm: off})
+}
+
+// Stg emits a global store of val to address register addr (+off).
+func (b *Builder) Stg(addr, val Reg, off uint32) {
+	b.emit(Instruction{Op: OpSTG, Src: [3]Reg{addr, val, NoReg}, Imm: off})
+}
+
+// Lds emits a shared-memory load into a fresh register.
+func (b *Builder) Lds(addr Reg, off uint32) Reg {
+	r := b.NewReg()
+	b.emit(Instruction{Op: OpLDS, Dst: r, Src: [3]Reg{addr, NoReg, NoReg}, Imm: off})
+	return r
+}
+
+// Sts emits a shared-memory store.
+func (b *Builder) Sts(addr, val Reg, off uint32) {
+	b.emit(Instruction{Op: OpSTS, Src: [3]Reg{addr, val, NoReg}, Imm: off})
+}
+
+// --- control ---
+
+// Bnz emits a per-lane branch to lbl where cond != 0.
+func (b *Builder) Bnz(cond Reg, lbl Label) {
+	b.patches = append(b.patches, patch{b.cur.ID, len(b.cur.Insns), lbl})
+	b.emit(Instruction{Op: OpBNZ, Src: [3]Reg{cond, NoReg, NoReg}})
+}
+
+// Bz emits a per-lane branch to lbl where cond == 0.
+func (b *Builder) Bz(cond Reg, lbl Label) {
+	b.patches = append(b.patches, patch{b.cur.ID, len(b.cur.Insns), lbl})
+	b.emit(Instruction{Op: OpBZ, Src: [3]Reg{cond, NoReg, NoReg}})
+}
+
+// Bra emits an unconditional branch to lbl.
+func (b *Builder) Bra(lbl Label) {
+	b.patches = append(b.patches, patch{b.cur.ID, len(b.cur.Insns), lbl})
+	b.emit(Instruction{Op: OpBRA})
+}
+
+// Bar emits a CTA barrier.
+func (b *Builder) Bar() { b.emit(Instruction{Op: OpBAR}) }
+
+// Exit emits a kernel exit.
+func (b *Builder) Exit() { b.emit(Instruction{Op: OpEXIT}) }
+
+// Kernel finalizes the build: patches labels, trims a trailing empty block,
+// validates, and returns the kernel.
+func (b *Builder) Kernel() (*Kernel, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	// Drop a trailing empty block left by a terminating emit.
+	if n := len(b.blocks); n > 0 && len(b.blocks[n-1].Insns) == 0 {
+		b.blocks = b.blocks[:n-1]
+	}
+	for _, p := range b.patches {
+		target := b.labels[p.label]
+		if target == -1 {
+			return nil, fmt.Errorf("builder %q: unbound label %d", b.name, p.label)
+		}
+		b.blocks[p.block].Insns[p.index].Target = target
+	}
+	k := &Kernel{
+		Name:        b.name,
+		Blocks:      b.blocks,
+		NumRegs:     int(b.nextReg),
+		WarpsPerCTA: b.warpsPerCTA,
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// MustKernel is Kernel but panics on error; for tests and the static
+// kernel suite where a build error is a programming bug.
+func (b *Builder) MustKernel() *Kernel {
+	k, err := b.Kernel()
+	if err != nil {
+		panic(err)
+	}
+	return k
+}

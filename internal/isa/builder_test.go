@@ -1,0 +1,140 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderOpArityChecks(t *testing.T) {
+	cases := []func(b *Builder){
+		func(b *Builder) { b.Op2To(OpIMAD, 0, 0, 0) },    // 3-src op via Op2
+		func(b *Builder) { b.Op3To(OpIADD, 0, 0, 0, 0) }, // 2-src op via Op3
+		func(b *Builder) { b.OpImmTo(OpIADD, 0, 0, 1) },  // 2-src op via OpImm
+		func(b *Builder) { b.Op2To(OpSTG, 0, 0, 0) },     // store has no dst
+	}
+	for i, mis := range cases {
+		b := NewBuilder("bad", 1)
+		r := b.Movi(0)
+		_ = r
+		mis(b)
+		b.Exit()
+		if _, err := b.Kernel(); err == nil {
+			t.Errorf("case %d: builder accepted mis-typed emission", i)
+		}
+	}
+}
+
+func TestBuilderDoubleBind(t *testing.T) {
+	b := NewBuilder("db", 1)
+	l := b.Label()
+	b.Bind(l)
+	b.MoviTo(b.NewReg(), 1)
+	b.Bind(l)
+	b.Exit()
+	if _, err := b.Kernel(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuilderMustKernelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustKernel did not panic on invalid kernel")
+		}
+	}()
+	b := NewBuilder("panic", 1)
+	lbl := b.Label()
+	c := b.Movi(1)
+	b.Bnz(c, lbl) // unbound label
+	b.Exit()
+	b.MustKernel()
+}
+
+func TestBuilderSharedMemoryOps(t *testing.T) {
+	b := NewBuilder("sh", 2)
+	lane := b.Lane()
+	sa := b.Muli(lane, 4)
+	b.Sts(sa, lane, 0)
+	b.Bar()
+	v := b.Lds(sa, 4)
+	b.Stg(sa, v, 0x1000)
+	b.Exit()
+	k := b.MustKernel()
+	var ops []Opcode
+	for _, blk := range k.Blocks {
+		for i := range blk.Insns {
+			ops = append(ops, blk.Insns[i].Op)
+		}
+	}
+	wantSeq := []Opcode{OpLANE, OpIMULI, OpSTS, OpBAR, OpLDS, OpSTG, OpEXIT}
+	if len(ops) != len(wantSeq) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range ops {
+		if ops[i] != wantSeq[i] {
+			t.Fatalf("op %d = %v, want %v", i, ops[i], wantSeq[i])
+		}
+	}
+	// BAR stays mid-block (the region compiler, not the CFG, splits at
+	// barriers).
+	if len(k.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(k.Blocks))
+	}
+}
+
+func TestBuilderBzBranch(t *testing.T) {
+	b := NewBuilder("bz", 1)
+	c := b.Movi(0)
+	skip := b.Label()
+	b.Bz(c, skip)
+	b.MoviTo(c, 1)
+	b.Bind(skip)
+	b.Exit()
+	k := b.MustKernel()
+	if k.Blocks[0].Terminator().Op != OpBZ {
+		t.Fatalf("terminator = %v", k.Blocks[0].Terminator().Op)
+	}
+	succ := k.Successors(0)
+	if len(succ) != 2 {
+		t.Fatalf("successors = %v", succ)
+	}
+}
+
+func TestBuilderNormalizesOperandSlots(t *testing.T) {
+	b := NewBuilder("norm", 1)
+	x := b.Tid()
+	b.Stg(x, x, 0)
+	b.Exit()
+	k := b.MustKernel()
+	tidInsn := k.Blocks[0].Insns[0]
+	for s := 0; s < 3; s++ {
+		if tidInsn.Src[s] != NoReg {
+			t.Fatalf("tid src[%d] = %v, want NoReg", s, tidInsn.Src[s])
+		}
+	}
+	exitInsn := k.Blocks[0].Insns[2]
+	if exitInsn.Dst != NoReg {
+		t.Fatalf("exit dst = %v", exitInsn.Dst)
+	}
+}
+
+func TestKernelAtAndTerminator(t *testing.T) {
+	b := NewBuilder("at", 1)
+	x := b.Movi(7)
+	b.Stg(x, x, 0)
+	b.Exit()
+	k := b.MustKernel()
+	if got := k.At(PC{Block: 0, Index: 0}); got.Op != OpMOVI {
+		t.Fatalf("At = %v", got.Op)
+	}
+	empty := &BasicBlock{}
+	if empty.Terminator() != nil {
+		t.Fatal("empty block has a terminator")
+	}
+}
+
+func TestOpcodeStringOutOfRange(t *testing.T) {
+	if s := Opcode(200).String(); !strings.Contains(s, "200") {
+		t.Fatalf("String = %q", s)
+	}
+}

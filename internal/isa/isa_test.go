@@ -1,0 +1,194 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpcodeTableConsistent(t *testing.T) {
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		if op.String() == "" {
+			t.Fatalf("opcode %d has no name", op)
+		}
+		if op.NumSrc() < 0 || op.NumSrc() > 3 {
+			t.Fatalf("%v: bad NumSrc %d", op, op.NumSrc())
+		}
+		if op.IsLoad() && !op.IsMemory() {
+			t.Fatalf("%v: load but not memory", op)
+		}
+		if op.IsStore() && !op.IsMemory() {
+			t.Fatalf("%v: store but not memory", op)
+		}
+		if op.IsLoad() && !op.HasDst() {
+			t.Fatalf("%v: load without destination", op)
+		}
+		if op.IsStore() && op.HasDst() {
+			t.Fatalf("%v: store with destination", op)
+		}
+	}
+	if !OpLDG.IsGlobalLoad() || OpLDS.IsGlobalLoad() {
+		t.Fatal("IsGlobalLoad misclassifies")
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if Reg(7).String() != "r7" {
+		t.Fatalf("got %q", Reg(7).String())
+	}
+	if NoReg.String() != "-" {
+		t.Fatalf("got %q", NoReg.String())
+	}
+	if NoReg.Valid() {
+		t.Fatal("NoReg is Valid")
+	}
+}
+
+func buildStraightline(t *testing.T) *Kernel {
+	t.Helper()
+	b := NewBuilder("straight", 2)
+	x := b.Movi(10)
+	y := b.Movi(32)
+	z := b.Iadd(x, y)
+	addr := b.Muli(z, 4)
+	b.Stg(addr, z, 0)
+	b.Exit()
+	k, err := b.Kernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestBuilderStraightline(t *testing.T) {
+	k := buildStraightline(t)
+	if len(k.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(k.Blocks))
+	}
+	if k.NumInsns() != 6 {
+		t.Fatalf("insns = %d, want 6", k.NumInsns())
+	}
+	if k.NumRegs != 4 {
+		t.Fatalf("regs = %d, want 4", k.NumRegs)
+	}
+	if got := k.Successors(0); got != nil {
+		t.Fatalf("exit block has successors %v", got)
+	}
+}
+
+func TestBuilderLoop(t *testing.T) {
+	b := NewBuilder("loop", 2)
+	i := b.Movi(8)
+	acc := b.Movi(0)
+	top := b.Label()
+	b.Bind(top)
+	b.Op2To(OpIADD, acc, acc, i)
+	b.OpImmTo(OpIADDI, i, i, ^uint32(0)) // i--
+	b.Bnz(i, top)
+	b.Stg(acc, acc, 0)
+	b.Exit()
+	k, err := b.Kernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3: %s", len(k.Blocks), k.Disassemble())
+	}
+	// Loop block branches back to itself and falls through.
+	succ := k.Successors(1)
+	if len(succ) != 2 || succ[0] != 1 || succ[1] != 2 {
+		t.Fatalf("loop successors = %v", succ)
+	}
+}
+
+func TestBuilderUnboundLabel(t *testing.T) {
+	b := NewBuilder("bad", 1)
+	lbl := b.Label()
+	c := b.Movi(1)
+	b.Bnz(c, lbl)
+	b.Exit()
+	if _, err := b.Kernel(); err == nil || !strings.Contains(err.Error(), "unbound label") {
+		t.Fatalf("err = %v, want unbound label", err)
+	}
+}
+
+func TestValidateCatchesBadReg(t *testing.T) {
+	k := buildStraightline(t)
+	k.Blocks[0].Insns[2].Src[0] = Reg(99)
+	if err := k.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range register")
+	}
+}
+
+func TestValidateCatchesFallthroughOffEnd(t *testing.T) {
+	k := &Kernel{
+		Name:        "fall",
+		WarpsPerCTA: 1,
+		NumRegs:     1,
+		Blocks: []*BasicBlock{
+			{ID: 0, Insns: []Instruction{{Op: OpMOVI, Dst: 0}}},
+		},
+	}
+	if err := k.Validate(); err == nil {
+		t.Fatal("Validate accepted kernel falling off the end")
+	}
+}
+
+func TestValidateCatchesMidBlockBranch(t *testing.T) {
+	k := &Kernel{
+		Name:        "mid",
+		WarpsPerCTA: 1,
+		NumRegs:     1,
+		Blocks: []*BasicBlock{
+			{ID: 0, Insns: []Instruction{
+				{Op: OpBRA, Target: 0},
+				{Op: OpEXIT},
+			}},
+		},
+	}
+	if err := k.Validate(); err == nil {
+		t.Fatal("Validate accepted branch in the middle of a block")
+	}
+}
+
+func TestPCOrdering(t *testing.T) {
+	a := PC{Block: 1, Index: 5}
+	b := PC{Block: 2, Index: 0}
+	c := PC{Block: 1, Index: 6}
+	if !a.Less(b) || !a.Less(c) || b.Less(a) {
+		t.Fatal("PC.Less ordering wrong")
+	}
+	if a.String() != "B1:5" {
+		t.Fatalf("PC.String = %q", a.String())
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	in := Instruction{Op: OpIADD, Dst: 2, Src: [3]Reg{0, 1, NoReg}}
+	if got := in.String(); got != "iadd r2, r0 r1" {
+		t.Fatalf("String = %q", got)
+	}
+	br := Instruction{Op: OpBNZ, Src: [3]Reg{3, NoReg, NoReg}, Target: 7}
+	if got := br.String(); !strings.Contains(got, "B7") {
+		t.Fatalf("branch String = %q", got)
+	}
+}
+
+func TestDisassembleSmoke(t *testing.T) {
+	k := buildStraightline(t)
+	d := k.Disassemble()
+	if !strings.Contains(d, "kernel straight") || !strings.Contains(d, "iadd") {
+		t.Fatalf("Disassemble output missing content:\n%s", d)
+	}
+}
+
+func TestRegsAccessors(t *testing.T) {
+	in := Instruction{Op: OpIMAD, Dst: 3, Src: [3]Reg{0, 1, 2}}
+	regs := in.Regs(nil)
+	if len(regs) != 4 {
+		t.Fatalf("Regs = %v", regs)
+	}
+	srcs := in.SrcRegs()
+	if len(srcs) != 3 || srcs[0] != 0 || srcs[2] != 2 {
+		t.Fatalf("SrcRegs = %v", srcs)
+	}
+}

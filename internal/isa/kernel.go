@@ -1,0 +1,231 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instruction is one machine instruction. Operand slots beyond the opcode's
+// arity hold NoReg. For branches, Target is the destination block ID.
+type Instruction struct {
+	Op     Opcode
+	Dst    Reg
+	Src    [3]Reg
+	Imm    uint32
+	Target int
+}
+
+// SrcRegs returns the valid source registers, in operand order.
+func (in *Instruction) SrcRegs() []Reg {
+	n := in.Op.NumSrc()
+	out := make([]Reg, 0, n)
+	for i := 0; i < n; i++ {
+		if in.Src[i].Valid() {
+			out = append(out, in.Src[i])
+		}
+	}
+	return out
+}
+
+// Regs appends every register the instruction touches (sources then
+// destination) to dst and returns it.
+func (in *Instruction) Regs(dst []Reg) []Reg {
+	for i := 0; i < in.Op.NumSrc(); i++ {
+		if in.Src[i].Valid() {
+			dst = append(dst, in.Src[i])
+		}
+	}
+	if in.Op.HasDst() && in.Dst.Valid() {
+		dst = append(dst, in.Dst)
+	}
+	return dst
+}
+
+// String renders the instruction in a readable assembly-like form.
+func (in *Instruction) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	if in.Op.HasDst() {
+		fmt.Fprintf(&b, " %s,", in.Dst)
+	}
+	for i := 0; i < in.Op.NumSrc(); i++ {
+		fmt.Fprintf(&b, " %s", in.Src[i])
+	}
+	switch {
+	case in.Op.IsBranch() && in.Op != OpBAR:
+		fmt.Fprintf(&b, " -> B%d", in.Target)
+	case in.Op == OpMOVI || in.Op == OpIADDI || in.Op == OpIMULI ||
+		in.Op == OpSHLI || in.Op == OpSHRI || in.Op.IsMemory():
+		fmt.Fprintf(&b, " #%d", in.Imm)
+	}
+	return b.String()
+}
+
+// BasicBlock is a maximal straight-line instruction sequence. Only the last
+// instruction may branch. Successors are derived: the branch target (if
+// any) plus the fallthrough block, except after OpBRA (no fallthrough) and
+// OpEXIT (no successors).
+type BasicBlock struct {
+	ID    int
+	Insns []Instruction
+}
+
+// Terminator returns the last instruction, or nil for an empty block.
+func (b *BasicBlock) Terminator() *Instruction {
+	if len(b.Insns) == 0 {
+		return nil
+	}
+	return &b.Insns[len(b.Insns)-1]
+}
+
+// Kernel is a compiled GPU kernel: a CFG of basic blocks plus launch
+// metadata. Block 0 is the entry. Blocks are laid out in order; block i
+// falls through to block i+1 unless its terminator says otherwise.
+type Kernel struct {
+	// Name identifies the kernel (benchmark name for the Rodinia suite).
+	Name string
+	// Blocks in layout order; Blocks[i].ID == i.
+	Blocks []*BasicBlock
+	// NumRegs is the number of architectural registers used (registers
+	// are numbered 0..NumRegs-1).
+	NumRegs int
+	// WarpsPerCTA is the cooperative-thread-array size in warps; OpBAR
+	// synchronizes warps within one CTA.
+	WarpsPerCTA int
+}
+
+// PC addresses one instruction inside a kernel.
+type PC struct {
+	Block int
+	Index int
+}
+
+// Less orders PCs by layout position.
+func (p PC) Less(q PC) bool {
+	if p.Block != q.Block {
+		return p.Block < q.Block
+	}
+	return p.Index < q.Index
+}
+
+// String renders "B2:5".
+func (p PC) String() string { return fmt.Sprintf("B%d:%d", p.Block, p.Index) }
+
+// At returns the instruction at pc.
+func (k *Kernel) At(pc PC) *Instruction { return &k.Blocks[pc.Block].Insns[pc.Index] }
+
+// NumInsns counts the static instructions in the kernel.
+func (k *Kernel) NumInsns() int {
+	n := 0
+	for _, b := range k.Blocks {
+		n += len(b.Insns)
+	}
+	return n
+}
+
+// Successors returns the successor block IDs of block id, in
+// taken-then-fallthrough order.
+func (k *Kernel) Successors(id int) []int {
+	b := k.Blocks[id]
+	t := b.Terminator()
+	if t == nil {
+		if id+1 < len(k.Blocks) {
+			return []int{id + 1}
+		}
+		return nil
+	}
+	switch t.Op {
+	case OpEXIT:
+		return nil
+	case OpBRA:
+		return []int{t.Target}
+	case OpBNZ, OpBZ:
+		succ := []int{t.Target}
+		if id+1 < len(k.Blocks) && t.Target != id+1 {
+			succ = append(succ, id+1)
+		}
+		return succ
+	default:
+		if id+1 < len(k.Blocks) {
+			return []int{id + 1}
+		}
+		return nil
+	}
+}
+
+// Validate checks structural invariants: non-empty blocks, IDs matching
+// layout order, branch targets in range, register numbers below NumRegs,
+// every terminal path ending in OpEXIT, and branches appearing only as
+// terminators.
+func (k *Kernel) Validate() error {
+	if len(k.Blocks) == 0 {
+		return fmt.Errorf("kernel %q: no blocks", k.Name)
+	}
+	if k.WarpsPerCTA <= 0 {
+		return fmt.Errorf("kernel %q: WarpsPerCTA must be positive", k.Name)
+	}
+	sawExit := false
+	for i, b := range k.Blocks {
+		if b.ID != i {
+			return fmt.Errorf("kernel %q: block %d has ID %d", k.Name, i, b.ID)
+		}
+		if len(b.Insns) == 0 {
+			return fmt.Errorf("kernel %q: block %d empty", k.Name, i)
+		}
+		for j := range b.Insns {
+			in := &b.Insns[j]
+			if int(in.Op) >= NumOpcodes {
+				return fmt.Errorf("kernel %q: B%d:%d bad opcode %d", k.Name, i, j, in.Op)
+			}
+			if in.Op.IsBranch() && j != len(b.Insns)-1 {
+				return fmt.Errorf("kernel %q: B%d:%d branch not at block end", k.Name, i, j)
+			}
+			if in.Op == OpEXIT {
+				if j != len(b.Insns)-1 {
+					return fmt.Errorf("kernel %q: B%d:%d exit not at block end", k.Name, i, j)
+				}
+				sawExit = true
+			}
+			if in.Op.IsBranch() && in.Op != OpBAR {
+				if in.Target < 0 || in.Target >= len(k.Blocks) {
+					return fmt.Errorf("kernel %q: B%d:%d branch target %d out of range", k.Name, i, j, in.Target)
+				}
+			}
+			if in.Op.HasDst() {
+				if !in.Dst.Valid() || int(in.Dst) >= k.NumRegs {
+					return fmt.Errorf("kernel %q: B%d:%d bad dst %v (NumRegs=%d)", k.Name, i, j, in.Dst, k.NumRegs)
+				}
+			}
+			for s := 0; s < in.Op.NumSrc(); s++ {
+				if !in.Src[s].Valid() || int(in.Src[s]) >= k.NumRegs {
+					return fmt.Errorf("kernel %q: B%d:%d bad src%d %v (NumRegs=%d)", k.Name, i, j, s, in.Src[s], k.NumRegs)
+				}
+			}
+		}
+		// The last block must not fall off the end of the kernel.
+		if i == len(k.Blocks)-1 {
+			t := b.Terminator()
+			if t.Op != OpEXIT && t.Op != OpBRA {
+				return fmt.Errorf("kernel %q: last block falls through past kernel end", k.Name)
+			}
+		}
+	}
+	if !sawExit {
+		return fmt.Errorf("kernel %q: no exit instruction", k.Name)
+	}
+	return nil
+}
+
+// Disassemble renders the whole kernel as text (used by cmd/kernelinfo and
+// in test failure output).
+func (k *Kernel) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s (regs=%d, warps/cta=%d)\n", k.Name, k.NumRegs, k.WarpsPerCTA)
+	for _, blk := range k.Blocks {
+		fmt.Fprintf(&b, "B%d:\n", blk.ID)
+		for i := range blk.Insns {
+			fmt.Fprintf(&b, "  %2d: %s\n", i, blk.Insns[i].String())
+		}
+	}
+	return b.String()
+}

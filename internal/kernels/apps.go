@@ -1,0 +1,140 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/regalloc"
+)
+
+// Multi-kernel applications: several Rodinia programs launch a *sequence*
+// of kernels per outer iteration (backprop's forward/adjust pair, bfs's
+// frontier-expand/frontier-update pair, srad's two stencil passes). An
+// Application models that: its kernels run back-to-back sharing global
+// memory, so later kernels consume earlier kernels' stores and inherit
+// their L2 state.
+type Application struct {
+	Name string
+	// Kernels run in order; each is register-allocated.
+	Kernels []*isa.Kernel
+}
+
+// Apps returns the multi-kernel application suite.
+func Apps() []Application {
+	return []Application{appBackprop(), appBFS(), appSrad()}
+}
+
+// AppByName finds an application.
+func AppByName(name string) (Application, error) {
+	for _, a := range Apps() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return Application{}, fmt.Errorf("kernels: unknown application %q", name)
+}
+
+func mustAllocK(k *isa.Kernel) *isa.Kernel {
+	res, err := regalloc.Allocate(k)
+	if err != nil {
+		panic(err)
+	}
+	return res.Kernel
+}
+
+// appBackprop: the forward pass writes layer activations that the
+// weight-adjustment kernel then consumes.
+func appBackprop() Application {
+	fb := isa.NewBuilder("backprop_forward", 8)
+	{
+		tid := fb.Tid()
+		idx := fb.OpImm(isa.OpSHLI, tid, 2)
+		acc := fb.Movi(0)
+		i := fb.Movi(6)
+		top := fb.Label()
+		fb.Bind(top)
+		w := fb.Ldg(idx, inBase)
+		x := fb.Ldg(idx, inBase2)
+		fb.Op3To(isa.OpIMAD, acc, w, x, acc)
+		fb.OpImmTo(isa.OpIADDI, idx, idx, 32768)
+		fb.OpImmTo(isa.OpIADDI, i, i, ^uint32(0))
+		fb.Bnz(i, top)
+		act := fb.Sfu(acc) // activation function
+		fb.Stg(addr4(fb, tid, outBase), act, 0)
+		fb.Exit()
+	}
+	ab := isa.NewBuilder("backprop_adjust", 8)
+	{
+		tid := ab.Tid()
+		act := ab.Ldg(addr4(ab, tid, outBase), 0) // forward pass's output
+		grad := ab.Ldg(addr4(ab, tid, inBase2), 0)
+		delta := ab.Op2(isa.OpIMUL, act, grad)
+		wOld := ab.Ldg(addr4(ab, tid, inBase), 0)
+		wNew := ab.Iadd(wOld, delta)
+		ab.Stg(addr4(ab, tid, outBase2), wNew, 0)
+		ab.Exit()
+	}
+	return Application{
+		Name:    "backprop_app",
+		Kernels: []*isa.Kernel{mustAllocK(fb.MustKernel()), mustAllocK(ab.MustKernel())},
+	}
+}
+
+// appBFS: kernel 1 expands the frontier (writes per-thread next-node
+// candidates); kernel 2 consumes them and updates per-thread levels.
+func appBFS() Application {
+	k1 := isa.NewBuilder("bfs_expand", 8)
+	{
+		tid := k1.Tid()
+		node := k1.Op2(isa.OpAND, tid, k1.Movi(255))
+		nbr := k1.Ldg(addr4(k1, node, inBase), 0)
+		nid := k1.Op2(isa.OpAND, nbr, k1.Movi(1023))
+		k1.Stg(addr4(k1, tid, outBase), nid, 0) // candidate for kernel 2
+		k1.Exit()
+	}
+	k2 := isa.NewBuilder("bfs_update", 8)
+	{
+		tid := k2.Tid()
+		cand := k2.Ldg(addr4(k2, tid, outBase), 0) // kernel 1's candidate
+		vis := k2.Ldg(addr4(k2, cand, inBase2), 0)
+		low := k2.Op2(isa.OpAND, vis, k2.Movi(7))
+		skip := k2.Label()
+		k2.Bnz(low, skip)
+		k2.Stg(addr4(k2, tid, outBase2), cand, 0)
+		k2.Bind(skip)
+		k2.Exit()
+	}
+	return Application{
+		Name:    "bfs_app",
+		Kernels: []*isa.Kernel{mustAllocK(k1.MustKernel()), mustAllocK(k2.MustKernel())},
+	}
+}
+
+// appSrad: pass 1 computes diffusion coefficients; pass 2 applies them.
+func appSrad() Application {
+	p1 := isa.NewBuilder("srad_coeff", 8)
+	{
+		tid := p1.Tid()
+		idx := p1.OpImm(isa.OpSHLI, tid, 2)
+		c := p1.Ldg(idx, inBase)
+		n := p1.Ldg(idx, inBase+4096)
+		g := p1.Op2(isa.OpISUB, n, c)
+		q := p1.Sfu(g)
+		p1.Stg(idx, q, outBase) // coefficient for pass 2
+		p1.Exit()
+	}
+	p2 := isa.NewBuilder("srad_update", 8)
+	{
+		tid := p2.Tid()
+		idx := p2.OpImm(isa.OpSHLI, tid, 2)
+		c := p2.Ldg(idx, inBase)
+		q := p2.Ldg(idx, outBase) // pass 1's coefficient
+		upd := p2.Op3(isa.OpIMAD, q, p2.Movi(3), c)
+		p2.Stg(idx, upd, outBase2)
+		p2.Exit()
+	}
+	return Application{
+		Name:    "srad_app",
+		Kernels: []*isa.Kernel{mustAllocK(p1.MustKernel()), mustAllocK(p2.MustKernel())},
+	}
+}

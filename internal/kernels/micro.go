@@ -1,0 +1,166 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/regalloc"
+)
+
+// Microkernels: parameterized stress kernels used by targeted tests and
+// the extension experiments. Unlike the Rodinia analogues they isolate a
+// single behaviour each.
+
+// MicroRegPressure builds a kernel holding `live` values concurrently
+// live across a loop with one load per iteration. live is clamped to
+// [4, 24] so regions stay compilable at the default configuration.
+func MicroRegPressure(live int) (*isa.Kernel, error) {
+	if live < 4 {
+		live = 4
+	}
+	if live > 24 {
+		live = 24
+	}
+	b := isa.NewBuilder(fmt.Sprintf("micro_pressure_%d", live), 8)
+	tid := b.Tid()
+	idx := b.OpImm(isa.OpSHLI, tid, 2)
+	vals := make([]isa.Reg, live)
+	for i := range vals {
+		vals[i] = b.Movi(uint32(i * 17))
+	}
+	iter := b.Movi(6)
+	top := b.Label()
+	b.Bind(top)
+	v := b.Ldg(idx, inBase)
+	for i := range vals {
+		b.Op2To(isa.OpXOR, vals[i], vals[i], v)
+	}
+	b.OpImmTo(isa.OpIADDI, idx, idx, 32768)
+	b.OpImmTo(isa.OpIADDI, iter, iter, ^uint32(0))
+	b.Bnz(iter, top)
+	acc := b.Movi(0)
+	for i := range vals {
+		b.Op2To(isa.OpIADD, acc, acc, vals[i])
+	}
+	b.Stg(addr4(b, tid, outBase), acc, 0)
+	b.Exit()
+	return allocate(b)
+}
+
+// MicroDivergence builds a kernel with `depth` nested data-dependent
+// branches per loop iteration (each level splits the active mask).
+func MicroDivergence(depth int) (*isa.Kernel, error) {
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > 4 {
+		depth = 4
+	}
+	b := isa.NewBuilder(fmt.Sprintf("micro_divergence_%d", depth), 8)
+	tid := b.Tid()
+	lane := b.Lane()
+	acc := b.Movi(0)
+	iter := b.Movi(6)
+	top := b.Label()
+	b.Bind(top)
+	v := b.Ldg(addr4(b, tid, inBase), 0)
+	var nest func(level int, sel isa.Reg)
+	nest = func(level int, sel isa.Reg) {
+		if level == 0 {
+			b.Op2To(isa.OpIADD, acc, acc, sel)
+			return
+		}
+		bit := b.Op2(isa.OpAND, sel, b.Movi(uint32(1<<uint(level-1))))
+		elseL, join := b.Label(), b.Label()
+		b.Bnz(bit, elseL)
+		nest(level-1, b.Iadd(sel, lane))
+		b.Bra(join)
+		b.Bind(elseL)
+		nest(level-1, b.Op2(isa.OpXOR, sel, lane))
+		b.Bind(join)
+	}
+	nest(depth, v)
+	b.OpImmTo(isa.OpIADDI, iter, iter, ^uint32(0))
+	b.Bnz(iter, top)
+	b.Stg(addr4(b, tid, outBase), acc, 0)
+	b.Exit()
+	return allocate(b)
+}
+
+// MicroPointerChase builds a serial dependent-load chain of the given
+// length (pure memory latency, no parallelism within a warp).
+func MicroPointerChase(steps int) (*isa.Kernel, error) {
+	if steps < 1 {
+		steps = 1
+	}
+	if steps > 32 {
+		steps = 32
+	}
+	b := isa.NewBuilder(fmt.Sprintf("micro_chase_%d", steps), 8)
+	tid := b.Tid()
+	mask := b.Movi(0x3FFC)
+	ptr := b.OpImm(isa.OpSHLI, tid, 2)
+	for i := 0; i < steps; i++ {
+		v := b.Ldg(ptr, inBase)
+		masked := b.Op2(isa.OpAND, v, mask)
+		ptr = masked
+	}
+	b.Stg(addr4(b, tid, outBase), ptr, 0)
+	b.Exit()
+	return allocate(b)
+}
+
+// MicroOccupancy builds a kernel whose *total* register footprint exceeds
+// what the baseline register file can hold at full occupancy (>32
+// registers/warp at 64 warps x 2048 entries), but whose long-lived state
+// is untouched during a latency-bound middle phase. Under RegLess the
+// idle values sit (compressed) in the memory hierarchy during the middle,
+// so full occupancy remains possible — the register-file oversubscription
+// the paper's related-work section claims RegLess enables "without any
+// design changes" (§7).
+func MicroOccupancy() (*isa.Kernel, error) {
+	const group = 38
+	b := isa.NewBuilder("micro_occupancy", 8)
+	tid := b.Tid()
+	// Long-lived per-warp state: initialized up front, untouched during
+	// the latency-bound middle, consumed at the end. Under RegLess these
+	// values spend the middle loop evicted (compressed: they are
+	// tid-affine), freeing the staging unit.
+	var state [group]isa.Reg
+	for i := 0; i < group; i++ {
+		state[i] = b.Addi(tid, uint32(97*i))
+	}
+	// Latency-bound middle: a warp-uniform serial pointer chase (all
+	// lanes follow the same pointer, so each load is one coalesced
+	// line). No single warp can hide the chain — occupancy is
+	// everything here.
+	mask := b.Movi(0x3FFC)
+	ptr := b.OpImm(isa.OpSHLI, b.Wid(), 2)
+	iter := b.Movi(40)
+	top := b.Label()
+	b.Bind(top)
+	v := b.Ldg(ptr, inBase)
+	b.Op2To(isa.OpAND, ptr, v, mask)
+	b.OpImmTo(isa.OpIADDI, iter, iter, ^uint32(0))
+	b.Bnz(iter, top)
+	// Combine the long-lived state with the chase result.
+	acc := ptr
+	for i := 0; i < group; i++ {
+		acc = b.Op2(isa.OpXOR, acc, state[i])
+	}
+	b.Stg(addr4(b, tid, outBase), acc, 0)
+	b.Exit()
+	return allocate(b)
+}
+
+func allocate(b *isa.Builder) (*isa.Kernel, error) {
+	k, err := b.Kernel()
+	if err != nil {
+		return nil, err
+	}
+	res, err := regalloc.Allocate(k)
+	if err != nil {
+		return nil, err
+	}
+	return res.Kernel, nil
+}

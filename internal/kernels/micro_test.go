@@ -1,0 +1,98 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/isa"
+	"repro/internal/regions"
+)
+
+func TestMicroRegPressure(t *testing.T) {
+	low, err := MicroRegPressure(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := MicroRegPressure(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.NumRegs <= low.NumRegs {
+		t.Fatalf("pressure knob ineffective: %d vs %d regs", high.NumRegs, low.NumRegs)
+	}
+	for _, k := range []*isa.Kernel{low, high} {
+		if _, err := exec.Run(k, 8, nil); err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if _, err := regions.Compile(k, regions.DefaultConfig()); err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+	}
+}
+
+func TestMicroDivergenceNesting(t *testing.T) {
+	shallow, err := MicroDivergence(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := MicroDivergence(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deep.Blocks) <= len(shallow.Blocks) {
+		t.Fatalf("divergence knob ineffective: %d vs %d blocks", len(deep.Blocks), len(shallow.Blocks))
+	}
+	if _, err := exec.Run(deep, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMicroPointerChase(t *testing.T) {
+	k, err := MicroPointerChase(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Run(k, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stores) == 0 {
+		t.Fatal("no output")
+	}
+	// Loads must be serially dependent: the compiler must split each
+	// load from its use.
+	c, err := regions.Compile(k, regions.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Regions) < 8 {
+		t.Fatalf("chase of 8 loads produced only %d regions", len(c.Regions))
+	}
+}
+
+func TestMicroOccupancyFootprint(t *testing.T) {
+	k, err := MicroOccupancy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.NumRegs <= 32 {
+		t.Fatalf("occupancy kernel uses %d regs; needs >32 to pressure the baseline RF", k.NumRegs)
+	}
+	if k.NumRegs >= 64 {
+		t.Fatalf("occupancy kernel uses %d regs; exceeds the metadata encoding range", k.NumRegs)
+	}
+	// Regions must still fit the default OSU despite the big footprint
+	// (each phase touches only half the registers).
+	c, err := regions.Compile(k, regions.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range c.Regions {
+		if r.MaxLive > regions.DefaultConfig().MaxRegsPerRegion {
+			t.Fatalf("region %d holds %d live regs", r.ID, r.MaxLive)
+		}
+	}
+	if _, err := exec.Run(k, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+}

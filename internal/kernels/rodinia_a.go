@@ -1,0 +1,404 @@
+package kernels
+
+import "repro/internal/isa"
+
+// Builders for the first half of the Rodinia-analogue suite. Comments on
+// each builder describe which published characteristics are engineered in
+// (see the package comment for the mapping rationale).
+
+// addr4 returns base + 4*idx as a fresh register — the canonical coalesced
+// access pattern (and a stride-4-compressible register value).
+func addr4(b *isa.Builder, idx isa.Reg, base uint32) isa.Reg {
+	return b.Addi(b.Muli(idx, 4), base)
+}
+
+// buildBTree: descend a 6-level search tree. Each level is a dependent
+// load (pointer chase) whose use must sit in the next region, producing
+// the small regions and compressible index arithmetic of b+tree.
+func buildBTree() *isa.Kernel {
+	b := isa.NewBuilder("b+tree", 8)
+	tid := b.Tid()
+	key := b.OpImm(isa.OpSHLI, tid, 3) // search key, stride-compressible
+	node := b.Op2(isa.OpAND, tid, b.Movi(63))
+	lvl := b.Movi(6)
+	two := b.Movi(2)
+	one := b.Movi(1)
+	top := b.Label()
+	b.Bind(top)
+	a := addr4(b, node, inBase)
+	v := b.Ldg(a, 0) // node key (incompressible)
+	// go left/right without divergence: node = 2*node + (v<key ? 1 : 2)
+	diff := b.Op2(isa.OpISUB, v, key)
+	bit := b.OpImm(isa.OpSHRI, diff, 31)
+	step := b.Op3(isa.OpSELP, one, two, bit)
+	b.Op2To(isa.OpIMUL, node, node, two)
+	b.Op2To(isa.OpIADD, node, node, step)
+	b.Op2To(isa.OpAND, node, node, b.Movi(1023))
+	b.OpImmTo(isa.OpIADDI, lvl, lvl, ^uint32(0))
+	b.Bnz(lvl, top)
+	// leaf: fetch record, divergent hit check
+	ra := addr4(b, node, inBase2)
+	rec := b.Ldg(ra, 0)
+	hit := b.Op2(isa.OpAND, rec, one)
+	miss := b.Label()
+	b.Bz(hit, miss)
+	b.Stg(addr4(b, tid, outBase), rec, 0)
+	b.Bind(miss)
+	b.Stg(addr4(b, tid, outBase2), node, 0)
+	b.Exit()
+	return b.MustKernel()
+}
+
+// buildBackprop: forward accumulation over 8 weights, a shared-memory
+// partial, a barrier, then a small reduction phase — backprop's
+// two-phase barrier structure.
+func buildBackprop() *isa.Kernel {
+	b := isa.NewBuilder("backprop", 8)
+	tid := b.Tid()
+	acc := b.Movi(0)
+	i := b.Movi(8)
+	idx := b.OpImm(isa.OpSHLI, tid, 2)
+	top := b.Label()
+	b.Bind(top)
+	w := b.Ldg(idx, inBase) // weight
+	x := b.Ldg(idx, inBase2)
+	prod := b.Op2(isa.OpIMUL, w, x)
+	b.Op2To(isa.OpIADD, acc, acc, prod)
+	b.OpImmTo(isa.OpIADDI, idx, idx, 256)
+	b.OpImmTo(isa.OpIADDI, i, i, ^uint32(0))
+	b.Bnz(i, top)
+	// stage partial into shared, reduce across 4 neighbours
+	saddr := b.Muli(tid, 4)
+	b.Sts(saddr, acc, 0)
+	b.Bar()
+	red := b.Movi(0)
+	for k := 0; k < 4; k++ {
+		nb := b.Op2(isa.OpXOR, saddr, b.Movi(uint32(4<<k)))
+		pv := b.Lds(nb, 0)
+		b.Op2To(isa.OpIADD, red, red, pv)
+	}
+	sum := b.Iadd(red, acc)
+	b.Stg(addr4(b, tid, outBase), sum, 0)
+	b.Exit()
+	return b.MustKernel()
+}
+
+// buildBFS: an 8-edge frontier walk with irregular neighbour addresses
+// (derived from loaded data) and a divergent visited check — tiny regions,
+// tiny working set, heavy divergence.
+func buildBFS() *isa.Kernel {
+	b := isa.NewBuilder("bfs", 8)
+	tid := b.Tid()
+	node := b.Op2(isa.OpAND, tid, b.Movi(255))
+	e := b.Movi(8)
+	top := b.Label()
+	b.Bind(top)
+	ea := addr4(b, node, inBase)
+	nbr := b.Ldg(ea, 0) // neighbour id: hash value -> uncoalesced next load
+	nid := b.Op2(isa.OpAND, nbr, b.Movi(1023))
+	va := addr4(b, nid, inBase2)
+	vis := b.Ldg(va, 0)
+	low := b.Op2(isa.OpAND, vis, b.Movi(7))
+	skip := b.Label()
+	b.Bnz(low, skip) // most lanes skip: divergent update
+	b.Stg(addr4(b, tid, outBase2), nid, 0)
+	b.Bind(skip)
+	b.Op2To(isa.OpIADD, node, node, b.Movi(1))
+	b.OpImmTo(isa.OpIADDI, e, e, ^uint32(0))
+	b.Bnz(e, top)
+	b.Stg(addr4(b, tid, outBase), node, 0)
+	b.Exit()
+	return b.MustKernel()
+}
+
+// buildDWT2D: a wide wavelet stencil holding 8 loaded taps plus 9
+// coefficients live at once — the 20+ concurrent-live-register regions and
+// incompressible values the paper reports for dwt2d.
+func buildDWT2D() *isa.Kernel {
+	b := isa.NewBuilder("dwt2d", 8)
+	tid := b.Tid()
+	base := b.OpImm(isa.OpSHLI, tid, 2)
+	rows := b.Movi(3)
+	top := b.Label()
+	b.Bind(top)
+	// Load 8 taps; all stay live through the combine.
+	var taps [8]isa.Reg
+	for i := range taps {
+		taps[i] = b.Ldg(base, uint32(inBase+64*i))
+	}
+	// 9 coefficients (broadcast constants: compressible minority).
+	var coef [9]isa.Reg
+	for i := range coef {
+		coef[i] = b.Movi(uint32(3*i + 1))
+	}
+	lo := b.Movi(0)
+	hi := b.Movi(0)
+	for i := 0; i < 8; i++ {
+		lo = b.Op3(isa.OpIMAD, taps[i], coef[i], lo)
+		hi = b.Op3(isa.OpIMAD, taps[7-i], coef[i+1], hi)
+	}
+	mix := b.Op2(isa.OpXOR, lo, hi)
+	b.Stg(base, lo, outBase)
+	b.Stg(base, mix, outBase2)
+	b.OpImmTo(isa.OpIADDI, base, base, 32768)
+	b.OpImmTo(isa.OpIADDI, rows, rows, ^uint32(0))
+	b.Bnz(rows, top)
+	b.Exit()
+	return b.MustKernel()
+}
+
+// buildGaussian: row elimination where the pivot element and the row
+// element are loaded back-to-back and both stay live across the pair —
+// the "registers live across global loads" behaviour that costs gaussian
+// performance under RegLess.
+func buildGaussian() *isa.Kernel {
+	b := isa.NewBuilder("gaussian", 8)
+	tid := b.Tid()
+	col := b.OpImm(isa.OpSHLI, tid, 2)
+	factor := b.Ldg(col, inBase2) // per-thread multiplier, stays live
+	i := b.Movi(6)
+	top := b.Label()
+	b.Bind(top)
+	p := b.Ldg(col, inBase)      // pivot row element
+	a := b.Ldg(col, inBase+4096) // own row element (p still live here)
+	fp := b.Op2(isa.OpIMUL, factor, p)
+	nv := b.Op2(isa.OpISUB, a, fp)
+	b.Stg(col, nv, outBase)
+	b.OpImmTo(isa.OpIADDI, col, col, 8192)
+	b.OpImmTo(isa.OpIADDI, i, i, ^uint32(0))
+	b.Bnz(i, top)
+	b.Exit()
+	return b.MustKernel()
+}
+
+// buildHeartwall: three levels of nested data-dependent branches inside a
+// loop — the complex control flow that inflates heartwall's potentially
+// live register set.
+func buildHeartwall() *isa.Kernel {
+	b := isa.NewBuilder("heartwall", 8)
+	tid := b.Tid()
+	acc := b.Movi(0)
+	carry := b.Movi(5) // live across all branch arms: conservative liveness
+	i := b.Movi(6)
+	top := b.Label()
+	b.Bind(top)
+	a := addr4(b, tid, inBase)
+	v := b.Ldg(a, 0)
+	c1 := b.Op2(isa.OpAND, v, b.Movi(1))
+	c2 := b.Op2(isa.OpAND, v, b.Movi(2))
+	c3 := b.Op2(isa.OpAND, v, b.Movi(4))
+	l1e, l1j := b.Label(), b.Label()
+	b.Bnz(c1, l1e)
+	{ // arm A: nested split on c2
+		l2e, l2j := b.Label(), b.Label()
+		b.Bnz(c2, l2e)
+		b.Op2To(isa.OpIADD, acc, acc, carry)
+		b.Bra(l2j)
+		b.Bind(l2e)
+		b.Op2To(isa.OpISUB, acc, acc, carry)
+		b.Bind(l2j)
+	}
+	b.Bra(l1j)
+	b.Bind(l1e)
+	{ // arm B: nested split on c3
+		l3e, l3j := b.Label(), b.Label()
+		b.Bnz(c3, l3e)
+		b.Op2To(isa.OpXOR, acc, acc, v)
+		b.Bra(l3j)
+		b.Bind(l3e)
+		b.Op2To(isa.OpIADD, carry, carry, v) // soft def of carry
+		b.Bind(l3j)
+	}
+	b.Bind(l1j)
+	b.OpImmTo(isa.OpIADDI, tid, tid, 32)
+	b.OpImmTo(isa.OpIADDI, i, i, ^uint32(0))
+	b.Bnz(i, top)
+	sum := b.Iadd(acc, carry)
+	b.Stg(addr4(b, b.Tid(), outBase), sum, 0)
+	b.Exit()
+	return b.MustKernel()
+}
+
+// buildHotspot: an iterated 5-point stencil with a shared-memory tile and
+// per-step barriers — hotspot's structure, with compressible address
+// registers feeding the compressor (paper Figure 17).
+func buildHotspot() *isa.Kernel {
+	b := isa.NewBuilder("hotspot", 8)
+	tid := b.Tid()
+	col := b.OpImm(isa.OpSHLI, tid, 2)
+	sa := b.Muli(tid, 4)
+	t := b.Ldg(col, inBase) // initial temperature
+	steps := b.Movi(4)
+	top := b.Label()
+	b.Bind(top)
+	b.Sts(sa, t, 0)
+	b.Bar()
+	n := b.Lds(sa, 4)
+	s := b.Lds(sa, 124)
+	wv := b.Ldg(col, inBase2) // west from global (halo)
+	p := b.Ldg(col, inBase2+4096)
+	sum := b.Iadd(n, s)
+	sum2 := b.Iadd(sum, wv)
+	delta := b.Op3(isa.OpIMAD, sum2, b.Movi(3), p)
+	b.Op2To(isa.OpIADD, t, t, delta)
+	b.Bar()
+	b.OpImmTo(isa.OpIADDI, steps, steps, ^uint32(0))
+	b.Bnz(steps, top)
+	b.Stg(col, t, outBase)
+	b.Exit()
+	return b.MustKernel()
+}
+
+// buildHybridsort: divergent 4-way bucketing where accumulators are
+// redefined on control paths before being read — producing hybridsort's
+// conservative-liveness stores-exceed-loads traffic.
+func buildHybridsort() *isa.Kernel {
+	b := isa.NewBuilder("hybridsort", 8)
+	tid := b.Tid()
+	acc0 := b.Movi(0)
+	acc1 := b.Movi(0)
+	i := b.Movi(8)
+	idx := b.OpImm(isa.OpSHLI, tid, 2)
+	top := b.Label()
+	b.Bind(top)
+	v := b.Ldg(idx, inBase)
+	bkt := b.Op2(isa.OpAND, v, b.Movi(3))
+	hibit := b.Op2(isa.OpAND, v, b.Movi(2))
+	lobit := b.Op2(isa.OpAND, v, b.Movi(1))
+	lhi, lj := b.Label(), b.Label()
+	b.Bnz(hibit, lhi)
+	{ // buckets 0/1: redefine acc0 before any read on this path
+		l1, l2 := b.Label(), b.Label()
+		b.Bnz(lobit, l1)
+		b.MoviTo(acc0, 17) // soft redefinition, never read before
+		b.Stg(addr4(b, bkt, outBase), v, 0)
+		b.Bra(l2)
+		b.Bind(l1)
+		b.Op2To(isa.OpIADD, acc0, acc0, v)
+		b.Bind(l2)
+	}
+	b.Bra(lj)
+	b.Bind(lhi)
+	{ // buckets 2/3
+		l1, l2 := b.Label(), b.Label()
+		b.Bnz(lobit, l1)
+		b.Op2To(isa.OpXOR, acc1, acc1, v)
+		b.Bra(l2)
+		b.Bind(l1)
+		b.MoviTo(acc1, 91)
+		b.Stg(addr4(b, bkt, outBase2), v, 0)
+		b.Bind(l2)
+	}
+	b.Bind(lj)
+	b.OpImmTo(isa.OpIADDI, idx, idx, 1024)
+	b.OpImmTo(isa.OpIADDI, i, i, ^uint32(0))
+	b.Bnz(i, top)
+	fin := b.Iadd(acc0, acc1)
+	b.Stg(addr4(b, tid, outBase), fin, 4096)
+	b.Exit()
+	return b.MustKernel()
+}
+
+// buildKmeans: 4 centers x 8 features of multiply-accumulate per load —
+// kmeans' long-running compute regions (Table 2: ~1000 cycles/region).
+func buildKmeans() *isa.Kernel {
+	b := isa.NewBuilder("kmeans", 8)
+	tid := b.Tid()
+	idx := b.OpImm(isa.OpSHLI, tid, 2)
+	best := b.Movi(0xFFFFFFFF)
+	bestC := b.Movi(0)
+	c := b.Movi(4)
+	top := b.Label()
+	b.Bind(top)
+	f := b.Ldg(idx, inBase) // one feature vector element per center pass
+	dist := b.Movi(0)
+	for j := 0; j < 8; j++ {
+		// center coordinates are derived arithmetically (no load):
+		// compute-heavy inner work keeping the region busy.
+		cc := b.Op2(isa.OpXOR, c, b.Movi(uint32(0x9e37+j)))
+		d := b.Op2(isa.OpISUB, f, cc)
+		dist = b.Op3(isa.OpIMAD, d, d, dist)
+	}
+	isLess := b.Op2(isa.OpMIN, dist, best)
+	eq := b.Op2(isa.OpXOR, isLess, best)
+	b.Op2To(isa.OpMIN, best, best, dist)
+	bc := b.Op3(isa.OpSELP, bestC, c, eq)
+	b.Op2To(isa.OpOR, bestC, bc, b.Movi(0))
+	b.OpImmTo(isa.OpIADDI, c, c, ^uint32(0))
+	b.Bnz(c, top)
+	b.Stg(addr4(b, tid, outBase), bestC, 0)
+	b.Stg(addr4(b, tid, outBase2), best, 0)
+	b.Exit()
+	return b.MustKernel()
+}
+
+// buildLavaMD: 4 neighbour boxes x 6 particles with a 4-accumulator force
+// kernel — lavaMD's long regions with many live registers (Table 2:
+// ~1600 cycles/region).
+func buildLavaMD() *isa.Kernel {
+	b := isa.NewBuilder("lavaMD", 8)
+	tid := b.Tid()
+	idx := b.OpImm(isa.OpSHLI, tid, 2)
+	fx := b.Movi(0)
+	fy := b.Movi(0)
+	fz := b.Movi(0)
+	fw := b.Movi(0)
+	box := b.Movi(4)
+	btop := b.Label()
+	b.Bind(btop)
+	px := b.Ldg(idx, inBase)
+	py := b.Ldg(idx, inBase+4096)
+	j := b.Movi(6)
+	ptop := b.Label()
+	b.Bind(ptop)
+	dx := b.Op2(isa.OpISUB, px, j)
+	dy := b.Op2(isa.OpISUB, py, j)
+	r2 := b.Op3(isa.OpIMAD, dx, dx, b.Op2(isa.OpIMUL, dy, dy))
+	inv := b.Sfu(r2) // 1/r^2 analogue
+	s := b.Op2(isa.OpIMUL, inv, r2)
+	b.Op3To(isa.OpIMAD, fx, dx, s, fx)
+	b.Op3To(isa.OpIMAD, fy, dy, s, fy)
+	b.Op3To(isa.OpIMAD, fz, s, s, fz)
+	b.Op2To(isa.OpIADD, fw, fw, inv)
+	b.OpImmTo(isa.OpIADDI, j, j, ^uint32(0))
+	b.Bnz(j, ptop)
+	b.OpImmTo(isa.OpIADDI, idx, idx, 8192)
+	b.OpImmTo(isa.OpIADDI, box, box, ^uint32(0))
+	b.Bnz(box, btop)
+	b.Stg(addr4(b, tid, outBase), b.Iadd(fx, fy), 0)
+	b.Stg(addr4(b, tid, outBase2), b.Iadd(fz, fw), 0)
+	b.Exit()
+	return b.MustKernel()
+}
+
+// buildLeukocyte: a 3x3 convolution window, one load plus a short chain
+// per tap, SFU finish — leukocyte's moderate-pressure compute.
+func buildLeukocyte() *isa.Kernel {
+	b := isa.NewBuilder("leukocyte", 8)
+	tid := b.Tid()
+	idx := b.OpImm(isa.OpSHLI, tid, 2)
+	acc := b.Movi(0)
+	rows := b.Movi(3)
+	top := b.Label()
+	b.Bind(top)
+	// Load the window's three taps up front, then run the combine as a
+	// single compute region (matrix-free GICOV evaluation analogue).
+	var taps [3]isa.Reg
+	for cidx := range taps {
+		taps[cidx] = b.Ldg(idx, uint32(inBase+4*cidx))
+	}
+	grad := b.Op2(isa.OpISUB, taps[2], taps[0])
+	mag := b.Op3(isa.OpIMAD, grad, grad, taps[1])
+	sin := b.Op2(isa.OpXOR, mag, taps[1])
+	cos := b.Op2(isa.OpMAX, mag, grad)
+	proj := b.Op3(isa.OpIMAD, sin, cos, mag)
+	b.Op3To(isa.OpIMAD, acc, proj, b.Movi(7), acc)
+	b.OpImmTo(isa.OpIADDI, idx, idx, 4096)
+	b.OpImmTo(isa.OpIADDI, rows, rows, ^uint32(0))
+	b.Bnz(rows, top)
+	g := b.Sfu(acc)
+	out := b.Iadd(g, acc)
+	b.Stg(addr4(b, tid, outBase), out, 0)
+	b.Exit()
+	return b.MustKernel()
+}

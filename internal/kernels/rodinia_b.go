@@ -1,0 +1,297 @@
+package kernels
+
+import "repro/internal/isa"
+
+// Builders for the second half of the Rodinia-analogue suite.
+
+// buildLUD: dense factorization with 16-deep register-resident FMA chains
+// per global load — the largest compute regions in the suite (Table 2:
+// 16 instructions/region).
+func buildLUD() *isa.Kernel {
+	b := isa.NewBuilder("lud", 16)
+	tid := b.Tid()
+	idx := b.OpImm(isa.OpSHLI, tid, 2)
+	rows := b.Movi(4)
+	top := b.Label()
+	b.Bind(top)
+	pivot := b.Ldg(idx, inBase)
+	v := b.Ldg(idx, inBase2)
+	// Long register-resident update chain: no loads, no branches.
+	x := v
+	for j := 0; j < 16; j++ {
+		x = b.Op3(isa.OpIMAD, x, pivot, b.Movi(uint32(j|1)))
+	}
+	b.Stg(idx, x, outBase)
+	b.OpImmTo(isa.OpIADDI, idx, idx, 32768)
+	b.OpImmTo(isa.OpIADDI, rows, rows, ^uint32(0))
+	b.Bnz(rows, top)
+	b.Exit()
+	return b.MustKernel()
+}
+
+// buildMummer: suffix-matching walk with a data-dependent loop exit —
+// mummergpu's divergent early-out loops over irregular addresses.
+func buildMummer() *isa.Kernel {
+	b := isa.NewBuilder("mummergpu", 8)
+	tid := b.Tid()
+	pos := b.Op2(isa.OpAND, tid, b.Movi(511))
+	matched := b.Movi(0)
+	i := b.Movi(8)
+	top := b.Label()
+	exit := b.Label()
+	b.Bind(top)
+	qa := addr4(b, pos, inBase)
+	q := b.Ldg(qa, 0)
+	next := b.Op2(isa.OpAND, q, b.Movi(2047)) // pointer chase
+	ra := addr4(b, next, inBase2)
+	r := b.Ldg(ra, 0)
+	diff := b.Op2(isa.OpXOR, q, r)
+	stopBit := b.Op2(isa.OpAND, diff, b.Movi(15))
+	b.Bz(stopBit, exit) // divergent early exit when "mismatch"
+	b.Op2To(isa.OpIADD, matched, matched, b.Movi(1))
+	b.Op2To(isa.OpOR, pos, next, b.Movi(0))
+	b.OpImmTo(isa.OpIADDI, i, i, ^uint32(0))
+	b.Bnz(i, top)
+	b.Bind(exit)
+	b.Stg(addr4(b, tid, outBase), matched, 0)
+	b.Exit()
+	return b.MustKernel()
+}
+
+// buildMyocyte: one enormous straightline ODE-style expression holding
+// ~20 intermediates live — the highest register pressure in the suite
+// (Figure 2's largest working set, Figure 19's 20+ live registers).
+func buildMyocyte() *isa.Kernel {
+	b := isa.NewBuilder("myocyte", 8)
+	tid := b.Tid()
+	idx := b.OpImm(isa.OpSHLI, tid, 2)
+	y0 := b.Ldg(idx, inBase)
+	y1 := b.Ldg(idx, inBase2)
+	// Build 20 simultaneously-live state derivatives.
+	var st [20]isa.Reg
+	for j := range st {
+		base := y0
+		if j%2 == 1 {
+			base = y1
+		}
+		st[j] = b.Op3(isa.OpIMAD, base, b.Movi(uint32(2*j+1)), b.Movi(uint32(j*j)))
+	}
+	// Nonlinear couplings: every state feeds two others before dying.
+	for j := 0; j < 20; j++ {
+		k := (j + 7) % 20
+		st[j] = b.Op3(isa.OpIMAD, st[j], st[k], st[(j+13)%20])
+	}
+	// SFU-heavy collapse.
+	acc := st[0]
+	for j := 1; j < 20; j++ {
+		if j%5 == 0 {
+			acc = b.Iadd(b.Sfu(acc), st[j])
+		} else {
+			acc = b.Op2(isa.OpXOR, acc, st[j])
+		}
+	}
+	b.Stg(idx, acc, outBase)
+	b.Exit()
+	return b.MustKernel()
+}
+
+// buildNN: four coordinate loads, a short distance computation, one store
+// — nn's tiny latency-bound kernel (speeds up under RegLess's reduced
+// warp concurrency).
+func buildNN() *isa.Kernel {
+	b := isa.NewBuilder("nn", 8)
+	tid := b.Tid()
+	idx := b.OpImm(isa.OpSHLI, tid, 2)
+	lat := b.Ldg(idx, inBase)
+	lng := b.Ldg(idx, inBase2)
+	tlat := b.Movi(3000)
+	tlng := b.Movi(7000)
+	dx := b.Op2(isa.OpISUB, lat, tlat)
+	dy := b.Op2(isa.OpISUB, lng, tlng)
+	d2 := b.Op3(isa.OpIMAD, dx, dx, b.Op2(isa.OpIMUL, dy, dy))
+	d := b.Sfu(d2) // sqrt analogue
+	b.Stg(idx, d, outBase)
+	b.Exit()
+	return b.MustKernel()
+}
+
+// buildNW: wavefront dynamic programming in shared memory with barriers —
+// nw's compute-in-scratchpad structure whose register working set never
+// misses the OSU.
+func buildNW() *isa.Kernel {
+	b := isa.NewBuilder("nw", 8)
+	tid := b.Tid()
+	sa := b.Muli(tid, 4)
+	seed := b.Ldg(addr4(b, tid, inBase), 0)
+	b.Sts(sa, seed, 0)
+	b.Bar()
+	steps := b.Movi(8)
+	penalty := b.Movi(10)
+	top := b.Label()
+	b.Bind(top)
+	nw := b.Lds(sa, 0)
+	n := b.Lds(sa, 4)
+	w := b.Lds(sa, 128)
+	up := b.Op2(isa.OpISUB, n, penalty)
+	left := b.Op2(isa.OpISUB, w, penalty)
+	diag := b.Iadd(nw, b.Movi(1))
+	best := b.Op2(isa.OpMAX, up, left)
+	best2 := b.Op2(isa.OpMAX, best, diag)
+	// Scratch copy in a disjoint shared region (traffic only — no
+	// other thread reads it, so no cross-phase race).
+	b.Sts(sa, best2, 65536)
+	b.Bar()
+	b.Sts(sa, best2, 0)
+	b.Bar()
+	b.OpImmTo(isa.OpIADDI, steps, steps, ^uint32(0))
+	b.Bnz(steps, top)
+	fin := b.Lds(sa, 0)
+	b.Stg(addr4(b, tid, outBase), fin, 0)
+	b.Exit()
+	return b.MustKernel()
+}
+
+// buildParticleFilter: per-iteration buildup of ~10 intermediates that
+// collapse to one — the sawtooth live-register profile of paper Figure 5.
+func buildParticleFilter() *isa.Kernel {
+	b := isa.NewBuilder("particle_filter", 8)
+	tid := b.Tid()
+	idx := b.OpImm(isa.OpSHLI, tid, 2)
+	weight := b.Movi(1)
+	i := b.Movi(6)
+	top := b.Label()
+	b.Bind(top)
+	obs := b.Ldg(idx, inBase)
+	// Expression tree: 8 leaves -> 4 -> 2 -> 1 (live count rises then
+	// collapses, Figure 5's seams).
+	var leaves [8]isa.Reg
+	for j := range leaves {
+		leaves[j] = b.Op3(isa.OpIMAD, obs, b.Movi(uint32(j+2)), b.Movi(uint32(5*j)))
+	}
+	var mid [4]isa.Reg
+	for j := range mid {
+		mid[j] = b.Iadd(leaves[2*j], leaves[2*j+1])
+	}
+	q0 := b.Op2(isa.OpXOR, mid[0], mid[1])
+	q1 := b.Op2(isa.OpXOR, mid[2], mid[3])
+	lik := b.Sfu(b.Iadd(q0, q1))
+	b.Op2To(isa.OpIMUL, weight, weight, lik)
+	b.OpImmTo(isa.OpIADDI, idx, idx, 2048)
+	b.OpImmTo(isa.OpIADDI, i, i, ^uint32(0))
+	b.Bnz(i, top)
+	b.Stg(addr4(b, tid, outBase), weight, 0)
+	b.Exit()
+	return b.MustKernel()
+}
+
+// buildPathfinder: row-relaxation DP with shared-memory neighbours and a
+// global cost load per row — pathfinder's barriered min-reduction.
+func buildPathfinder() *isa.Kernel {
+	b := isa.NewBuilder("pathfinder", 8)
+	tid := b.Tid()
+	sa := b.Muli(tid, 4)
+	cur := b.Ldg(addr4(b, tid, inBase), 0)
+	rows := b.Movi(6)
+	top := b.Label()
+	b.Bind(top)
+	b.Sts(sa, cur, 0)
+	b.Bar()
+	l := b.Lds(sa, 124) // left neighbour (wrapping)
+	r := b.Lds(sa, 4)
+	m1 := b.Op2(isa.OpMIN, l, r)
+	m2 := b.Op2(isa.OpMIN, m1, cur)
+	cost := b.Ldg(addr4(b, tid, inBase2), 0)
+	b.Op2To(isa.OpIADD, cur, m2, cost)
+	b.Bar()
+	b.OpImmTo(isa.OpIADDI, rows, rows, ^uint32(0))
+	b.Bnz(rows, top)
+	b.Stg(addr4(b, tid, outBase), cur, 0)
+	b.Exit()
+	return b.MustKernel()
+}
+
+// buildSradV1: 4-neighbour diffusion stencil with SFU transcendentals and
+// a divergent boundary path.
+func buildSradV1() *isa.Kernel {
+	b := isa.NewBuilder("srad_v1", 8)
+	tid := b.Tid()
+	idx := b.OpImm(isa.OpSHLI, tid, 2)
+	iters := b.Movi(3)
+	top := b.Label()
+	b.Bind(top)
+	c := b.Ldg(idx, inBase)
+	n := b.Ldg(idx, inBase+4096)
+	s := b.Ldg(idx, inBase+8192)
+	w := b.Ldg(idx, inBase+12288)
+	g := b.Iadd(b.Op2(isa.OpISUB, n, c), b.Op2(isa.OpISUB, s, w))
+	qsq := b.Sfu(g) // exp/diffusion coefficient analogue
+	upd := b.Op3(isa.OpIMAD, qsq, g, c)
+	// Boundary lanes (lane 0/31) take a divergent clamp path.
+	lane := b.Lane()
+	lm := b.Op2(isa.OpAND, lane, b.Movi(31))
+	edge := b.Op2(isa.OpXOR, lm, b.Movi(31))
+	inner := b.Label()
+	b.Bnz(edge, inner)
+	b.MoviTo(upd, 0) // clamp at boundary: soft def
+	b.Bind(inner)
+	b.Stg(idx, upd, outBase)
+	b.OpImmTo(isa.OpIADDI, idx, idx, 16384)
+	b.OpImmTo(isa.OpIADDI, iters, iters, ^uint32(0))
+	b.Bnz(iters, top)
+	b.Exit()
+	return b.MustKernel()
+}
+
+// buildSradV2: the second srad kernel — conditional redefinition of the
+// output before any read, then unconditional store: the
+// stores-exceed-loads pattern the paper reports (§6.5).
+func buildSradV2() *isa.Kernel {
+	b := isa.NewBuilder("srad_v2", 8)
+	tid := b.Tid()
+	idx := b.OpImm(isa.OpSHLI, tid, 2)
+	iters := b.Movi(4)
+	top := b.Label()
+	b.Bind(top)
+	c := b.Ldg(idx, inBase)
+	e := b.Ldg(idx, inBase+4096)
+	d := b.Op2(isa.OpISUB, e, c)
+	out := b.Op3(isa.OpIMAD, d, b.Movi(3), c)
+	sel := b.Op2(isa.OpAND, c, b.Movi(1))
+	skip := b.Label()
+	b.Bz(sel, skip)
+	// Redefine out on this path before it is ever read (forces the
+	// value to be stored conservatively).
+	b.Op2To(isa.OpIMUL, out, d, d)
+	b.Stg(idx, out, outBase2)
+	b.Bind(skip)
+	b.Stg(idx, out, outBase)
+	b.OpImmTo(isa.OpIADDI, idx, idx, 8192)
+	b.OpImmTo(isa.OpIADDI, iters, iters, ^uint32(0))
+	b.Bnz(iters, top)
+	b.Exit()
+	return b.MustKernel()
+}
+
+// buildStreamcluster: alternating load/compute every few instructions —
+// the shortest regions in the suite (Table 2: 4.3 insns, 16 cycles).
+func buildStreamcluster() *isa.Kernel {
+	b := isa.NewBuilder("streamcluster", 8)
+	tid := b.Tid()
+	idx := b.OpImm(isa.OpSHLI, tid, 2)
+	total := b.Movi(0)
+	i := b.Movi(8)
+	top := b.Label()
+	b.Bind(top)
+	p := b.Ldg(idx, inBase)
+	q := b.Ldg(idx, inBase2)
+	d := b.Op2(isa.OpISUB, p, q)
+	d2 := b.Op2(isa.OpIMUL, d, d)
+	b.Op2To(isa.OpIADD, total, total, d2)
+	b.Stg(idx, d2, outBase) // per-pair cost written back immediately
+	b.OpImmTo(isa.OpIADDI, idx, idx, 32768)
+	b.OpImmTo(isa.OpIADDI, i, i, ^uint32(0))
+	b.Bnz(i, top)
+	b.Stg(addr4(b, tid, outBase2), total, 0)
+	b.Exit()
+	return b.MustKernel()
+}

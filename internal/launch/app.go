@@ -1,0 +1,63 @@
+package launch
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// AppProviderFactory builds a register provider for one kernel of an
+// application sequence (kernel launches re-initialize register hardware,
+// so each kernel gets a fresh provider).
+type AppProviderFactory func(kernelIndex int, k *isa.Kernel) (sim.Provider, error)
+
+// AppResult summarizes a multi-kernel application run.
+type AppResult struct {
+	// Cycles is the end-to-end time: kernels launch back-to-back.
+	Cycles uint64
+	// PerKernel holds each kernel's statistics in launch order.
+	PerKernel []*sim.Stats
+	// MemStats is the hierarchy's cumulative statistics (the hierarchy —
+	// caches included — persists across the sequence, so later kernels
+	// hit lines earlier kernels left in L2).
+	MemStats mem.Stats
+}
+
+// RunApp executes an application's kernels sequentially: one shared
+// functional memory (later kernels read earlier kernels' stores) and one
+// shared memory hierarchy (warm caches across launches).
+func RunApp(app kernels.Application, warps int, cfg sim.Config,
+	factory AppProviderFactory, mm *exec.Memory) (*AppResult, error) {
+	if len(app.Kernels) == 0 {
+		return nil, fmt.Errorf("launch: application %q has no kernels", app.Name)
+	}
+	if mm == nil {
+		mm = exec.NewMemory(nil)
+	}
+	hier := mem.New(cfg.Mem)
+	res := &AppResult{}
+	for i, k := range app.Kernels {
+		p, err := factory(i, k)
+		if err != nil {
+			return nil, fmt.Errorf("launch: %s kernel %d provider: %w", app.Name, i, err)
+		}
+		kcfg := cfg
+		kcfg.Warps = warps
+		smv, err := sim.NewWithHierarchy(kcfg, k, p, mm, hier)
+		if err != nil {
+			return nil, fmt.Errorf("launch: %s kernel %d: %w", app.Name, i, err)
+		}
+		st, err := smv.Run()
+		if err != nil {
+			return nil, fmt.Errorf("launch: %s kernel %d (%s): %w", app.Name, i, k.Name, err)
+		}
+		res.Cycles += st.Cycles
+		res.PerKernel = append(res.PerKernel, st)
+	}
+	res.MemStats = hier.Stats
+	return res, nil
+}

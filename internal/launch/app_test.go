@@ -1,0 +1,105 @@
+package launch
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+)
+
+func appBaseFactory() AppProviderFactory {
+	return func(int, *isa.Kernel) (sim.Provider, error) { return baseFactory()(0) }
+}
+
+func TestAppsRunAndChain(t *testing.T) {
+	for _, app := range kernels.Apps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			t.Parallel()
+			if len(app.Kernels) < 2 {
+				t.Fatalf("application has %d kernels", len(app.Kernels))
+			}
+			mm := exec.NewMemory(nil)
+			res, err := RunApp(app, 8, testCfg(), appBaseFactory(), mm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.PerKernel) != len(app.Kernels) || res.Cycles == 0 {
+				t.Fatalf("degenerate result %+v", res)
+			}
+			// Reference: run the kernels sequentially through the pure
+			// functional executor on one memory.
+			ref := exec.NewMemory(nil)
+			for _, k := range app.Kernels {
+				if _, err := exec.Run(k, 8, ref); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := ref.GlobalStores()
+			got := mm.GlobalStores()
+			if len(got) != len(want) {
+				t.Fatalf("store count %d, want %d", len(got), len(want))
+			}
+			for a, v := range want {
+				if got[a] != v {
+					t.Fatalf("app chain diverged at %#x: %d vs %d", a, got[a], v)
+				}
+			}
+		})
+	}
+}
+
+func TestAppRegLess(t *testing.T) {
+	app, err := kernels.AppByName("backprop_app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func(_ int, k *isa.Kernel) (sim.Provider, error) {
+		return core.New(core.DefaultConfig(), k)
+	}
+	mm := exec.NewMemory(nil)
+	if _, err := RunApp(app, 8, testCfg(), factory, mm); err != nil {
+		t.Fatal(err)
+	}
+	ref := exec.NewMemory(nil)
+	for _, k := range app.Kernels {
+		if _, err := exec.Run(k, 8, ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := ref.GlobalStores()
+	got := mm.GlobalStores()
+	for a, v := range want {
+		if got[a] != v {
+			t.Fatalf("RegLess app diverged at %#x", a)
+		}
+	}
+}
+
+func TestAppWarmCaches(t *testing.T) {
+	// srad's second pass re-reads pass 1's coefficients: with the shared
+	// hierarchy those loads hit L2 lines pass 1 wrote.
+	app, err := kernels.AppByName("srad_app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunApp(app, 8, testCfg(), appBaseFactory(), exec.NewMemory(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemStats.L2Hits == 0 {
+		t.Fatal("no L2 hits across the kernel sequence — cache state not shared")
+	}
+}
+
+func TestAppByNameUnknown(t *testing.T) {
+	if _, err := kernels.AppByName("nosuch_app"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := RunApp(kernels.Application{Name: "empty"}, 8, testCfg(), appBaseFactory(), nil); err == nil {
+		t.Fatal("empty app accepted")
+	}
+}

@@ -1,0 +1,88 @@
+// Package launch runs a CUDA-style grid on the simulator: when the grid
+// holds more warps than an SM can keep resident, the launch proceeds in
+// sequential *waves* (as hardware CTA schedulers do once occupancy is
+// exhausted). This is what makes occupancy experiments fair: an
+// occupancy-limited configuration runs the same total work in more waves
+// rather than silently doing less work.
+package launch
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// ProviderFactory builds a register provider for one wave. Waves run
+// sequentially on the same SM; hardware state does not persist between
+// them (each wave's provider is fresh, like a new kernel launch).
+type ProviderFactory func(wave int) (sim.Provider, error)
+
+// Result aggregates a multi-wave launch.
+type Result struct {
+	// Cycles is the total run time: waves execute back-to-back.
+	Cycles uint64
+	// Waves is how many launches were needed.
+	Waves int
+	// TotalWarps is the grid size executed.
+	TotalWarps int
+	// Insns sums dynamic instructions across waves.
+	Insns uint64
+	// PerWave holds each wave's statistics.
+	PerWave []*sim.Stats
+}
+
+// Run executes totalWarps warps of k with at most residentWarps resident
+// at a time (the occupancy limit of the register scheme under test). The
+// simulator configuration's Warps field is set per wave. All waves share
+// one functional memory, so the launch is architecturally equivalent to
+// one big run.
+func Run(k *isa.Kernel, totalWarps, residentWarps int, cfg sim.Config,
+	factory ProviderFactory, mm *exec.Memory) (*Result, error) {
+	if totalWarps <= 0 || residentWarps <= 0 {
+		return nil, fmt.Errorf("launch: warps must be positive")
+	}
+	if residentWarps%cfg.Schedulers != 0 {
+		return nil, fmt.Errorf("launch: resident warps %d not divisible by %d schedulers",
+			residentWarps, cfg.Schedulers)
+	}
+	if residentWarps%k.WarpsPerCTA != 0 {
+		return nil, fmt.Errorf("launch: resident warps %d not a multiple of CTA size %d",
+			residentWarps, k.WarpsPerCTA)
+	}
+	if totalWarps%k.WarpsPerCTA != 0 {
+		return nil, fmt.Errorf("launch: grid %d not a multiple of CTA size %d",
+			totalWarps, k.WarpsPerCTA)
+	}
+	if mm == nil {
+		mm = exec.NewMemory(nil)
+	}
+	res := &Result{TotalWarps: totalWarps}
+	for base := 0; base < totalWarps; base += residentWarps {
+		n := residentWarps
+		if base+n > totalWarps {
+			n = totalWarps - base
+		}
+		waveCfg := cfg
+		waveCfg.Warps = n
+		waveCfg.WarpIDBase = base
+		p, err := factory(res.Waves)
+		if err != nil {
+			return nil, fmt.Errorf("launch: wave %d provider: %w", res.Waves, err)
+		}
+		smv, err := sim.New(waveCfg, k, p, mm)
+		if err != nil {
+			return nil, fmt.Errorf("launch: wave %d: %w", res.Waves, err)
+		}
+		st, err := smv.Run()
+		if err != nil {
+			return nil, fmt.Errorf("launch: wave %d: %w", res.Waves, err)
+		}
+		res.Cycles += st.Cycles
+		res.Insns += st.DynInsns
+		res.PerWave = append(res.PerWave, st)
+		res.Waves++
+	}
+	return res, nil
+}

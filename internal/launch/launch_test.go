@@ -1,0 +1,111 @@
+package launch
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/kernels"
+	"repro/internal/rf"
+	"repro/internal/sim"
+)
+
+func baseFactory() ProviderFactory {
+	return func(int) (sim.Provider, error) { return rf.NewBaseline(), nil }
+}
+
+func testCfg() sim.Config {
+	c := sim.DefaultConfig()
+	c.MaxCycles = 10_000_000
+	return c
+}
+
+func TestWaveEquivalence(t *testing.T) {
+	k := kernels.MustLoad("streamcluster")
+	mm := exec.NewMemory(nil)
+	res, err := Run(k, 32, 8, testCfg(), baseFactory(), mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Waves != 4 || res.TotalWarps != 32 {
+		t.Fatalf("waves = %d total = %d", res.Waves, res.TotalWarps)
+	}
+	ref, err := exec.Run(k, 32, exec.NewMemory(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insns != ref.DynInsns {
+		t.Fatalf("insns %d vs %d", res.Insns, ref.DynInsns)
+	}
+	got := mm.GlobalStores()
+	if len(got) != len(ref.Stores) {
+		t.Fatalf("stores %d vs %d", len(got), len(ref.Stores))
+	}
+	for a, v := range ref.Stores {
+		if got[a] != v {
+			t.Fatalf("wave launch diverged at %#x", a)
+		}
+	}
+	// Total cycles = sum of waves.
+	var sum uint64
+	for _, w := range res.PerWave {
+		sum += w.Cycles
+	}
+	if sum != res.Cycles {
+		t.Fatalf("cycles %d != wave sum %d", res.Cycles, sum)
+	}
+}
+
+func TestWaveRegLess(t *testing.T) {
+	k := kernels.MustLoad("nw") // barriers across waves
+	mm := exec.NewMemory(nil)
+	factory := func(int) (sim.Provider, error) {
+		return core.New(core.DefaultConfig(), k)
+	}
+	res, err := Run(k, 16, 8, testCfg(), factory, mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := exec.Run(k, 16, exec.NewMemory(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mm.GlobalStores()
+	for a, v := range ref.Stores {
+		if got[a] != v {
+			t.Fatalf("RegLess wave launch diverged at %#x", a)
+		}
+	}
+	if res.Waves != 2 {
+		t.Fatalf("waves = %d", res.Waves)
+	}
+}
+
+func TestMoreWavesCostMore(t *testing.T) {
+	k := kernels.MustLoad("lud")
+	a, err := Run(k, 32, 32, testCfg(), baseFactory(), exec.NewMemory(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(k, 32, 16, testCfg(), baseFactory(), exec.NewMemory(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cycles <= a.Cycles {
+		t.Fatalf("halving occupancy did not cost cycles: %d vs %d", b.Cycles, a.Cycles)
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	k := kernels.MustLoad("nw") // CTA size 8
+	cfg := testCfg()
+	if _, err := Run(k, 16, 6, cfg, baseFactory(), nil); err == nil {
+		t.Fatal("accepted resident warps not divisible by schedulers/CTA")
+	}
+	if _, err := Run(k, 12, 8, cfg, baseFactory(), nil); err == nil {
+		t.Fatal("accepted grid not a multiple of CTA size")
+	}
+	if _, err := Run(k, 0, 8, cfg, baseFactory(), nil); err == nil {
+		t.Fatal("accepted zero warps")
+	}
+}

@@ -1,0 +1,44 @@
+package mem
+
+import "container/heap"
+
+// eventQueue is a min-heap of pending completions ordered by cycle.
+// Events scheduled for the same cycle fire in insertion order.
+type eventQueue struct {
+	h   eventHeap
+	seq uint64
+}
+
+type heapItem struct {
+	event
+	seq uint64
+}
+
+type eventHeap []heapItem
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(heapItem)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+func (q *eventQueue) push(e event) {
+	q.seq++
+	heap.Push(&q.h, heapItem{event: e, seq: q.seq})
+}
+
+// popDue removes and returns the next event due at or before now.
+func (q *eventQueue) popDue(now uint64) (func(), bool) {
+	if len(q.h) == 0 || q.h[0].cycle > now {
+		return nil, false
+	}
+	it := heap.Pop(&q.h).(heapItem)
+	return it.fn, true
+}
+
+func (q *eventQueue) len() int { return len(q.h) }

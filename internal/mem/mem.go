@@ -1,0 +1,469 @@
+// Package mem models the SM-side memory hierarchy at cycle granularity:
+// the L1 data cache (48 KB, 32 MSHRs, one request per cycle — Table 1), a
+// shared L2 slice, and DRAM with a bandwidth limit.
+//
+// Following the paper's GTX 980 configuration, ordinary global data
+// accesses *bypass* the L1 and go straight to L2 ("data accesses bypassed",
+// Table 1); the L1 serves the register backing store. For register lines
+// the L1 is write-back with no fetch-on-write, because RegLess guarantees
+// whole-line writes by preloading any partially-written register (§5.2.3).
+//
+// Timing is cycle-ticked: callers submit requests (which may be refused
+// when a port or MSHR is unavailable — callers retry next cycle) and
+// completion callbacks fire during Tick.
+package mem
+
+// LineSize is the cache line size in bytes; one register (32 lanes x 4 B)
+// fills exactly one line.
+const LineSize = 128
+
+// Address-space bases. The CUDA-level allocator in the paper places the
+// register backing store with cudaMalloc (§5.2.3); we fix the layout.
+const (
+	// RegSpaceBase is the uncompressed register backing store.
+	RegSpaceBase uint32 = 0x4000_0000
+	// CompressedBase is the adjacent space holding compressed register
+	// lines (§5.3).
+	CompressedBase uint32 = 0x6000_0000
+)
+
+// Config sets the hierarchy geometry and latencies (defaults follow
+// Table 1 and common GTX 980 figures).
+type Config struct {
+	L1Sets       int // 64 sets x 6 ways x 128 B = 48 KB
+	L1Ways       int
+	L1MSHRs      int
+	L1HitLatency int
+
+	L2Sets    int // per-SM slice of the 2 MB L2
+	L2Ways    int
+	L2Latency int
+
+	DRAMLatency int
+	// DRAMCyclesPerLine throttles DRAM bandwidth: minimum cycles between
+	// line transfers for this SM's share of the 224 GB/s.
+	DRAMCyclesPerLine int
+	// DataQueueDepth bounds in-flight bypassing data accesses.
+	DataQueueDepth int
+	// DataCyclesPerReq throttles the SM's interconnect injection rate.
+	DataCyclesPerReq int
+}
+
+// DefaultConfig returns the Table 1 configuration for one SM.
+func DefaultConfig() Config {
+	return Config{
+		L1Sets:       64,
+		L1Ways:       6,
+		L1MSHRs:      32,
+		L1HitLatency: 24,
+		L2Sets:       512, // 512 x 8 x 128 B = 512 KB slice
+		L2Ways:       8,
+		L2Latency:    95,
+		DRAMLatency:  225,
+		// One SM's share of 224 GB/s at 1 GHz is ~14 B/cycle, i.e. one
+		// 128 B line every ~9 cycles.
+		DRAMCyclesPerLine: 9,
+		DataQueueDepth:    64,
+		DataCyclesPerReq:  2,
+	}
+}
+
+// Source tells a completion callback which level satisfied the access —
+// the provenance Figure 17 reports for register preloads.
+type Source uint8
+
+const (
+	// SrcL1 marks an L1 hit (or a write absorbed by L1).
+	SrcL1 Source = iota
+	// SrcL2 marks an L1 miss satisfied by the L2.
+	SrcL2
+	// SrcDRAM marks a miss that went to DRAM.
+	SrcDRAM
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case SrcL1:
+		return "L1"
+	case SrcL2:
+		return "L2"
+	default:
+		return "DRAM"
+	}
+}
+
+// Stats counts hierarchy events for the energy model and Figures 17/18.
+type Stats struct {
+	L1Hits          uint64
+	L1Misses        uint64
+	L1Reads         uint64
+	L1Writes        uint64
+	L1Writebacks    uint64
+	L1Invalidations uint64
+	L2Hits          uint64
+	L2Misses        uint64
+	DataReads       uint64
+	DataWrites      uint64
+	DRAMAccesses    uint64
+}
+
+type line struct {
+	tag   uint32
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+type cache struct {
+	sets, ways int
+	lines      []line
+}
+
+func newCache(sets, ways int) *cache {
+	return &cache{sets: sets, ways: ways, lines: make([]line, sets*ways)}
+}
+
+func (c *cache) set(addr uint32) []line {
+	idx := int(addr/LineSize) % c.sets
+	return c.lines[idx*c.ways : (idx+1)*c.ways]
+}
+
+// lookup returns the way holding addr, or nil.
+func (c *cache) lookup(addr uint32, now uint64) *line {
+	tag := addr / LineSize
+	set := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = now
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// victim returns the way to fill for addr (LRU; invalid ways first).
+func (c *cache) victim(addr uint32) *line {
+	set := c.set(addr)
+	var v *line
+	for i := range set {
+		if !set[i].valid {
+			return &set[i]
+		}
+		if v == nil || set[i].lru < v.lru {
+			v = &set[i]
+		}
+	}
+	return v
+}
+
+// invalidate drops addr's line if present, returning whether it was dirty.
+func (c *cache) invalidate(addr uint32) (present, dirty bool) {
+	tag := addr / LineSize
+	set := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].valid = false
+			return true, set[i].dirty
+		}
+	}
+	return false, false
+}
+
+// event is a pending completion.
+type event struct {
+	cycle uint64
+	fn    func()
+}
+
+// Hierarchy is the per-SM memory system.
+type Hierarchy struct {
+	cfg   Config
+	Stats Stats
+
+	l1 *cache
+	l2 *cache
+
+	now uint64
+
+	// L1 port: one request per cycle (Table 1).
+	l1PortCycle uint64
+
+	// MSHRs: line address -> waiting callbacks.
+	mshrs map[uint32][]func(Source)
+
+	// Bypassing data path.
+	dataInFlight int
+	dataNextFree uint64
+
+	// DRAM bandwidth throttle.
+	dramNextFree uint64
+
+	// shared, when non-nil, replaces the private L2 slice and DRAM
+	// throttle with a GPU-wide level (multi-SM simulation).
+	shared *SharedL2
+
+	events eventQueue
+}
+
+// l2cache returns the L2 this hierarchy talks to.
+func (h *Hierarchy) l2cache() *cache {
+	if h.shared != nil {
+		return h.shared.cache
+	}
+	return h.l2
+}
+
+// New builds a hierarchy.
+func New(cfg Config) *Hierarchy {
+	return &Hierarchy{
+		cfg:   cfg,
+		l1:    newCache(cfg.L1Sets, cfg.L1Ways),
+		l2:    newCache(cfg.L2Sets, cfg.L2Ways),
+		mshrs: make(map[uint32][]func(Source)),
+	}
+}
+
+// Now returns the hierarchy's current cycle.
+func (h *Hierarchy) Now() uint64 { return h.now }
+
+// Tick advances one cycle and fires due completions.
+func (h *Hierarchy) Tick() {
+	h.now++
+	for {
+		fn, ok := h.events.popDue(h.now)
+		if !ok {
+			return
+		}
+		fn()
+	}
+}
+
+func (h *Hierarchy) after(delay int, fn func()) {
+	h.events.push(event{cycle: h.now + uint64(delay), fn: fn})
+}
+
+func align(addr uint32) uint32 { return addr &^ (LineSize - 1) }
+
+func (h *Hierarchy) countL1(write bool) {
+	if write {
+		h.Stats.L1Writes++
+	} else {
+		h.Stats.L1Reads++
+	}
+}
+
+// l1PortAvailable reports whether the single L1 port is unused this cycle;
+// claimL1Port marks it used. A request refused for a structural hazard
+// (e.g. no MSHR) does not claim the port.
+func (h *Hierarchy) l1PortAvailable() bool { return h.l1PortCycle != h.now+1 }
+func (h *Hierarchy) claimL1Port()          { h.l1PortCycle = h.now + 1 }
+
+// L1Access submits a register-space L1 access. done fires when the data is
+// available (reads) or accepted (writes), and reports which level supplied
+// it. Returns false when the port or an MSHR is unavailable; the caller
+// retries. done may be nil.
+func (h *Hierarchy) L1Access(addr uint32, write bool, done func(Source)) bool {
+	a := align(addr)
+	if !h.l1PortAvailable() {
+		return false
+	}
+	complete := func(delay int, src Source) {
+		if done != nil {
+			h.after(delay, func() { done(src) })
+		}
+	}
+	if ln := h.l1.lookup(a, h.now); ln != nil {
+		h.claimL1Port()
+		h.countL1(write)
+		h.Stats.L1Hits++
+		if write {
+			ln.dirty = true
+		}
+		complete(h.cfg.L1HitLatency, SrcL1)
+		return true
+	}
+	if write {
+		// No fetch-on-write: whole-line register writes allocate
+		// directly (§5.2.3).
+		h.claimL1Port()
+		h.countL1(write)
+		h.Stats.L1Hits++ // counts as a hit: no lower-level traffic
+		h.fill(a, true)
+		complete(h.cfg.L1HitLatency, SrcL1)
+		return true
+	}
+	// Read miss: take an MSHR (merge secondary misses).
+	if waiters, ok := h.mshrs[a]; ok {
+		h.claimL1Port()
+		h.countL1(write)
+		h.mshrs[a] = append(waiters, done)
+		h.Stats.L1Misses++
+		return true
+	}
+	if len(h.mshrs) >= h.cfg.L1MSHRs {
+		return false
+	}
+	h.claimL1Port()
+	h.countL1(write)
+	h.Stats.L1Misses++
+	h.mshrs[a] = []func(Source){done}
+	h.l2Access(a, false, func(src Source) {
+		h.fill(a, false)
+		for _, fn := range h.mshrs[a] {
+			if fn != nil {
+				fn(src)
+			}
+		}
+		delete(h.mshrs, a)
+	})
+	return true
+}
+
+// fill installs a line in L1, writing back a dirty victim.
+func (h *Hierarchy) fill(a uint32, dirty bool) {
+	v := h.l1.victim(a)
+	if v.valid && v.dirty {
+		h.Stats.L1Writebacks++
+		h.l2Access(v.tag*LineSize, true, nil)
+	}
+	*v = line{tag: a / LineSize, valid: true, dirty: dirty, lru: h.now}
+}
+
+// L1Invalidate drops a register line from L1 and L2 (a compiler cache
+// invalidation annotation, §4.3). It consumes the L1 port.
+func (h *Hierarchy) L1Invalidate(addr uint32) bool {
+	a := align(addr)
+	if !h.l1PortAvailable() {
+		return false
+	}
+	h.claimL1Port()
+	h.Stats.L1Invalidations++
+	h.l1.invalidate(a)
+	h.l2cache().invalidate(a)
+	return true
+}
+
+// L1InvalidateQuiet drops a register line from L1 and L2 without consuming
+// the L1 port — used for invalidating reads, where the invalidation
+// piggybacks on the read access itself (§4.3).
+func (h *Hierarchy) L1InvalidateQuiet(addr uint32) {
+	a := align(addr)
+	h.l1.invalidate(a)
+	h.l2cache().invalidate(a)
+}
+
+// l2Access runs an access at the L2 (from L1 misses/writebacks); done may
+// be nil (writes).
+func (h *Hierarchy) l2Access(a uint32, write bool, done func(Source)) {
+	l2 := h.l2cache()
+	if ln := l2.lookup(a, h.now); ln != nil {
+		h.Stats.L2Hits++
+		h.countSharedL2(true)
+		if write {
+			ln.dirty = true
+		}
+		if done != nil {
+			h.after(h.cfg.L2Latency, func() { done(SrcL2) })
+		}
+		return
+	}
+	h.Stats.L2Misses++
+	h.countSharedL2(false)
+	if write {
+		// Write-allocate without fetch (register lines are whole).
+		v := l2.victim(a)
+		if v.valid && v.dirty {
+			h.dramWrite()
+		}
+		*v = line{tag: a / LineSize, valid: true, dirty: true, lru: h.now}
+		return
+	}
+	delay := h.cfg.L2Latency + h.cfg.DRAMLatency + h.dramQueueDelay()
+	h.after(delay, func() {
+		v := l2.victim(a)
+		if v.valid && v.dirty {
+			h.dramWrite()
+		}
+		*v = line{tag: a / LineSize, valid: true, lru: h.now}
+		if done != nil {
+			done(SrcDRAM)
+		}
+	})
+}
+
+// countSharedL2 mirrors L2 hit/miss counts into the shared level.
+func (h *Hierarchy) countSharedL2(hit bool) {
+	if h.shared == nil {
+		return
+	}
+	if hit {
+		h.shared.Stats.L2Hits++
+	} else {
+		h.shared.Stats.L2Misses++
+	}
+}
+
+// dramQueueDelay advances the DRAM bandwidth throttle and returns the
+// queueing delay for one line transfer. With a shared L2 the throttle is
+// GPU-wide (all SMs contend for the same interface).
+func (h *Hierarchy) dramQueueDelay() int {
+	h.Stats.DRAMAccesses++
+	if h.shared != nil {
+		h.shared.Stats.DRAMAccesses++
+		start := h.now
+		if h.shared.dramNextFree > start {
+			start = h.shared.dramNextFree
+		}
+		h.shared.dramNextFree = start + uint64(h.shared.dramCyclesPerLine)
+		return int(start - h.now)
+	}
+	start := h.now
+	if h.dramNextFree > start {
+		start = h.dramNextFree
+	}
+	h.dramNextFree = start + uint64(h.cfg.DRAMCyclesPerLine)
+	return int(start - h.now)
+}
+
+func (h *Hierarchy) dramWrite() {
+	h.dramQueueDelay() // consumes bandwidth; completion not tracked
+}
+
+// DataAccess submits a global data access that bypasses L1 (Table 1).
+// done fires when a read's data returns; writes complete immediately after
+// acceptance. Returns false when the data queue is full or the injection
+// port is busy.
+func (h *Hierarchy) DataAccess(addr uint32, write bool, done func(Source)) bool {
+	a := align(addr)
+	if h.dataInFlight >= h.cfg.DataQueueDepth || h.dataNextFree > h.now {
+		return false
+	}
+	h.dataNextFree = h.now + uint64(h.cfg.DataCyclesPerReq)
+	h.dataInFlight++
+	if write {
+		// Writes are fire-and-forget at the core: the L2 update is
+		// submitted now, the queue slot frees after the injection
+		// latency, and the warp-side callback fires immediately.
+		h.Stats.DataWrites++
+		h.l2Access(a, true, nil)
+		h.after(h.cfg.L2Latency, func() { h.dataInFlight-- })
+		if done != nil {
+			h.after(1, func() { done(SrcL2) })
+		}
+		return true
+	}
+	h.Stats.DataReads++
+	h.l2Access(a, false, func(src Source) {
+		h.dataInFlight--
+		if done != nil {
+			done(src)
+		}
+	})
+	return true
+}
+
+// Drained reports whether no events or in-flight accesses remain.
+func (h *Hierarchy) Drained() bool {
+	return h.events.len() == 0 && len(h.mshrs) == 0 && h.dataInFlight == 0
+}

@@ -1,0 +1,52 @@
+package mem
+
+// SharedL2 is a GPU-wide L2 + DRAM back end that several per-SM
+// hierarchies can attach to (Table 1's 2 MB L2 and 224 GB/s DRAM shared by
+// all SMs). Access is single-threaded: the GPU model ticks its SMs in
+// lockstep on one goroutine.
+type SharedL2 struct {
+	cache             *cache
+	dramNextFree      uint64
+	dramCyclesPerLine int
+
+	// Stats aggregates across all attached SMs.
+	Stats struct {
+		L2Hits       uint64
+		L2Misses     uint64
+		DRAMAccesses uint64
+	}
+}
+
+// SharedL2Config sizes the shared level.
+type SharedL2Config struct {
+	Sets, Ways        int
+	DRAMCyclesPerLine int
+}
+
+// DefaultSharedL2Config returns the full-GPU 2 MB L2 (2048 sets x 8 ways x
+// 128 B) with the whole 224 GB/s DRAM interface (one line every ~0.6
+// cycles at 1 GHz; rounded to 1).
+func DefaultSharedL2Config() SharedL2Config {
+	return SharedL2Config{Sets: 2048, Ways: 8, DRAMCyclesPerLine: 1}
+}
+
+// NewSharedL2 builds the shared level.
+func NewSharedL2(cfg SharedL2Config) *SharedL2 {
+	if cfg.DRAMCyclesPerLine < 1 {
+		cfg.DRAMCyclesPerLine = 1
+	}
+	return &SharedL2{
+		cache:             newCache(cfg.Sets, cfg.Ways),
+		dramCyclesPerLine: cfg.DRAMCyclesPerLine,
+	}
+}
+
+// attach makes hierarchy h use the shared L2 instead of its private slice.
+func (s *SharedL2) attach(h *Hierarchy) { h.shared = s }
+
+// AttachHierarchy builds a per-SM hierarchy (private L1, shared L2).
+func (s *SharedL2) AttachHierarchy(cfg Config) *Hierarchy {
+	h := New(cfg)
+	s.attach(h)
+	return h
+}

@@ -1,0 +1,281 @@
+// Package osu implements the operand staging unit (paper §5.2): the small
+// banked structure that replaces the register file. Each of the 8
+// independent banks holds tagged 128-byte lines (one register each) with
+// three line populations — active lines reserved by running regions, and
+// clean/dirty evictable lines whose values may be reclaimed (clean lines
+// drop for free; dirty lines must be written back toward the L1).
+//
+// The OSU is a pure state machine: timing (tag-port budgets, L1 traffic,
+// writeback latency) is orchestrated by the RegLess provider in package
+// core, which calls these methods at the cycles the hardware would.
+package osu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Config sizes the unit. The paper's 512-entry-per-SM design point is one
+// shard of 8 banks x 16 lines per warp scheduler.
+type Config struct {
+	Banks        int
+	LinesPerBank int
+}
+
+// State classifies a resident line.
+type State uint8
+
+const (
+	// StateActive lines belong to a running (or draining) region.
+	StateActive State = iota
+	// StateClean lines are evictable and unchanged since they were read
+	// from the backing store: reclaiming them is free.
+	StateClean
+	// StateDirty lines are evictable but modified: reclaiming them
+	// requires a writeback.
+	StateDirty
+)
+
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateClean:
+		return "clean"
+	default:
+		return "dirty"
+	}
+}
+
+type line struct {
+	warp  int
+	reg   isa.Reg
+	state State
+	lru   uint64
+}
+
+type bank struct {
+	lines []line // resident lines, at most LinesPerBank
+}
+
+// Stats counts OSU events.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	TagLookups uint64
+	Installs   uint64
+	Erases     uint64
+	Hits       uint64 // preload tag hits
+}
+
+// OSU is one shard's staging unit.
+type OSU struct {
+	cfg   Config
+	Stats Stats
+	banks []bank
+	clock uint64
+}
+
+// New builds an OSU.
+func New(cfg Config) *OSU {
+	o := &OSU{cfg: cfg, banks: make([]bank, cfg.Banks)}
+	for i := range o.banks {
+		o.banks[i].lines = make([]line, 0, cfg.LinesPerBank)
+	}
+	return o
+}
+
+// Bank returns the bank index for (warp, reg) — (warp+reg) mod banks
+// (§5.2).
+func (o *OSU) Bank(warp int, reg isa.Reg) int {
+	return (warp + int(reg)) % o.cfg.Banks
+}
+
+// Banks returns the configured bank count.
+func (o *OSU) Banks() int { return o.cfg.Banks }
+
+// LinesPerBank returns per-bank capacity.
+func (o *OSU) LinesPerBank() int { return o.cfg.LinesPerBank }
+
+func (o *OSU) find(warp int, reg isa.Reg) (*bank, int) {
+	b := &o.banks[o.Bank(warp, reg)]
+	for i := range b.lines {
+		if b.lines[i].warp == warp && b.lines[i].reg == reg {
+			return b, i
+		}
+	}
+	return b, -1
+}
+
+// Lookup performs a tag lookup, reporting presence and state.
+func (o *OSU) Lookup(warp int, reg isa.Reg) (State, bool) {
+	o.Stats.TagLookups++
+	_, i := o.find(warp, reg)
+	if i < 0 {
+		return 0, false
+	}
+	b := &o.banks[o.Bank(warp, reg)]
+	return b.lines[i].state, true
+}
+
+// Activate turns a resident evictable line back into an active one (a
+// preload hit). It reports whether the line was present.
+func (o *OSU) Activate(warp int, reg isa.Reg) bool {
+	b, i := o.find(warp, reg)
+	if i < 0 {
+		return false
+	}
+	o.Stats.Hits++
+	o.clock++
+	b.lines[i].state = StateActive
+	b.lines[i].lru = o.clock
+	return true
+}
+
+// Victim describes a dirty line displaced by Install that must be written
+// back toward the L1.
+type Victim struct {
+	Warp int
+	Reg  isa.Reg
+}
+
+// Install allocates an active line for (warp, reg) — a preload arrival or
+// an interior register's first write. Allocation takes a free slot if one
+// exists, then drops the LRU clean line, then displaces the LRU dirty
+// line (returned for writeback). It fails only if every line in the bank
+// is active, which the capacity manager's reservations must prevent.
+func (o *OSU) Install(warp int, reg isa.Reg) (Victim, bool, error) {
+	if _, i := o.find(warp, reg); i >= 0 {
+		return Victim{}, false, fmt.Errorf("osu: install of resident line w%d %v", warp, reg)
+	}
+	b := &o.banks[o.Bank(warp, reg)]
+	o.clock++
+	o.Stats.Installs++
+	nl := line{warp: warp, reg: reg, state: StateActive, lru: o.clock}
+	if len(b.lines) < o.cfg.LinesPerBank {
+		b.lines = append(b.lines, nl)
+		return Victim{}, false, nil
+	}
+	// Reclaim: LRU clean first, then LRU dirty.
+	idx := -1
+	var oldest uint64 = ^uint64(0)
+	for i := range b.lines {
+		if b.lines[i].state == StateClean && b.lines[i].lru < oldest {
+			oldest = b.lines[i].lru
+			idx = i
+		}
+	}
+	if idx >= 0 {
+		b.lines[idx] = nl
+		return Victim{}, false, nil
+	}
+	oldest = ^uint64(0)
+	for i := range b.lines {
+		if b.lines[i].state == StateDirty && b.lines[i].lru < oldest {
+			oldest = b.lines[i].lru
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return Victim{}, false, fmt.Errorf("osu: bank %d full of active lines installing w%d %v",
+			o.Bank(warp, reg), warp, reg)
+	}
+	v := Victim{Warp: b.lines[idx].warp, Reg: b.lines[idx].reg}
+	b.lines[idx] = nl
+	return v, true, nil
+}
+
+// Erase frees a line outright (dead value: interior last use, invalidating
+// read completion, or cache invalidation of a resident register). It
+// reports whether the line was present.
+func (o *OSU) Erase(warp int, reg isa.Reg) bool {
+	b, i := o.find(warp, reg)
+	if i < 0 {
+		return false
+	}
+	o.Stats.Erases++
+	b.lines[i] = b.lines[len(b.lines)-1]
+	b.lines = b.lines[:len(b.lines)-1]
+	return true
+}
+
+// MarkEvictable demotes an active line to the clean or dirty list. It
+// reports whether the line was present and active.
+func (o *OSU) MarkEvictable(warp int, reg isa.Reg, dirty bool) bool {
+	b, i := o.find(warp, reg)
+	if i < 0 || b.lines[i].state != StateActive {
+		return false
+	}
+	o.clock++
+	if dirty {
+		b.lines[i].state = StateDirty
+	} else {
+		b.lines[i].state = StateClean
+	}
+	b.lines[i].lru = o.clock
+	return true
+}
+
+// CountRead accounts one data-array read.
+func (o *OSU) CountRead() { o.Stats.Reads++ }
+
+// CountWrite accounts one data-array write.
+func (o *OSU) CountWrite() { o.Stats.Writes++ }
+
+// FreeWarp erases every line belonging to a finished warp and returns how
+// many were freed.
+func (o *OSU) FreeWarp(warp int) int {
+	n := 0
+	for bi := range o.banks {
+		b := &o.banks[bi]
+		for i := 0; i < len(b.lines); {
+			if b.lines[i].warp == warp {
+				b.lines[i] = b.lines[len(b.lines)-1]
+				b.lines = b.lines[:len(b.lines)-1]
+				n++
+			} else {
+				i++
+			}
+		}
+	}
+	return n
+}
+
+// ActiveLines returns the active-line count in a bank (capacity checks).
+func (o *OSU) ActiveLines(bank int) int {
+	n := 0
+	for i := range o.banks[bank].lines {
+		if o.banks[bank].lines[i].state == StateActive {
+			n++
+		}
+	}
+	return n
+}
+
+// ResidentLines returns the total resident lines in a bank.
+func (o *OSU) ResidentLines(bank int) int { return len(o.banks[bank].lines) }
+
+// CheckInvariants verifies structural sanity (tests): no duplicate tags,
+// per-bank occupancy within capacity, correct bank placement.
+func (o *OSU) CheckInvariants() error {
+	seen := map[[2]int]bool{}
+	for bi := range o.banks {
+		b := &o.banks[bi]
+		if len(b.lines) > o.cfg.LinesPerBank {
+			return fmt.Errorf("osu: bank %d holds %d lines (cap %d)", bi, len(b.lines), o.cfg.LinesPerBank)
+		}
+		for i := range b.lines {
+			ln := &b.lines[i]
+			key := [2]int{ln.warp, int(ln.reg)}
+			if seen[key] {
+				return fmt.Errorf("osu: duplicate line w%d %v", ln.warp, ln.reg)
+			}
+			seen[key] = true
+			if o.Bank(ln.warp, ln.reg) != bi {
+				return fmt.Errorf("osu: line w%d %v in wrong bank %d", ln.warp, ln.reg, bi)
+			}
+		}
+	}
+	return nil
+}

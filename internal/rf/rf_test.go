@@ -1,0 +1,159 @@
+package rf
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+)
+
+func testCfg() sim.Config {
+	c := sim.DefaultConfig()
+	c.Warps = 16
+	c.MaxCycles = 5_000_000
+	return c
+}
+
+// runProvider simulates k under p and checks architectural equivalence
+// with the functional reference.
+func runProvider(t *testing.T, k *isa.Kernel, cfgv sim.Config, p sim.Provider) *sim.Stats {
+	t.Helper()
+	mm := exec.NewMemory(nil)
+	smv, err := sim.New(cfgv, k, p, mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := smv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := exec.Run(k, cfgv.Warps, exec.NewMemory(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mm.GlobalStores()
+	if len(got) != len(ref.Stores) {
+		t.Fatalf("%s: store count %d, want %d", p.Name(), len(got), len(ref.Stores))
+	}
+	for a, v := range ref.Stores {
+		if got[a] != v {
+			t.Fatalf("%s: store mismatch at %#x: %d vs %d", p.Name(), a, got[a], v)
+		}
+	}
+	return st
+}
+
+func TestBaselineAllBenchmarks(t *testing.T) {
+	for _, bm := range kernels.Suite() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			t.Parallel()
+			k := kernels.MustLoad(bm.Name)
+			st := runProvider(t, k, testCfg(), NewBaseline())
+			if st.IPC() <= 0 {
+				t.Fatalf("IPC = %v", st.IPC())
+			}
+		})
+	}
+}
+
+func TestBaselineCountsAccesses(t *testing.T) {
+	k := kernels.MustLoad("streamcluster")
+	p := NewBaseline()
+	st := runProvider(t, k, testCfg(), p)
+	ps := p.Stats()
+	if ps.StructReads == 0 || ps.StructWrites == 0 {
+		t.Fatalf("no RF accesses counted: %+v", ps)
+	}
+	if ps.BackingAccesses != ps.StructReads+ps.StructWrites {
+		t.Fatal("baseline backing accesses must equal RF accesses")
+	}
+	if ps.StructReads+ps.StructWrites < st.DynInsns {
+		t.Fatalf("implausibly few RF accesses (%d) for %d instructions",
+			ps.StructReads+ps.StructWrites, st.DynInsns)
+	}
+}
+
+func TestRFVEquivalenceAndRelease(t *testing.T) {
+	for _, name := range []string{"bfs", "lud", "hotspot", "hybridsort"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			k := kernels.MustLoad(name)
+			// Generous pool: no stalls expected, but mapping/release
+			// must still work.
+			p := NewRFV(1024)
+			runProvider(t, k, testCfg(), p)
+			if p.LiveMapped() != 0 {
+				t.Fatalf("%d physical registers leaked", p.LiveMapped())
+			}
+			if p.Stats().StructReads == 0 {
+				t.Fatal("no reads counted")
+			}
+		})
+	}
+}
+
+func TestRFVPressureSpills(t *testing.T) {
+	// dwt2d holds many registers live; a tiny physical pool must spill
+	// and slow the run down versus a large pool.
+	k := kernels.MustLoad("dwt2d")
+	cfgv := testCfg()
+	big := NewRFV(2048)
+	stBig := runProvider(t, k, cfgv, big)
+	small := NewRFV(k.NumRegs + 8)
+	stSmall := runProvider(t, k, cfgv, small)
+	if small.Spills() == 0 {
+		t.Fatal("tiny pool produced no spills")
+	}
+	if stSmall.Cycles <= stBig.Cycles {
+		t.Fatalf("register pressure had no cost: %d vs %d cycles", stSmall.Cycles, stBig.Cycles)
+	}
+}
+
+func TestRFHLevelSplit(t *testing.T) {
+	// Aggregate over a mixed subset: the hierarchy's premise is that
+	// the small structures capture most reads on typical kernels, with
+	// some MRF traffic remaining.
+	var lrf, orf, mrf, backing uint64
+	for _, name := range []string{"lud", "streamcluster", "hotspot", "backprop", "myocyte"} {
+		k := kernels.MustLoad(name)
+		cfgv := testCfg()
+		cfgv.Sched = sim.SchedTwoLevel
+		p := NewRFH(4)
+		runProvider(t, k, cfgv, p)
+		ps := p.Stats()
+		lrf += ps.LRFAccesses
+		orf += ps.ORFAccesses
+		mrf += ps.MRFAccesses
+		backing += ps.BackingAccesses
+	}
+	total := lrf + orf + mrf
+	if total == 0 {
+		t.Fatal("no classified accesses")
+	}
+	if mrf == 0 || backing == 0 {
+		t.Fatal("no MRF/backing traffic — hierarchy model degenerate")
+	}
+	if float64(mrf)/float64(total) > 0.6 {
+		t.Fatalf("MRF serves %d/%d accesses — hierarchy ineffective", mrf, total)
+	}
+}
+
+func TestRFHBackingBelowBaseline(t *testing.T) {
+	// Figure 3's ordering: RFH makes far fewer backing-store accesses
+	// than the baseline on hotspot.
+	k := kernels.MustLoad("hotspot")
+	base := NewBaseline()
+	runProvider(t, k, testCfg(), base)
+	cfgv := testCfg()
+	cfgv.Sched = sim.SchedTwoLevel
+	hier := NewRFH(8)
+	runProvider(t, k, cfgv, hier)
+	if hier.Stats().BackingAccesses*2 >= base.Stats().BackingAccesses {
+		t.Fatalf("RFH backing %d not well below baseline %d",
+			hier.Stats().BackingAccesses, base.Stats().BackingAccesses)
+	}
+}

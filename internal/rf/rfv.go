@@ -1,0 +1,179 @@
+package rf
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/exec"
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// RFV models register file virtualization (Jeon et al. [19]): a half-size
+// physical register file with renaming. Dead values' physical registers
+// are released at their last read (compiler last-use annotations) and
+// writes allocate physical registers on demand. When the pool is
+// exhausted, the oldest resident mapping is victimized to the memory
+// system and must be refilled (with a latency penalty and extra backing
+// traffic) before its next use — the register-pressure cost the paper
+// reports for dwt2d and hotspot (§6.3).
+type RFV struct {
+	sm    *sim.SM
+	lv    *cfg.Liveness
+	stats sim.ProviderStats
+
+	physRegs int
+	free     int
+
+	// mapped[w][r]: (warp w, arch reg r) holds a physical register.
+	mapped [][]bool
+	// spilled[w][r]: the value was victimized and lives in memory.
+	spilled [][]bool
+	// fifo orders resident mappings for victim selection.
+	fifo []rfvEntry
+
+	// SpillPenalty is the issue-stall charged to refill a spilled value.
+	SpillPenalty int
+	spills       uint64
+	refills      uint64
+}
+
+type rfvEntry struct {
+	warp int
+	reg  isa.Reg
+}
+
+// NewRFV builds the provider with the given physical pool size (the paper
+// assumes half the baseline register file).
+func NewRFV(physRegs int) *RFV {
+	return &RFV{physRegs: physRegs, SpillPenalty: 40}
+}
+
+// Name implements sim.Provider.
+func (v *RFV) Name() string { return "rfv" }
+
+// Attach implements sim.Provider.
+func (v *RFV) Attach(sm *sim.SM) {
+	v.sm = sm
+	v.lv = cfg.ComputeLiveness(sm.G)
+	v.free = v.physRegs
+	v.mapped = make([][]bool, len(sm.Warps))
+	v.spilled = make([][]bool, len(sm.Warps))
+	for i := range v.mapped {
+		v.mapped[i] = make([]bool, sm.K.NumRegs)
+		v.spilled[i] = make([]bool, sm.K.NumRegs)
+	}
+}
+
+// CanIssue implements sim.Provider: RFV never blocks issue; pressure shows
+// up as spill/refill penalties instead.
+func (v *RFV) CanIssue(*sim.Warp) bool { return true }
+
+// alloc maps (w, r), victimizing the oldest resident mapping if needed,
+// and returns the penalty incurred.
+func (v *RFV) alloc(w int, r isa.Reg) int {
+	penalty := 0
+	if v.free == 0 {
+		// Victimize the oldest resident mapping: its value moves to
+		// the memory system (costing a backing write) and must be
+		// refilled before reuse.
+		for len(v.fifo) > 0 {
+			e := v.fifo[0]
+			v.fifo = v.fifo[1:]
+			if v.mapped[e.warp][e.reg] {
+				v.mapped[e.warp][e.reg] = false
+				v.spilled[e.warp][e.reg] = true
+				v.free++
+				v.spills++
+				v.stats.Evictions++
+				v.stats.BackingAccesses++
+				break
+			}
+		}
+		if v.free == 0 {
+			// Pool smaller than one instruction's needs; charge the
+			// penalty and proceed (degenerate configuration).
+			v.stats.StallCycles++
+			return v.SpillPenalty
+		}
+	}
+	v.free--
+	v.mapped[w][r] = true
+	v.fifo = append(v.fifo, rfvEntry{warp: w, reg: r})
+	return penalty
+}
+
+// touch ensures (w, r) is resident before an access, refilling spills.
+func (v *RFV) touch(w int, r isa.Reg) int {
+	if v.mapped[w][r] {
+		return 0
+	}
+	penalty := v.alloc(w, r)
+	if v.spilled[w][r] {
+		v.spilled[w][r] = false
+		v.refills++
+		v.stats.BackingAccesses++ // refill read from the memory system
+		penalty += v.SpillPenalty
+	}
+	return penalty
+}
+
+// OnIssue performs renaming, access counting, last-use release, and
+// spill/refill accounting.
+func (v *RFV) OnIssue(w *sim.Warp, info *exec.StepInfo) int {
+	in := info.Insn
+	gi := v.sm.G.GlobalIndex(info.PC)
+	penalty := 0
+	for i := 0; i < in.Op.NumSrc(); i++ {
+		r := in.Src[i]
+		if !r.Valid() {
+			continue
+		}
+		v.stats.StructReads++
+		penalty += v.touch(w.ID, r)
+		// Release at last read (renaming reclaims dead values).
+		if v.lv.IsLastUse(gi, r) && v.mapped[w.ID][r] {
+			v.mapped[w.ID][r] = false
+			v.free++
+		}
+	}
+	if in.Op.HasDst() && in.Dst.Valid() {
+		v.stats.StructWrites++
+		if !v.mapped[w.ID][in.Dst] {
+			// A fresh write does not refill: the old value dies.
+			v.spilled[w.ID][in.Dst] = false
+			penalty += v.alloc(w.ID, in.Dst)
+		}
+	}
+	if penalty > 0 {
+		v.stats.StallCycles += uint64(penalty)
+	}
+	return penalty
+}
+
+// OnWriteback implements sim.Provider.
+func (v *RFV) OnWriteback(*sim.Warp, isa.Reg) {}
+
+// OnWarpFinish releases the warp's remaining physical registers.
+func (v *RFV) OnWarpFinish(w *sim.Warp) {
+	for r, m := range v.mapped[w.ID] {
+		if m {
+			v.mapped[w.ID][r] = false
+			v.free++
+		}
+		v.spilled[w.ID][r] = false
+	}
+}
+
+// Tick implements sim.Provider.
+func (v *RFV) Tick() {}
+
+// Drained implements sim.Provider.
+func (v *RFV) Drained() bool { return true }
+
+// Stats implements sim.Provider.
+func (v *RFV) Stats() *sim.ProviderStats { return &v.stats }
+
+// LiveMapped returns the currently mapped physical register count (tests).
+func (v *RFV) LiveMapped() int { return v.physRegs - v.free }
+
+// Spills returns the victimization count (tests and experiments).
+func (v *RFV) Spills() uint64 { return v.spills }

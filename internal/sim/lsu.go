@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// lsu is the load/store unit: a queue of coalesced memory instructions
+// whose line requests drain into the bypassing L2 path as the interconnect
+// accepts them. One memory instruction is accepted per issue (the SM's
+// single LSU port); its lines may take several cycles to inject.
+type lsu struct {
+	sm    *SM
+	queue []*memOp
+	cap   int
+}
+
+type memOp struct {
+	w         *Warp
+	dst       isa.Reg // NoReg for stores
+	write     bool
+	lines     []uint32
+	submitted int
+	remaining int
+}
+
+func newLSU(sm *SM, capacity int) *lsu {
+	return &lsu{sm: sm, cap: capacity}
+}
+
+func (l *lsu) hasRoom() bool { return len(l.queue) < l.cap }
+
+func (l *lsu) empty() bool { return len(l.queue) == 0 }
+
+// submit enqueues a coalesced memory instruction. Lines must be non-empty
+// unless every lane was inactive (then the op completes immediately).
+func (l *lsu) submit(w *Warp, dst isa.Reg, lines []uint32, write bool) {
+	op := &memOp{w: w, dst: dst, write: write, lines: lines, remaining: len(lines)}
+	if len(lines) == 0 {
+		l.finish(op)
+		return
+	}
+	l.queue = append(l.queue, op)
+}
+
+// tick injects as many line requests as the memory system accepts,
+// in order across queued ops (one op's lines first).
+func (l *lsu) tick() {
+	for len(l.queue) > 0 {
+		op := l.queue[0]
+		for op.submitted < len(op.lines) {
+			line := op.lines[op.submitted]
+			accepted := l.sm.Mem.DataAccess(line, op.write, func(mem.Source) {
+				op.remaining--
+				if op.remaining == 0 {
+					l.finish(op)
+				}
+			})
+			if !accepted {
+				return
+			}
+			op.submitted++
+		}
+		// All lines injected; pop. Completion happens via callbacks.
+		l.queue = l.queue[1:]
+	}
+}
+
+func (l *lsu) finish(op *memOp) {
+	if !op.write && op.dst.Valid() {
+		op.w.completePending(op.dst, true)
+	}
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"repro/internal/exec"
+	"repro/internal/isa"
+)
+
+// Provider abstracts the register storage scheme under evaluation: the
+// baseline register file, RFV (register file virtualization, Jeon et al.),
+// RFH (the compile-time register hierarchy, Gebhart et al.), or RegLess.
+// The SM consults the provider before issuing from a warp (RegLess gates
+// warps whose regions are not staged) and notifies it of issues,
+// writebacks, and warp completion; the provider drives its own machinery
+// (capacity managers, preload queues, compressors) from Tick.
+type Provider interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Attach binds the provider to the SM before simulation starts.
+	Attach(sm *SM)
+	// CanIssue reports whether warp w may issue its next instruction
+	// this cycle as far as register availability is concerned.
+	CanIssue(w *Warp) bool
+	// OnIssue is called when w issues; info is the executed instruction.
+	// The returned penalty is added as issue-stall cycles (operand bank
+	// conflicts, metadata instruction slots).
+	OnIssue(w *Warp, info *exec.StepInfo) int
+	// OnWriteback is called when a destination write completes.
+	OnWriteback(w *Warp, reg isa.Reg)
+	// OnWarpFinish is called when a warp exits.
+	OnWarpFinish(w *Warp)
+	// Tick advances provider machinery by one cycle (called after the
+	// memory hierarchy tick, before instruction issue).
+	Tick()
+	// Drained reports whether no provider work is outstanding.
+	Drained() bool
+	// Stats exposes the provider's event counters.
+	Stats() *ProviderStats
+}
+
+// ProviderStats counts register-scheme events; the energy model and the
+// per-figure experiments consume these.
+type ProviderStats struct {
+	// StructReads/StructWrites are accesses to the primary operand
+	// structure (main RF for baseline/RFV, OSU data banks for RegLess).
+	StructReads  uint64
+	StructWrites uint64
+	// TagLookups counts OSU tag-array lookups (RegLess).
+	TagLookups uint64
+	// BankConflicts counts same-cycle operand bank collisions.
+	BankConflicts uint64
+	// BackingAccesses counts accesses to the scheme's backing store:
+	// the main RF behind RFH's buffers, or the L1 for RegLess — the
+	// quantity plotted in Figure 3.
+	BackingAccesses uint64
+
+	// Preload source breakdown (RegLess; Figure 17).
+	PreloadFromOSU        uint64
+	PreloadFromCompressor uint64
+	PreloadFromL1         uint64
+	PreloadFromL2DRAM     uint64
+
+	// Evictions counts OSU lines written out toward the memory system.
+	Evictions uint64
+	// CompressorHits/Misses count eviction-side pattern matches;
+	// CompressorBitChecks counts preload-side bit-vector probes and
+	// CompressorCacheOps internal compressed-line cache accesses.
+	CompressorHits      uint64
+	CompressorMisses    uint64
+	CompressorBitChecks uint64
+	CompressorCacheOps  uint64
+	// CacheInvalidations counts invalidation annotations executed.
+	CacheInvalidations uint64
+	// MetaInsns counts metadata instruction issue slots consumed.
+	MetaInsns uint64
+	// StallCycles counts cycles a warp wanted to issue but the provider
+	// refused (waiting for staging).
+	StallCycles uint64
+
+	// L1 traffic split for Figure 18 (RegLess): reads issued for
+	// preloads (including compressed-line fetches), writes issued for
+	// evictions, and invalidation operations.
+	L1PreloadReads uint64
+	L1StoreWrites  uint64
+	L1Invalidates  uint64
+
+	// RFH access split across the hierarchy levels.
+	LRFAccesses uint64
+	ORFAccesses uint64
+	MRFAccesses uint64
+
+	// RegionActivations and RegionCycles accumulate dynamic region
+	// statistics (Table 2's cycles/region) for schemes that track
+	// regions.
+	RegionActivations uint64
+	RegionCycles      uint64
+}
+
+// Preloads returns the total preload count across sources.
+func (s *ProviderStats) Preloads() uint64 {
+	return s.PreloadFromOSU + s.PreloadFromCompressor + s.PreloadFromL1 + s.PreloadFromL2DRAM
+}

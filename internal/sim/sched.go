@@ -1,0 +1,150 @@
+package sim
+
+// scheduler picks the warp a scheduler group issues from each cycle.
+type scheduler interface {
+	pick(group int, sm *SM) *Warp
+}
+
+// gto is greedy-then-oldest: keep issuing from the current warp until it
+// stalls, then switch to the oldest ready warp (smallest ID — all warps
+// launch together).
+type gto struct {
+	current []*Warp // per group
+	groups  [][]*Warp
+}
+
+func newGTO(groups [][]*Warp) *gto {
+	return &gto{current: make([]*Warp, len(groups)), groups: groups}
+}
+
+func (s *gto) pick(g int, sm *SM) *Warp {
+	if cur := s.current[g]; cur != nil && sm.ready(cur) {
+		return cur
+	}
+	for _, w := range s.groups[g] {
+		if sm.ready(w) {
+			s.current[g] = w
+			return w
+		}
+	}
+	return nil
+}
+
+// twoLevel keeps a small active set per group; only active warps may
+// issue. A warp blocked on a long-latency memory operation is demoted to
+// the pending queue and the next pending warp promoted (Gebhart et al.
+// [9]; used by RFH and the Figure 2 comparison).
+type twoLevel struct {
+	active  [][]*Warp
+	pending [][]*Warp
+	size    int
+}
+
+func newTwoLevel(groups [][]*Warp, size int) *twoLevel {
+	s := &twoLevel{size: size}
+	for _, g := range groups {
+		n := size
+		if n > len(g) {
+			n = len(g)
+		}
+		act := make([]*Warp, n)
+		copy(act, g[:n])
+		pend := make([]*Warp, len(g)-n)
+		copy(pend, g[n:])
+		s.active = append(s.active, act)
+		s.pending = append(s.pending, pend)
+	}
+	return s
+}
+
+func (s *twoLevel) pick(g int, sm *SM) *Warp {
+	// Demote active warps that are finished or stalled on long-latency
+	// events (memory, barriers); promotable pending warps replace them.
+	act := s.active[g]
+	for i := 0; i < len(act); i++ {
+		w := act[i]
+		if !w.finished && !w.MemoryBlocked() && !w.atBarrier {
+			continue
+		}
+		if next := s.promote(g); next != nil {
+			if lat := uint64(sm.Cfg.PromoteLatency); lat > 0 {
+				if t := sm.Cycle() + lat; t > next.stallUntil {
+					next.stallUntil = t
+				}
+			}
+			act[i] = next
+			if !w.finished {
+				s.pending[g] = append(s.pending[g], w)
+			}
+		} else {
+			// Nothing promotable now: drop the slot (it is refilled
+			// below once a pending warp unblocks).
+			if !w.finished {
+				s.pending[g] = append(s.pending[g], w)
+			}
+			act = append(act[:i], act[i+1:]...)
+			i--
+		}
+	}
+	// Refill the active set from pending as warps unblock; promoted
+	// warps pay the pipeline-refill latency before issuing.
+	for len(act) < s.size {
+		next := s.promote(g)
+		if next == nil {
+			break
+		}
+		if lat := uint64(sm.Cfg.PromoteLatency); lat > 0 {
+			if t := sm.Cycle() + lat; t > next.stallUntil {
+				next.stallUntil = t
+			}
+		}
+		act = append(act, next)
+	}
+	s.active[g] = act
+	for _, w := range act {
+		if sm.ready(w) {
+			return w
+		}
+	}
+	return nil
+}
+
+// promote pops the first pending warp that can make progress.
+func (s *twoLevel) promote(g int) *Warp {
+	pend := s.pending[g]
+	for i, w := range pend {
+		if w.finished {
+			s.pending[g] = append(pend[:i:i], pend[i+1:]...)
+			return s.promote(g)
+		}
+		if !w.MemoryBlocked() {
+			s.pending[g] = append(pend[:i:i], pend[i+1:]...)
+			return w
+		}
+	}
+	return nil
+}
+
+// lrr is loose round-robin: each cycle starts the scan one past the last
+// issuer, giving every ready warp an equal share of issue slots.
+type lrr struct {
+	next   []int
+	groups [][]*Warp
+}
+
+func newLRR(groups [][]*Warp) *lrr {
+	return &lrr{next: make([]int, len(groups)), groups: groups}
+}
+
+func (s *lrr) pick(g int, sm *SM) *Warp {
+	grp := s.groups[g]
+	n := len(grp)
+	for i := 0; i < n; i++ {
+		w := grp[(s.next[g]+i)%n]
+		if sm.ready(w) {
+			s.next[g] = (s.next[g] + i + 1) % n
+			return w
+		}
+	}
+	return nil
+}

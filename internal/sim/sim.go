@@ -1,0 +1,481 @@
+// Package sim is the cycle-level streaming-multiprocessor model: 64 warps
+// across 4 scheduler groups (Table 1's GTX 980 SM), GTO or two-level warp
+// scheduling, a scoreboard, latency-modelled execution pipes, CTA barriers,
+// an LSU with address coalescing over the bypassing L2 path, and a
+// pluggable register Provider (baseline RF / RFV / RFH / RegLess).
+//
+// The simulator co-simulates function and timing: issuing an instruction
+// executes it functionally (package exec), so values, divergence, and
+// memory addresses are real; the surrounding machinery decides only *when*
+// each instruction issues and completes.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/exec"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// SchedKind selects the warp scheduling policy.
+type SchedKind int
+
+const (
+	// SchedGTO is greedy-then-oldest (the baseline; Table 1).
+	SchedGTO SchedKind = iota
+	// SchedTwoLevel is the two-level scheduler of Gebhart et al. [9],
+	// used by the RFH and Figure 2 experiments.
+	SchedTwoLevel
+	// SchedLRR is loose round-robin: fairness-first, no greediness.
+	SchedLRR
+)
+
+func (s SchedKind) String() string {
+	switch s {
+	case SchedTwoLevel:
+		return "2-level"
+	case SchedLRR:
+		return "LRR"
+	default:
+		return "GTO"
+	}
+}
+
+// Config parameterizes the SM (defaults follow Table 1).
+type Config struct {
+	Warps      int
+	Schedulers int
+	Sched      SchedKind
+	// ActiveSet is the two-level scheduler's active warps per scheduler.
+	ActiveSet int
+	// PromoteLatency is the pipeline-refill delay a warp pays when the
+	// two-level scheduler promotes it into the active set.
+	PromoteLatency int
+
+	// Execution latencies (cycles from issue to writeback).
+	ALULat   int
+	FMALat   int
+	SFULat   int
+	ShmemLat int
+	// SFUIssueInterval throttles SFU issue per scheduler group.
+	SFUIssueInterval int
+	// LSUQueue bounds in-flight memory instructions per SM.
+	LSUQueue int
+
+	Mem mem.Config
+
+	// WarpIDBase offsets the global warp/thread IDs of this SM's warps
+	// (multi-SM simulation: SM i hosts warps [i*Warps, (i+1)*Warps)).
+	// Must be a multiple of the kernel's WarpsPerCTA.
+	WarpIDBase int
+
+	// WindowSize is the sampling window for working-set and traffic
+	// series (100 cycles in Figures 2 and 3).
+	WindowSize int
+	// MaxCycles aborts runaway simulations.
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the Table 1 SM configuration.
+func DefaultConfig() Config {
+	return Config{
+		Warps:            64,
+		Schedulers:       4,
+		Sched:            SchedGTO,
+		ActiveSet:        3,
+		PromoteLatency:   4,
+		ALULat:           6,
+		FMALat:           6,
+		SFULat:           24,
+		ShmemLat:         26,
+		SFUIssueInterval: 4,
+		LSUQueue:         16,
+		Mem:              mem.DefaultConfig(),
+		WindowSize:       100,
+		MaxCycles:        30_000_000,
+	}
+}
+
+// Stats aggregates SM-level counters.
+type Stats struct {
+	Cycles      uint64
+	DynInsns    uint64
+	IssueStalls uint64
+
+	ALUOps, FMAOps, SFUOps        uint64
+	GlobalLoads, GlobalStores     uint64
+	SharedOps, Branches, Barriers uint64
+
+	// MemLines counts coalesced line requests issued by the LSU.
+	MemLines uint64
+
+	// ActiveLanes sums the active-lane count over issued instructions;
+	// ActiveLanes / (DynInsns*32) is SIMT lane efficiency.
+	ActiveLanes uint64
+
+	// WorkingSetKB is the average distinct register bytes touched per
+	// window (Figure 2).
+	WorkingSetKB float64
+	// BackingSeries samples the provider's backing-store accesses per
+	// window over time (Figure 3).
+	BackingSeries []uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.DynInsns) / float64(s.Cycles)
+}
+
+// SIMTEfficiency returns the mean fraction of active lanes per issued
+// instruction (1.0 = fully convergent).
+func (s *Stats) SIMTEfficiency() float64 {
+	if s.DynInsns == 0 {
+		return 0
+	}
+	return float64(s.ActiveLanes) / float64(s.DynInsns*isa.WarpWidth)
+}
+
+func popcount32(m uint32) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	Cfg      Config
+	K        *isa.Kernel
+	G        *cfg.Graph
+	Mem      *mem.Hierarchy
+	Provider Provider
+	Warps    []*Warp
+
+	Stats Stats
+
+	groups [][]*Warp
+	sched  scheduler
+	lsu    *lsu
+
+	cycle     uint64
+	calendar  map[uint64][]func()
+	atBarrier []bool
+
+	sfuNextIssue []uint64
+
+	// Working-set window tracking.
+	windowRegs    map[uint32]struct{}
+	windowSum     float64
+	windowCount   uint64
+	lastBackingCt uint64
+}
+
+// New builds an SM running kernel k under the given provider. The memory
+// image mm may be nil for the default deterministic contents.
+func New(cfgv Config, k *isa.Kernel, p Provider, mm *exec.Memory) (*SM, error) {
+	return NewWithHierarchy(cfgv, k, p, mm, nil)
+}
+
+// NewWithHierarchy is New with an injected memory hierarchy (multi-SM
+// simulation attaches per-SM hierarchies to a shared L2). A nil hierarchy
+// builds a private one from cfgv.Mem.
+func NewWithHierarchy(cfgv Config, k *isa.Kernel, p Provider, mm *exec.Memory, hier *mem.Hierarchy) (*SM, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	if cfgv.Warps%cfgv.Schedulers != 0 {
+		return nil, fmt.Errorf("sim: %d warps not divisible into %d schedulers", cfgv.Warps, cfgv.Schedulers)
+	}
+	if cfgv.WarpIDBase%k.WarpsPerCTA != 0 {
+		return nil, fmt.Errorf("sim: warp ID base %d not aligned to CTA size %d", cfgv.WarpIDBase, k.WarpsPerCTA)
+	}
+	if mm == nil {
+		mm = exec.NewMemory(nil)
+	}
+	if hier == nil {
+		hier = mem.New(cfgv.Mem)
+	}
+	g := cfg.New(k)
+	sm := &SM{
+		Cfg:          cfgv,
+		K:            k,
+		G:            g,
+		Mem:          hier,
+		Provider:     p,
+		calendar:     map[uint64][]func(){},
+		windowRegs:   map[uint32]struct{}{},
+		atBarrier:    make([]bool, cfgv.Warps),
+		sfuNextIssue: make([]uint64, cfgv.Schedulers),
+	}
+	sm.groups = make([][]*Warp, cfgv.Schedulers)
+	for i := 0; i < cfgv.Warps; i++ {
+		gid := cfgv.WarpIDBase + i
+		w := &Warp{
+			ID:      i,
+			Group:   i % cfgv.Schedulers,
+			Exec:    exec.NewWarp(k, g, gid, gid/k.WarpsPerCTA, mm),
+			sm:      sm,
+			pending: make([]uint8, k.NumRegs),
+		}
+		sm.Warps = append(sm.Warps, w)
+		sm.groups[w.Group] = append(sm.groups[w.Group], w)
+	}
+	switch cfgv.Sched {
+	case SchedTwoLevel:
+		sm.sched = newTwoLevel(sm.groups, cfgv.ActiveSet)
+	case SchedLRR:
+		sm.sched = newLRR(sm.groups)
+	default:
+		sm.sched = newGTO(sm.groups)
+	}
+	sm.lsu = newLSU(sm, cfgv.LSUQueue)
+	p.Attach(sm)
+	return sm, nil
+}
+
+// Cycle returns the current cycle.
+func (sm *SM) Cycle() uint64 { return sm.cycle }
+
+// After schedules fn to run delay cycles from now; providers use it for
+// fixed-latency internal operations (e.g. compressor decompress delay).
+func (sm *SM) After(delay int, fn func()) { sm.after(delay, fn) }
+
+// after schedules fn at cycle now+delay.
+func (sm *SM) after(delay int, fn func()) {
+	c := sm.cycle + uint64(delay)
+	sm.calendar[c] = append(sm.calendar[c], fn)
+}
+
+// Run simulates to completion and returns the statistics.
+func (sm *SM) Run() (*Stats, error) {
+	for !sm.Done() {
+		if sm.cycle >= sm.Cfg.MaxCycles {
+			return nil, fmt.Errorf("sim: kernel %q exceeded %d cycles (%s provider, %d insns retired)",
+				sm.K.Name, sm.Cfg.MaxCycles, sm.Provider.Name(), sm.Stats.DynInsns)
+		}
+		sm.StepOne()
+	}
+	return sm.Finalize(), nil
+}
+
+// Done reports whether every warp finished and all machinery drained.
+func (sm *SM) Done() bool {
+	return sm.allDone() && sm.Provider.Drained() && sm.Mem.Drained() && sm.lsu.empty()
+}
+
+// StepOne advances the SM by one cycle (lockstep multi-SM simulation).
+func (sm *SM) StepOne() { sm.step() }
+
+// Finalize closes the statistics windows and returns the stats. Call once
+// after the last StepOne.
+func (sm *SM) Finalize() *Stats {
+	sm.finishWindows()
+	sm.Stats.Cycles = sm.cycle
+	return &sm.Stats
+}
+
+func (sm *SM) allDone() bool {
+	for _, w := range sm.Warps {
+		if !w.finished {
+			return false
+		}
+	}
+	return true
+}
+
+// step advances the SM one cycle.
+func (sm *SM) step() {
+	sm.cycle++
+	sm.Mem.Tick()
+	if fns, ok := sm.calendar[sm.cycle]; ok {
+		for _, fn := range fns {
+			fn()
+		}
+		delete(sm.calendar, sm.cycle)
+	}
+	sm.Provider.Tick()
+	sm.lsu.tick()
+	for g := 0; g < sm.Cfg.Schedulers; g++ {
+		if w := sm.sched.pick(g, sm); w != nil {
+			sm.issue(w)
+		}
+	}
+	sm.releaseBarriers()
+	sm.sampleWindow()
+}
+
+// ready reports whether w can issue this cycle (all hazards clear).
+func (sm *SM) ready(w *Warp) bool {
+	if w.finished || w.atBarrier || w.stallUntil > sm.cycle {
+		return false
+	}
+	in := w.Exec.Insn()
+	if !w.scoreboardReady(in) {
+		return false
+	}
+	switch in.Op.ClassOf() {
+	case isa.ClassMemGlobal:
+		if !sm.lsu.hasRoom() {
+			return false
+		}
+	case isa.ClassSFU:
+		if sm.sfuNextIssue[w.Group] > sm.cycle {
+			return false
+		}
+	}
+	if !sm.Provider.CanIssue(w) {
+		sm.Stats.IssueStalls++
+		return false
+	}
+	return true
+}
+
+// issue executes one instruction from w and models its timing.
+func (sm *SM) issue(w *Warp) {
+	info := w.Exec.Step()
+	w.lastIssue = sm.cycle
+	sm.Stats.DynInsns++
+	sm.Stats.ActiveLanes += uint64(popcount32(info.Mask))
+	sm.trackWindow(w, info.Insn)
+
+	penalty := sm.Provider.OnIssue(w, &info)
+	if penalty > 0 {
+		w.stallUntil = sm.cycle + uint64(penalty)
+	}
+
+	in := info.Insn
+	switch in.Op.ClassOf() {
+	case isa.ClassALU:
+		sm.Stats.ALUOps++
+		sm.retire(w, in, sm.Cfg.ALULat, false)
+	case isa.ClassFMA:
+		sm.Stats.FMAOps++
+		sm.retire(w, in, sm.Cfg.FMALat, false)
+	case isa.ClassSFU:
+		sm.Stats.SFUOps++
+		sm.sfuNextIssue[w.Group] = sm.cycle + uint64(sm.Cfg.SFUIssueInterval)
+		sm.retire(w, in, sm.Cfg.SFULat, false)
+	case isa.ClassMemShared:
+		sm.Stats.SharedOps++
+		sm.retire(w, in, sm.Cfg.ShmemLat, false)
+	case isa.ClassMemGlobal:
+		lines := coalesce(info.Addrs)
+		sm.Stats.MemLines += uint64(len(lines))
+		if in.Op.IsStore() {
+			sm.Stats.GlobalStores++
+			sm.lsu.submit(w, isa.NoReg, lines, true)
+		} else {
+			sm.Stats.GlobalLoads++
+			w.addPending(in.Dst, true)
+			sm.lsu.submit(w, in.Dst, lines, false)
+		}
+	case isa.ClassControl:
+		sm.Stats.Branches++
+	case isa.ClassBarrier:
+		sm.Stats.Barriers++
+		w.atBarrier = true
+	case isa.ClassExit:
+		if info.Exited {
+			w.finished = true
+			sm.Provider.OnWarpFinish(w)
+		}
+	}
+}
+
+// retire schedules the scoreboard release for a fixed-latency op.
+func (sm *SM) retire(w *Warp, in *isa.Instruction, lat int, memOp bool) {
+	if !in.Op.HasDst() || !in.Dst.Valid() {
+		return
+	}
+	dst := in.Dst
+	w.addPending(dst, memOp)
+	sm.after(lat, func() { w.completePending(dst, memOp) })
+}
+
+// coalesce groups per-lane byte addresses into distinct 128 B lines.
+func coalesce(addrs []uint32) []uint32 {
+	var lines []uint32
+	for _, a := range addrs {
+		l := a &^ (mem.LineSize - 1)
+		found := false
+		for _, x := range lines {
+			if x == l {
+				found = true
+				break
+			}
+		}
+		if !found {
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}
+
+// releaseBarriers frees CTAs whose live warps have all arrived.
+func (sm *SM) releaseBarriers() {
+	per := sm.K.WarpsPerCTA
+	for lo := 0; lo < len(sm.Warps); lo += per {
+		hi := lo + per
+		if hi > len(sm.Warps) {
+			hi = len(sm.Warps)
+		}
+		allAt := true
+		anyAt := false
+		for i := lo; i < hi; i++ {
+			w := sm.Warps[i]
+			if w.finished {
+				continue
+			}
+			if !w.atBarrier {
+				allAt = false
+			} else {
+				anyAt = true
+			}
+		}
+		if allAt && anyAt {
+			for i := lo; i < hi; i++ {
+				sm.Warps[i].atBarrier = false
+			}
+		}
+	}
+}
+
+// trackWindow records register accesses for the working-set series.
+func (sm *SM) trackWindow(w *Warp, in *isa.Instruction) {
+	key := func(r isa.Reg) uint32 { return uint32(w.ID)<<16 | uint32(r) }
+	for i := 0; i < in.Op.NumSrc(); i++ {
+		if in.Src[i].Valid() {
+			sm.windowRegs[key(in.Src[i])] = struct{}{}
+		}
+	}
+	if in.Op.HasDst() && in.Dst.Valid() {
+		sm.windowRegs[key(in.Dst)] = struct{}{}
+	}
+}
+
+// sampleWindow closes a window at each WindowSize boundary.
+func (sm *SM) sampleWindow() {
+	if sm.Cfg.WindowSize <= 0 || sm.cycle%uint64(sm.Cfg.WindowSize) != 0 {
+		return
+	}
+	sm.windowSum += float64(len(sm.windowRegs)) * mem.LineSize / 1024.0
+	sm.windowCount++
+	for k := range sm.windowRegs {
+		delete(sm.windowRegs, k)
+	}
+	cur := sm.Provider.Stats().BackingAccesses
+	sm.Stats.BackingSeries = append(sm.Stats.BackingSeries, cur-sm.lastBackingCt)
+	sm.lastBackingCt = cur
+}
+
+func (sm *SM) finishWindows() {
+	if sm.windowCount > 0 {
+		sm.Stats.WorkingSetKB = sm.windowSum / float64(sm.windowCount)
+	}
+}

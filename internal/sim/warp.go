@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"repro/internal/exec"
+	"repro/internal/isa"
+)
+
+// Warp is the timing-level wrapper around a functional warp: scoreboard
+// state, stall bookkeeping, and provider hooks.
+type Warp struct {
+	ID    int
+	Group int // scheduler group (shard) the warp belongs to
+
+	Exec *exec.Warp
+
+	sm *SM
+
+	// pending[r] counts outstanding writes to register r; an instruction
+	// may not issue while any of its registers has pending writes (RAW
+	// and WAW hazards).
+	pending []uint8
+	// pendingMem counts outstanding global-load destinations (used by
+	// the two-level scheduler to demote stalled warps).
+	pendingMem int
+	// pendingTotal counts all outstanding writes (region draining).
+	pendingTotal int
+
+	atBarrier  bool
+	finished   bool
+	stallUntil uint64
+
+	// lastIssue is the cycle this warp last issued (GTO tiebreak).
+	lastIssue uint64
+
+	// ProviderData carries provider-specific per-warp state (the
+	// RegLess capacity manager's warp record, RFV's rename map, ...).
+	ProviderData any
+}
+
+// Finished reports whether every lane has exited.
+func (w *Warp) Finished() bool { return w.finished }
+
+// AtBarrier reports whether the warp is waiting at a CTA barrier.
+func (w *Warp) AtBarrier() bool { return w.atBarrier }
+
+// NextPC returns the next instruction's location (valid if !Finished).
+func (w *Warp) NextPC() isa.PC { return w.Exec.PC() }
+
+// NextInsn returns the next instruction (valid if !Finished).
+func (w *Warp) NextInsn() *isa.Instruction { return w.Exec.Insn() }
+
+// NextGI returns the next instruction's global index.
+func (w *Warp) NextGI() int { return w.sm.G.GlobalIndex(w.Exec.PC()) }
+
+// PendingWrites reports outstanding writes (draining condition).
+func (w *Warp) PendingWrites() int { return w.pendingTotal }
+
+// scoreboardReady reports no pending writes overlap the instruction.
+func (w *Warp) scoreboardReady(in *isa.Instruction) bool {
+	for i := 0; i < in.Op.NumSrc(); i++ {
+		if in.Src[i].Valid() && w.pending[in.Src[i]] > 0 {
+			return false
+		}
+	}
+	if in.Op.HasDst() && in.Dst.Valid() && w.pending[in.Dst] > 0 {
+		return false
+	}
+	return true
+}
+
+func (w *Warp) addPending(r isa.Reg, memOp bool) {
+	w.pending[r]++
+	w.pendingTotal++
+	if memOp {
+		w.pendingMem++
+	}
+}
+
+func (w *Warp) completePending(r isa.Reg, memOp bool) {
+	w.pending[r]--
+	w.pendingTotal--
+	if memOp {
+		w.pendingMem--
+	}
+	w.sm.Provider.OnWriteback(w, r)
+}
+
+// MemoryBlocked reports the warp is waiting on an outstanding global load
+// whose destination its next instruction needs.
+func (w *Warp) MemoryBlocked() bool {
+	return w.pendingMem > 0 && !w.finished && !w.scoreboardReady(w.Exec.Insn())
+}

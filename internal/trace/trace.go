@@ -1,0 +1,215 @@
+// Package trace samples a running simulation cycle-by-cycle and renders
+// warp-state timelines — the view a RegLess designer needs to see the
+// capacity manager breathing: warps cycling through
+// inactive/preloading/active/draining as regions stage, and issue slots
+// filling or starving.
+//
+// The sampler steps the SM itself (sim.SM.StepOne), so no hooks are
+// threaded through the simulator; states come from the RegLess provider's
+// capacity managers when present, or from issue activity otherwise.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cm"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// State is the sampled per-warp condition in one bucket.
+type State byte
+
+// Timeline glyphs: each bucket shows the state the warp spent the most
+// cycles in.
+const (
+	// StateIdle: not issuing, no capacity state (baseline schemes).
+	StateIdle State = '.'
+	// StateInactive: on the RegLess warp stack.
+	StateInactive State = '-'
+	// StatePreloading: inputs being staged.
+	StatePreloading State = 'p'
+	// StateActive: eligible to issue.
+	StateActive State = 'A'
+	// StateDraining: waiting for final writebacks.
+	StateDraining State = 'd'
+	// StateBarrier: waiting at a CTA barrier.
+	StateBarrier State = 'b'
+	// StateFinished: warp exited.
+	StateFinished State = ' '
+)
+
+// Sample is one time bucket's view of the machine.
+type Sample struct {
+	StartCycle uint64
+	// Warp[i] is warp i's dominant state in the bucket.
+	Warp []State
+	// Insns is the number of instructions retired in the bucket.
+	Insns uint64
+}
+
+// Result is the full sampled run.
+type Result struct {
+	Bucket  int
+	Samples []Sample
+	Stats   *sim.Stats
+}
+
+// Run simulates smv to completion, sampling every `bucket` cycles. The
+// provider may be the RegLess core provider (rich states) or any other
+// (issue-based states only).
+func Run(smv *sim.SM, bucket int) (*Result, error) {
+	if bucket <= 0 {
+		bucket = 100
+	}
+	rp, _ := smv.Provider.(*core.Provider)
+	res := &Result{Bucket: bucket}
+
+	counts := make([][7]int, len(smv.Warps)) // per-warp state histogram
+	lastInsns := uint64(0)
+	sampled := 0 // cycles accumulated since the last flush
+	flush := func(start uint64) {
+		s := Sample{StartCycle: start, Warp: make([]State, len(smv.Warps))}
+		for i := range counts {
+			s.Warp[i] = dominant(&counts[i])
+			counts[i] = [7]int{}
+		}
+		s.Insns = smv.Stats.DynInsns - lastInsns
+		lastInsns = smv.Stats.DynInsns
+		sampled = 0
+		res.Samples = append(res.Samples, s)
+	}
+
+	start := smv.Cycle()
+	for !smv.Done() {
+		if smv.Cycle() >= smv.Cfg.MaxCycles {
+			return nil, fmt.Errorf("trace: exceeded %d cycles", smv.Cfg.MaxCycles)
+		}
+		smv.StepOne()
+		for i, w := range smv.Warps {
+			counts[i][stateIndex(classify(rp, w, i))]++
+		}
+		sampled++
+		if (smv.Cycle()-start)%uint64(bucket) == 0 {
+			flush(smv.Cycle() - uint64(bucket))
+		}
+	}
+	if sampled > 0 {
+		flush(smv.Cycle() / uint64(bucket) * uint64(bucket))
+	}
+	res.Stats = smv.Finalize()
+	return res, nil
+}
+
+var stateOrder = [7]State{StateIdle, StateInactive, StatePreloading,
+	StateActive, StateDraining, StateBarrier, StateFinished}
+
+func stateIndex(s State) int {
+	for i, x := range stateOrder {
+		if x == s {
+			return i
+		}
+	}
+	return 0
+}
+
+func dominant(hist *[7]int) State {
+	best, n := 0, -1
+	for i, c := range hist {
+		if c > n {
+			best, n = i, c
+		}
+	}
+	return stateOrder[best]
+}
+
+func classify(rp *core.Provider, w *sim.Warp, idx int) State {
+	if w.Finished() {
+		return StateFinished
+	}
+	if w.AtBarrier() {
+		return StateBarrier
+	}
+	if rp == nil {
+		return StateIdle
+	}
+	switch rp.WarpState(idx) {
+	case cm.Inactive:
+		return StateInactive
+	case cm.Preloading:
+		return StatePreloading
+	case cm.Active:
+		return StateActive
+	case cm.Draining:
+		return StateDraining
+	default:
+		return StateFinished
+	}
+}
+
+// Render draws the timeline: one row per warp, one column per bucket,
+// with an IPC footer. maxCols clips long runs (0 = no clip).
+func (r *Result) Render(maxCols int) string {
+	var b strings.Builder
+	cols := len(r.Samples)
+	if maxCols > 0 && cols > maxCols {
+		cols = maxCols
+	}
+	if cols == 0 {
+		return "(empty trace)\n"
+	}
+	warps := len(r.Samples[0].Warp)
+	fmt.Fprintf(&b, "warp-state timeline: %d buckets x %d cycles  (A=active p=preloading d=draining -=inactive b=barrier)\n",
+		cols, r.Bucket)
+	for w := 0; w < warps; w++ {
+		fmt.Fprintf(&b, "w%02d |", w)
+		for c := 0; c < cols; c++ {
+			b.WriteByte(byte(r.Samples[c].Warp[w]))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("ipc |")
+	for c := 0; c < cols; c++ {
+		ipc := float64(r.Samples[c].Insns) / float64(r.Bucket)
+		b.WriteByte(ipcGlyph(ipc))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func ipcGlyph(ipc float64) byte {
+	switch {
+	case ipc >= 3:
+		return '#'
+	case ipc >= 2:
+		return '='
+	case ipc >= 1:
+		return '+'
+	case ipc > 0:
+		return '.'
+	default:
+		return ' '
+	}
+}
+
+// CSV emits the samples as comma-separated rows: cycle, insns, then one
+// state column per warp.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("cycle,insns")
+	if len(r.Samples) > 0 {
+		for w := range r.Samples[0].Warp {
+			fmt.Fprintf(&b, ",w%d", w)
+		}
+	}
+	b.WriteByte('\n')
+	for _, s := range r.Samples {
+		fmt.Fprintf(&b, "%d,%d", s.StartCycle, s.Insns)
+		for _, st := range s.Warp {
+			fmt.Fprintf(&b, ",%c", st)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	repro "repro"
+	"repro/internal/isa"
+)
+
+func TestBenchmarksList(t *testing.T) {
+	names := repro.Benchmarks()
+	if len(names) != 21 {
+		t.Fatalf("benchmarks = %d, want 21", len(names))
+	}
+	for _, n := range names {
+		k, err := repro.LoadBenchmark(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if k.Name != n {
+			t.Fatalf("kernel name %q for benchmark %q", k.Name, n)
+		}
+	}
+	if _, err := repro.LoadBenchmark("nonesuch"); err == nil {
+		t.Fatal("LoadBenchmark accepted unknown name")
+	}
+}
+
+func TestSimulateAllSchemes(t *testing.T) {
+	k, err := repro.LoadBenchmark("streamcluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := repro.SimOptions{Warps: 8, Capacity: 512}
+	results := map[repro.Scheme]*repro.SimResult{}
+	for _, sch := range []repro.Scheme{
+		repro.Baseline, repro.RFV, repro.RFH, repro.RegLess, repro.RegLessNoCompressor,
+	} {
+		r, err := repro.Simulate(k, sch, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", sch, err)
+		}
+		if r.Cycles == 0 || r.Instructions == 0 || r.Energy.Total <= 0 {
+			t.Fatalf("%s: degenerate result %+v", sch, r)
+		}
+		results[sch] = r
+	}
+	// All schemes execute the same instruction stream.
+	want := results[repro.Baseline].Instructions
+	for sch, r := range results {
+		if r.Instructions != want {
+			t.Fatalf("%s executed %d instructions, baseline %d", sch, r.Instructions, want)
+		}
+	}
+	// RegLess exposes its compiled regions; others don't.
+	if results[repro.RegLess].Compiled == nil {
+		t.Fatal("RegLess result missing compiled regions")
+	}
+	if results[repro.Baseline].Compiled != nil {
+		t.Fatal("baseline result has compiled regions")
+	}
+	// Energy ordering.
+	if results[repro.RegLess].Energy.RFTotal >= results[repro.Baseline].Energy.RFTotal {
+		t.Fatal("RegLess register energy not below baseline")
+	}
+	if _, err := repro.Simulate(k, repro.Scheme("bogus"), opts); err == nil {
+		t.Fatal("Simulate accepted unknown scheme")
+	}
+}
+
+func TestBuilderRoundTrip(t *testing.T) {
+	b := repro.NewKernelBuilder("api-demo", 4)
+	tid := b.Tid()
+	addr := b.OpImm(isa.OpSHLI, tid, 2)
+	v := b.Ldg(addr, 0x100000)
+	v2 := b.Addi(v, 1)
+	b.Stg(addr, v2, 0x200000)
+	b.Exit()
+	virt, err := b.Kernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := repro.AllocateRegisters(virt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := repro.CompileKernel(k, repro.DefaultCompilerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Regions) < 2 {
+		t.Fatalf("load/use split missing: %d regions", len(c.Regions))
+	}
+	res, err := repro.Simulate(k, repro.RegLess, repro.SimOptions{Warps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("no cycles")
+	}
+}
+
+func TestRunExperimentViaFacade(t *testing.T) {
+	s := repro.NewExperimentSuite()
+	s.Opts.Warps = 8
+	s.Opts.Benchmarks = []string{"nw", "bfs"}
+	tb, err := repro.RunExperiment(s, "fig19")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.Render(), "FIG19") {
+		t.Fatal("render missing header")
+	}
+	if _, err := repro.RunExperiment(s, "fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestCompilerConfigDefault(t *testing.T) {
+	cfg := repro.DefaultCompilerConfig()
+	if cfg.MaxRegsPerRegion <= 0 || cfg.BankLines <= 0 {
+		t.Fatalf("bad default config %+v", cfg)
+	}
+}
