@@ -48,6 +48,29 @@ func runExperiment(b *testing.B, id string) {
 	}
 }
 
+// BenchmarkSuiteAll regenerates every paper table through the run
+// planner (fresh suite per iteration, so kernel/compile caches are the
+// only carry-over) and reports simulated cycles per second of wall
+// clock — the engine's headline throughput number.
+func BenchmarkSuiteAll(b *testing.B) {
+	b.ReportAllocs()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchOpts())
+		tables, err := experiments.All(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+		for _, r := range s.CachedRuns() {
+			cycles += r.Stats.Cycles
+		}
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+}
+
 func BenchmarkTable1Parameters(b *testing.B)    { runExperiment(b, "table1") }
 func BenchmarkFig02WorkingSet(b *testing.B)     { runExperiment(b, "fig2") }
 func BenchmarkFig03BackingStore(b *testing.B)   { runExperiment(b, "fig3") }

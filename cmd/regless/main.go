@@ -12,10 +12,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -37,6 +40,8 @@ func main() {
 		warps      = flag.Int("warps", 64, "warps per SM")
 		benchList  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 21)")
 		markdown   = flag.Bool("markdown", false, "emit markdown tables")
+		parallel   = flag.Int("parallel", 0, "concurrent simulations in the run planner (0 = GOMAXPROCS); output is identical at any setting")
+		jsonOut    = flag.Bool("json", false, "with -experiment: emit a JSON benchmark snapshot (wall-clock, simcycles/s) instead of tables")
 		list       = flag.Bool("list", false, "list benchmarks and exit")
 		timeline   = flag.Bool("timeline", false, "with -bench: render a warp-state timeline")
 		bucket     = flag.Int("bucket", 100, "timeline bucket size in cycles")
@@ -53,6 +58,7 @@ func main() {
 
 	opts := experiments.Default()
 	opts.Warps = *warps
+	opts.Parallelism = *parallel
 	if *benchList != "" {
 		opts.Benchmarks = strings.Split(*benchList, ",")
 	}
@@ -66,8 +72,13 @@ func main() {
 	case *bench != "":
 		runOne(suite, *bench, experiments.Scheme(*scheme), *capacity)
 	case *experiment == "all":
+		start := time.Now()
 		tables, err := experiments.All(suite)
 		check(err)
+		if *jsonOut {
+			emitSnapshot(suite, "all", len(tables), time.Since(start))
+			return
+		}
 		for _, tb := range tables {
 			fmt.Println(render(tb, *markdown))
 		}
@@ -77,13 +88,58 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 			os.Exit(2)
 		}
+		start := time.Now()
 		tb, err := fn(suite)
 		check(err)
+		if *jsonOut {
+			emitSnapshot(suite, *experiment, 1, time.Since(start))
+			return
+		}
 		fmt.Println(render(tb, *markdown))
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// benchSnapshot is the -json performance record: scripts/bench.sh writes
+// one per run so the suite's throughput is tracked across PRs.
+type benchSnapshot struct {
+	Experiment     string  `json:"experiment"`
+	Parallelism    int     `json:"parallelism"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	Warps          int     `json:"warps"`
+	Benchmarks     int     `json:"benchmarks"`
+	Tables         int     `json:"tables"`
+	Runs           int     `json:"runs"`
+	SimCycles      uint64  `json:"sim_cycles"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	SimCyclesPerS  float64 `json:"simcycles_per_sec"`
+	TablesPerS     float64 `json:"tables_per_sec"`
+}
+
+func emitSnapshot(s *experiments.Suite, experiment string, tables int, wall time.Duration) {
+	runs := s.CachedRuns()
+	var cycles uint64
+	for _, r := range runs {
+		cycles += r.Stats.Cycles
+	}
+	snap := benchSnapshot{
+		Experiment:    experiment,
+		Parallelism:   s.Opts.Parallelism,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Warps:         s.Opts.Warps,
+		Benchmarks:    len(s.Opts.Benchmarks),
+		Tables:        tables,
+		Runs:          len(runs),
+		SimCycles:     cycles,
+		WallSeconds:   wall.Seconds(),
+		SimCyclesPerS: float64(cycles) / wall.Seconds(),
+		TablesPerS:    float64(tables) / wall.Seconds(),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	check(enc.Encode(snap))
 }
 
 func render(tb *experiments.Table, md bool) string {

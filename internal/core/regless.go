@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/cm"
 	"repro/internal/compress"
@@ -152,14 +153,61 @@ type Provider struct {
 	rrShard int // round-robin start for L1 port arbitration
 }
 
-// New compiles k and builds the provider. The same compiled result is
-// exposed via Compiled for experiments.
-func New(cfgv Config, k *isa.Kernel) (*Provider, error) {
-	comp, err := regions.Compile(k, cfgv.Regions)
-	if err != nil {
-		return nil, err
+// compileCache memoizes the RegLess compiler output per (kernel, region
+// config). Region creation depends only on the kernel and regions.Config
+// (not on the compressor, scheduler, or other Config knobs), and the
+// compiled result — including the metadata costs stamped by
+// metadata.Apply — is read-only once built, so providers across schemes,
+// capacities sharing a bank geometry, and concurrent simulations all share
+// one compile. Entries carry a sync.Once so concurrent first compiles of
+// the same key do the work exactly once.
+var compileCache = struct {
+	sync.Mutex
+	m map[compileKey]*compileEntry
+}{m: map[compileKey]*compileEntry{}}
+
+type compileKey struct {
+	k   *isa.Kernel
+	cfg regions.Config
+}
+
+type compileEntry struct {
+	once sync.Once
+	comp *regions.Compiled
+	err  error
+}
+
+func compileCached(k *isa.Kernel, cfg regions.Config) (*regions.Compiled, error) {
+	key := compileKey{k, cfg}
+	compileCache.Lock()
+	e, ok := compileCache.m[key]
+	if !ok {
+		e = &compileEntry{}
+		compileCache.m[key] = e
 	}
-	if _, err := metadata.Apply(comp); err != nil {
+	compileCache.Unlock()
+	e.once.Do(func() {
+		comp, err := regions.Compile(k, cfg)
+		if err != nil {
+			e.err = err
+			return
+		}
+		if _, err := metadata.Apply(comp); err != nil {
+			e.err = err
+			return
+		}
+		e.comp = comp
+	})
+	return e.comp, e.err
+}
+
+// New compiles k and builds the provider. The same compiled result is
+// exposed via Compiled for experiments. Compilation is memoized per
+// (kernel, region config); the shared *regions.Compiled is read-only, and
+// each provider keeps its own runtime state and counters.
+func New(cfgv Config, k *isa.Kernel) (*Provider, error) {
+	comp, err := compileCached(k, cfgv.Regions)
+	if err != nil {
 		return nil, err
 	}
 	// Safety: every region must fit a shard's banks or the CM could

@@ -78,7 +78,10 @@ func (s *Suite) runAblation(bench string, mutate func(*core.Config)) (*ablationR
 
 // Ablations quantifies the design choices DESIGN.md §7 calls out, at a
 // 256-register OSU where they matter. Run-time columns are geomeans
-// normalized to the paper-design variant.
+// normalized to the paper-design variant. The (variant x benchmark)
+// matrix runs on the suite's worker pool; each cell is an independent
+// deterministic simulation, so rows are assembled afterwards in a fixed
+// order.
 func Ablations(s *Suite) (*Table, error) {
 	t := &Table{
 		ID:     "ablation",
@@ -86,30 +89,33 @@ func Ablations(s *Suite) (*Table, error) {
 		Header: []string{"Variant", "Run time", "Staged preloads", "L1 req/kcycle"},
 	}
 	variants := ablationVariants()
-	// Collect per-benchmark baselines (paper design) first.
-	baseCycles := map[string]uint64{}
-	for _, bench := range s.benchmarks() {
-		r, err := s.runAblation(bench, variants[0].mutate)
+	benches := s.benchmarks()
+	grid := make([]*ablationRun, len(variants)*len(benches))
+	err := s.forEach(len(grid), func(i int) error {
+		v := variants[i/len(benches)]
+		r, err := s.runAblation(benches[i%len(benches)], v.mutate)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		baseCycles[bench] = r.cycles
+		grid[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, v := range variants {
+	// Row 0 (the paper design) is the per-benchmark normalization point.
+	for vi, v := range variants {
 		var ratios []float64
 		var hitSum, l1Sum float64
-		n := 0
-		for _, bench := range s.benchmarks() {
-			r, err := s.runAblation(bench, v.mutate)
-			if err != nil {
-				return nil, err
-			}
-			ratios = append(ratios, float64(r.cycles)/float64(baseCycles[bench]))
+		for bi := range benches {
+			r := grid[vi*len(benches)+bi]
+			base := grid[bi]
+			ratios = append(ratios, float64(r.cycles)/float64(base.cycles))
 			hitSum += r.osuHit
 			l1Sum += r.l1PerKC
-			n++
 		}
-		t.AddRow(v.name, f3(GeoMean(ratios)), pct(hitSum/float64(n)), f2(l1Sum/float64(n)))
+		n := float64(len(benches))
+		t.AddRow(v.name, f3(GeoMean(ratios)), pct(hitSum/n), f2(l1Sum/n))
 	}
 	t.Note("LIFO vs FIFO isolates §5.1's warp-stack choice; pattern sets isolate §5.3's compressor design")
 	return t, nil

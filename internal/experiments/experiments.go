@@ -9,8 +9,10 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -57,6 +59,11 @@ type Options struct {
 	Warps      int
 	Benchmarks []string
 	MaxCycles  uint64
+	// Parallelism bounds how many simulations the run planner executes
+	// concurrently (0 means runtime.GOMAXPROCS(0)). Simulations are
+	// independent and deterministic, and tables are assembled serially
+	// from the warm cache, so output is identical at any setting.
+	Parallelism int
 }
 
 // Default returns the full-scale options (Table 1's 64 warps per SM).
@@ -67,6 +74,18 @@ func Default() Options {
 // Quick returns reduced-scale options for unit tests.
 func Quick() Options {
 	return Options{Warps: 16, Benchmarks: []string{"bfs", "hotspot", "lud", "nw", "streamcluster"}, MaxCycles: 20_000_000}
+}
+
+// benchmarks returns o.Benchmarks in canonical suite order.
+func (o Options) benchmarks() []string {
+	out := make([]string, len(o.Benchmarks))
+	copy(out, o.Benchmarks)
+	order := map[string]int{}
+	for i, n := range kernels.Names() {
+		order[n] = i
+	}
+	sort.Slice(out, func(a, b int) bool { return order[out[a]] < order[out[b]] })
+	return out
 }
 
 // Run is one completed simulation.
@@ -111,42 +130,181 @@ type runKey struct {
 	capacity int
 }
 
-// Suite memoizes simulation runs across experiments.
+// normKey canonicalizes a run key: capacity applies to RegLess schemes
+// only, so non-RegLess keys fold to capacity 0.
+func normKey(bench string, scheme Scheme, capacity int) runKey {
+	if scheme != SchemeRegLess && scheme != SchemeRegLessNC {
+		capacity = 0
+	}
+	return runKey{bench, scheme, capacity}
+}
+
+// runEntry is one singleflight cache slot: the first caller simulates and
+// closes done; every other caller of the same key blocks on done and
+// shares the result.
+type runEntry struct {
+	done chan struct{}
+	run  *Run
+	err  error
+}
+
+// Suite memoizes simulation runs across experiments. Get is a
+// singleflight: concurrent callers of the same (bench, scheme, capacity)
+// share one in-flight simulation, so the run planner can fan an
+// experiment's requirements across a worker pool without duplicating
+// work.
 type Suite struct {
 	Opts   Options
 	Params energy.Params
 
+	// OnSimulate, when non-nil, is invoked exactly once per simulation
+	// actually executed (cache misses only) — a hook for tests and
+	// progress reporting. Set it before the first Get; it may be called
+	// concurrently from planner workers.
+	OnSimulate func(bench string, scheme Scheme, capacity int)
+
 	mu    sync.Mutex
-	cache map[runKey]*Run
+	cache map[runKey]*runEntry
 }
 
 // NewSuite builds an experiment suite.
 func NewSuite(opts Options) *Suite {
-	return &Suite{Opts: opts, Params: energy.DefaultParams(), cache: map[runKey]*Run{}}
+	return &Suite{Opts: opts, Params: energy.DefaultParams(), cache: map[runKey]*runEntry{}}
 }
 
 // Get returns the memoized run for (bench, scheme, capacity), simulating
 // on first use. capacity applies to RegLess schemes only (registers/SM).
+// Concurrent callers of the same key share one simulation; errors are
+// cached alongside results (simulations are deterministic, so retrying
+// cannot help).
 func (s *Suite) Get(bench string, scheme Scheme, capacity int) (*Run, error) {
-	if scheme != SchemeRegLess && scheme != SchemeRegLessNC {
-		capacity = 0
-	}
-	key := runKey{bench, scheme, capacity}
+	key := normKey(bench, scheme, capacity)
 	s.mu.Lock()
-	if r, ok := s.cache[key]; ok {
-		s.mu.Unlock()
-		return r, nil
+	e, ok := s.cache[key]
+	if !ok {
+		e = &runEntry{done: make(chan struct{})}
+		s.cache[key] = e
 	}
 	s.mu.Unlock()
-
-	r, err := s.simulate(bench, scheme, capacity)
+	if ok {
+		<-e.done
+		return e.run, e.err
+	}
+	if s.OnSimulate != nil {
+		s.OnSimulate(key.bench, key.scheme, key.capacity)
+	}
+	r, err := s.simulate(key.bench, key.scheme, key.capacity)
 	if err != nil {
-		return nil, fmt.Errorf("%s/%s/%d: %w", bench, scheme, capacity, err)
+		e.err = fmt.Errorf("%s/%s/%d: %w", key.bench, key.scheme, key.capacity, err)
+	} else {
+		e.run = r
 	}
+	close(e.done)
+	return e.run, e.err
+}
+
+// parallelism resolves the planner's worker count.
+func (s *Suite) parallelism() int {
+	if s.Opts.Parallelism > 0 {
+		return s.Opts.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Warm ensures every key has a completed run, fanning cache misses across
+// the planner's worker pool. Keys are deduplicated after normalization;
+// already-cached keys cost nothing. The first error in key order is
+// returned (matching what a serial pass would report), after all workers
+// finish.
+func (s *Suite) Warm(keys []runKey) error {
+	seen := map[runKey]bool{}
+	work := make([]runKey, 0, len(keys))
+	for _, k := range keys {
+		k = normKey(k.bench, k.scheme, k.capacity)
+		if !seen[k] {
+			seen[k] = true
+			work = append(work, k)
+		}
+	}
+	return s.forEach(len(work), func(i int) error {
+		_, err := s.Get(work[i].bench, work[i].scheme, work[i].capacity)
+		return err
+	})
+}
+
+// forEach runs fn(0..n-1) across min(parallelism, n) workers and returns
+// the first error by index. All indices are attempted even after a
+// failure, so the reported error does not depend on worker scheduling.
+func (s *Suite) forEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := s.parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&next, 1)
+				if i >= int64(n) {
+					return
+				}
+				errs[i] = fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CachedRuns returns every completed run in deterministic key order
+// (bench, then scheme, then capacity) — the raw material for throughput
+// reporting and JSON snapshots.
+func (s *Suite) CachedRuns() []*Run {
 	s.mu.Lock()
-	s.cache[key] = r
+	entries := make([]*runEntry, 0, len(s.cache))
+	for _, e := range s.cache {
+		entries = append(entries, e)
+	}
 	s.mu.Unlock()
-	return r, nil
+	var out []*Run
+	for _, e := range entries {
+		<-e.done
+		if e.run != nil {
+			out = append(out, e.run)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Bench != b.Bench {
+			return a.Bench < b.Bench
+		}
+		if a.Scheme != b.Scheme {
+			return a.Scheme < b.Scheme
+		}
+		return a.Capacity < b.Capacity
+	})
+	return out
 }
 
 func (s *Suite) simulate(bench string, scheme Scheme, capacity int) (*Run, error) {
@@ -223,14 +381,5 @@ func GeoMean(xs []float64) float64 {
 	return math.Exp(sum / float64(len(xs)))
 }
 
-// sortedBenchmarks returns the option benchmarks in suite order.
-func (s *Suite) benchmarks() []string {
-	out := make([]string, len(s.Opts.Benchmarks))
-	copy(out, s.Opts.Benchmarks)
-	order := map[string]int{}
-	for i, n := range kernels.Names() {
-		order[n] = i
-	}
-	sort.Slice(out, func(a, b int) bool { return order[out[a]] < order[out[b]] })
-	return out
-}
+// benchmarks returns the option benchmarks in suite order.
+func (s *Suite) benchmarks() []string { return s.Opts.benchmarks() }

@@ -241,10 +241,14 @@ func (s *Suite) sweepCapacities(caps []int) ([]capacityPoint, error) {
 	return out, nil
 }
 
+// fig13Capacities is Figure 13's sweep (the planner declares the same
+// points as requirements).
+var fig13Capacities = []int{128, 192, 256, 384, 512, 1024}
+
 // Fig13 sweeps run time versus GPU energy across OSU capacities (paper
 // Figure 13).
 func Fig13(s *Suite) (*Table, error) {
-	pts, err := s.sweepCapacities([]int{128, 192, 256, 384, 512, 1024})
+	pts, err := s.sweepCapacities(fig13Capacities)
 	if err != nil {
 		return nil, err
 	}
@@ -496,31 +500,5 @@ func Table2(s *Suite) (*Table, error) {
 	return t, nil
 }
 
-// All runs every experiment in paper order.
-func All(s *Suite) ([]*Table, error) {
-	fns := []func(*Suite) (*Table, error){
-		Table1, Fig2, Fig3, Fig5, Fig11, Fig12, Fig13, Fig14, Fig15,
-		Fig16, Fig17, Fig18, Fig19, Table2,
-	}
-	var out []*Table
-	for _, fn := range fns {
-		tb, err := fn(s)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, tb)
-	}
-	return out, nil
-}
-
-// ByID returns the experiment function for an ID like "fig16".
-func ByID(id string) (func(*Suite) (*Table, error), bool) {
-	m := map[string]func(*Suite) (*Table, error){
-		"table1": Table1, "fig2": Fig2, "fig3": Fig3, "fig5": Fig5,
-		"fig11": Fig11, "fig12": Fig12, "fig13": Fig13, "fig14": Fig14,
-		"fig15": Fig15, "fig16": Fig16, "fig17": Fig17, "fig18": Fig18,
-		"fig19": Fig19, "table2": Table2, "ablation": Ablations, "gpuscale": GPUScale, "oversub": Oversubscription, "breakdown": EnergyBreakdown, "sensitivity": Sensitivity,
-	}
-	fn, ok := m[id]
-	return fn, ok
-}
+// All and ByID live in plan.go: they drive the run planner before
+// assembling tables.

@@ -27,36 +27,57 @@ func GPUScale(s *Suite) (*Table, error) {
 	if len(benches) > 4 {
 		benches = benches[:4]
 	}
-	for _, bench := range benches {
+	smCounts := []int{1, 4, 8}
+	// Each cell of the (benchmark x SM-count x scheme) matrix is an
+	// independent chip simulation; fan them out on the worker pool and
+	// assemble rows in order afterwards.
+	type cell struct {
+		base, rgls *gpu.Result
+	}
+	cells := make([]cell, len(benches)*len(smCounts))
+	err := s.forEach(2*len(cells), func(i int) error {
+		ci := i / 2
+		bench := benches[ci/len(smCounts)]
+		sms := smCounts[ci%len(smCounts)]
 		k, err := kernels.Load(bench)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, sms := range []int{1, 4, 8} {
-			cfg := gpu.DefaultConfig()
-			cfg.SMs = sms
-			cfg.SM.Warps = s.Opts.Warps
-			cfg.SM.MaxCycles = s.Opts.MaxCycles
-
+		cfg := gpu.DefaultConfig()
+		cfg.SMs = sms
+		cfg.SM.Warps = s.Opts.Warps
+		cfg.SM.MaxCycles = s.Opts.MaxCycles
+		if i%2 == 0 {
 			base, err := runChip(cfg, k, func(int) (sim.Provider, error) {
 				return rf.NewBaseline(), nil
 			})
 			if err != nil {
-				return nil, fmt.Errorf("%s/%d SMs baseline: %w", bench, sms, err)
+				return fmt.Errorf("%s/%d SMs baseline: %w", bench, sms, err)
 			}
-			rgls, err := runChip(cfg, k, func(i int) (sim.Provider, error) {
-				c := core.ConfigForCapacity(DefaultCapacity)
-				c.AddrOffset = uint32(i) << 24
-				return core.New(c, k)
-			})
-			if err != nil {
-				return nil, fmt.Errorf("%s/%d SMs regless: %w", bench, sms, err)
-			}
-			t.AddRow(bench, fmt.Sprintf("%d", sms),
-				fmt.Sprintf("%d", base.Cycles), fmt.Sprintf("%d", rgls.Cycles),
-				f3(float64(rgls.Cycles)/float64(base.Cycles)),
-				fmt.Sprintf("%d/%d", base.DRAMAccesses, rgls.DRAMAccesses))
+			cells[ci].base = base
+			return nil
 		}
+		rgls, err := runChip(cfg, k, func(i int) (sim.Provider, error) {
+			c := core.ConfigForCapacity(DefaultCapacity)
+			c.AddrOffset = uint32(i) << 24
+			return core.New(c, k)
+		})
+		if err != nil {
+			return fmt.Errorf("%s/%d SMs regless: %w", bench, sms, err)
+		}
+		cells[ci].rgls = rgls
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range cells {
+		bench := benches[ci/len(smCounts)]
+		sms := smCounts[ci%len(smCounts)]
+		t.AddRow(bench, fmt.Sprintf("%d", sms),
+			fmt.Sprintf("%d", c.base.Cycles), fmt.Sprintf("%d", c.rgls.Cycles),
+			f3(float64(c.rgls.Cycles)/float64(c.base.Cycles)),
+			fmt.Sprintf("%d/%d", c.base.DRAMAccesses, c.rgls.DRAMAccesses))
 	}
 	t.Note("extension: the paper evaluates per-SM; this checks the shared-L2 chip")
 	return t, nil

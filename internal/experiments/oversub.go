@@ -37,17 +37,25 @@ func Oversubscription(s *Suite) (*Table, error) {
 	simCfg := sim.DefaultConfig()
 	simCfg.MaxCycles = s.Opts.MaxCycles
 
-	base, err := launch.Run(k, grid, baseWarps, simCfg,
-		func(int) (sim.Provider, error) { return rf.NewBaseline(), nil },
-		exec.NewMemory(nil))
-	if err != nil {
-		return nil, err
-	}
-	rgl, err := launch.Run(k, grid, fullWarps, simCfg,
-		func(int) (sim.Provider, error) {
-			return core.New(core.ConfigForCapacity(DefaultCapacity), k)
-		},
-		exec.NewMemory(nil))
+	// The two launches are independent (each gets a private functional
+	// memory); run them on the worker pool.
+	var base, rgl *launch.Result
+	err = s.forEach(2, func(i int) error {
+		if i == 0 {
+			r, err := launch.Run(k, grid, baseWarps, simCfg,
+				func(int) (sim.Provider, error) { return rf.NewBaseline(), nil },
+				exec.NewMemory(nil))
+			base = r
+			return err
+		}
+		r, err := launch.Run(k, grid, fullWarps, simCfg,
+			func(int) (sim.Provider, error) {
+				return core.New(core.ConfigForCapacity(DefaultCapacity), k)
+			},
+			exec.NewMemory(nil))
+		rgl = r
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}

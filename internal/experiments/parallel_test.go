@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// parOpts keeps concurrency tests fast: one tiny benchmark, forced
+// parallelism so the pool is exercised even on one core.
+func parOpts() Options {
+	return Options{
+		Warps:       8,
+		Benchmarks:  []string{"bfs", "streamcluster"},
+		MaxCycles:   20_000_000,
+		Parallelism: 8,
+	}
+}
+
+// TestSingleflightGet hammers one key from 32 goroutines: exactly one
+// simulation must run, and every caller must get the same *Run.
+func TestSingleflightGet(t *testing.T) {
+	s := NewSuite(parOpts())
+	var sims int32
+	s.OnSimulate = func(string, Scheme, int) { atomic.AddInt32(&sims, 1) }
+
+	const callers = 32
+	runs := make([]*Run, callers)
+	errs := make([]error, callers)
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			runs[i], errs[i] = s.Get("streamcluster", SchemeBaseline, 0)
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := atomic.LoadInt32(&sims); n != 1 {
+		t.Fatalf("%d simulations ran, want exactly 1", n)
+	}
+	for i := range runs {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if runs[i] != runs[0] {
+			t.Fatalf("caller %d got a different *Run", i)
+		}
+	}
+	if runs[0] == nil || runs[0].Stats.Cycles == 0 {
+		t.Fatal("empty run")
+	}
+}
+
+// TestWarmDedupes feeds the planner duplicate and alias keys (non-RegLess
+// capacities fold to zero) and checks one simulation per unique key.
+func TestWarmDedupes(t *testing.T) {
+	s := NewSuite(parOpts())
+	var sims int32
+	s.OnSimulate = func(string, Scheme, int) { atomic.AddInt32(&sims, 1) }
+	keys := []runKey{
+		{"bfs", SchemeBaseline, 0},
+		{"bfs", SchemeBaseline, 512}, // alias of the previous key
+		{"bfs", SchemeBaseline, 0},
+		{"streamcluster", SchemeRegLess, 256},
+		{"streamcluster", SchemeRegLess, 256},
+	}
+	if err := s.Warm(keys); err != nil {
+		t.Fatal(err)
+	}
+	if n := atomic.LoadInt32(&sims); n != 2 {
+		t.Fatalf("%d simulations ran, want 2 (bfs/baseline + streamcluster/regless-256)", n)
+	}
+	// A second warm over the same keys is free.
+	if err := s.Warm(keys); err != nil {
+		t.Fatal(err)
+	}
+	if n := atomic.LoadInt32(&sims); n != 2 {
+		t.Fatalf("re-warm re-simulated: %d runs", n)
+	}
+}
+
+// TestWarmError checks that a bad key surfaces its error through the
+// parallel fan-out.
+func TestWarmError(t *testing.T) {
+	s := NewSuite(parOpts())
+	err := s.Warm([]runKey{
+		{"bfs", SchemeBaseline, 0},
+		{"nonesuch", SchemeBaseline, 0},
+	})
+	if err == nil {
+		t.Fatal("unknown benchmark did not error")
+	}
+}
+
+// TestRequirementsCoverRunners verifies every declared requirement list is
+// complete: after Warm, running the experiment must trigger zero
+// additional simulations — the property that makes All's parallel fan-out
+// equivalent to the serial pass.
+func TestRequirementsCoverRunners(t *testing.T) {
+	opts := Options{
+		Warps:       8,
+		Benchmarks:  []string{"bfs", "hotspot"},
+		MaxCycles:   20_000_000,
+		Parallelism: 4,
+	}
+	for _, e := range Experiments() {
+		if e.Requirements == nil {
+			continue
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			s := NewSuite(opts)
+			var sims int32
+			s.OnSimulate = func(string, Scheme, int) { atomic.AddInt32(&sims, 1) }
+			if err := s.Warm(e.Requirements(s.Opts)); err != nil {
+				t.Fatal(err)
+			}
+			warmed := atomic.LoadInt32(&sims)
+			if _, err := e.Run(s); err != nil {
+				t.Fatal(err)
+			}
+			if after := atomic.LoadInt32(&sims); after != warmed {
+				t.Fatalf("runner simulated %d keys the planner did not declare", after-warmed)
+			}
+		})
+	}
+}
+
+// TestParallelAllMatchesSerial runs the full paper suite serially and in
+// parallel and requires identical rendered tables.
+func TestParallelAllMatchesSerial(t *testing.T) {
+	render := func(par int) string {
+		opts := parOpts()
+		opts.Parallelism = par
+		s := NewSuite(opts)
+		tables, err := All(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := ""
+		for _, tb := range tables {
+			out += tb.Render() + "\n"
+		}
+		return out
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatal("parallel output differs from serial output")
+	}
+}
+
+// TestForEachOrderIndependentError checks the first-by-index error
+// contract that keeps error reporting deterministic under parallelism.
+func TestForEachOrderIndependentError(t *testing.T) {
+	s := NewSuite(parOpts())
+	errA := &testErr{"a"}
+	errB := &testErr{"b"}
+	err := s.forEach(8, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 6:
+			return errB
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("got %v, want the lowest-index error", err)
+	}
+}
+
+type testErr struct{ s string }
+
+func (e *testErr) Error() string { return e.s }

@@ -1,0 +1,169 @@
+package experiments
+
+// The run planner. Each experiment declares the simulations its runner
+// will consult (Requirements); All and ByID collect the union, fan the
+// cache misses across the suite's worker pool (Suite.Warm), and only then
+// assemble tables serially from the warm cache. Because every simulation
+// is independent and deterministic, the printed tables are byte-identical
+// at any parallelism — the planner changes wall-clock only.
+
+// Experiment couples a table runner with the planner's declaration of the
+// simulations it consumes.
+type Experiment struct {
+	// ID is the experiment identifier ("fig16", "table2", ...).
+	ID string
+	// Run assembles the table, reading simulations through Suite.Get.
+	Run func(*Suite) (*Table, error)
+	// Requirements lists every (bench, scheme, capacity) Run will consult
+	// under the given options. Nil means the experiment drives its own
+	// simulations outside the suite cache (ablation, gpuscale, oversub)
+	// or needs none (table1, fig5, fig11); such runners parallelize
+	// internally via Suite.forEach where it pays.
+	Requirements func(Options) []runKey
+}
+
+// schemeCap pairs a scheme with its RegLess capacity (0 for the rest).
+type schemeCap struct {
+	scheme   Scheme
+	capacity int
+}
+
+// benchCross builds the cross product of opts' benchmarks (suite order)
+// with the given scheme/capacity pairs.
+func benchCross(opts Options, scs ...schemeCap) []runKey {
+	out := make([]runKey, 0, len(opts.Benchmarks)*len(scs))
+	for _, b := range opts.benchmarks() {
+		for _, sc := range scs {
+			out = append(out, normKey(b, sc.scheme, sc.capacity))
+		}
+	}
+	return out
+}
+
+func reqRegLessDefault(o Options) []runKey {
+	return benchCross(o, schemeCap{SchemeRegLess, DefaultCapacity})
+}
+
+// reqComparison covers the four-scheme comparisons of Figures 14 and 15.
+func reqComparison(o Options) []runKey {
+	return benchCross(o,
+		schemeCap{SchemeBaseline, 0},
+		schemeCap{SchemeRFH, 0},
+		schemeCap{SchemeRFV, 0},
+		schemeCap{SchemeRegLess, DefaultCapacity})
+}
+
+// reqBaseRegLess covers runners contrasting RegLess with the baseline.
+func reqBaseRegLess(o Options) []runKey {
+	return benchCross(o,
+		schemeCap{SchemeBaseline, 0},
+		schemeCap{SchemeRegLess, DefaultCapacity})
+}
+
+// paperExperiments returns the table/figure runners in paper order.
+func paperExperiments() []Experiment {
+	return []Experiment{
+		{"table1", Table1, nil},
+		{"fig2", Fig2, func(o Options) []runKey {
+			return benchCross(o,
+				schemeCap{SchemeBaseline, 0},
+				schemeCap{SchemeBaseline2L, 0})
+		}},
+		{"fig3", Fig3, func(Options) []runKey {
+			// Fig3 samples hotspot regardless of the benchmark subset.
+			return []runKey{
+				normKey("hotspot", SchemeBaseline, 0),
+				normKey("hotspot", SchemeRFH, 0),
+				normKey("hotspot", SchemeRegLess, DefaultCapacity),
+			}
+		}},
+		{"fig5", Fig5, nil},
+		{"fig11", Fig11, nil},
+		{"fig12", Fig12, reqRegLessDefault},
+		{"fig13", Fig13, func(o Options) []runKey {
+			keys := benchCross(o, schemeCap{SchemeBaseline, 0})
+			for _, c := range fig13Capacities {
+				keys = append(keys, benchCross(o, schemeCap{SchemeRegLess, c})...)
+			}
+			return keys
+		}},
+		{"fig14", Fig14, reqComparison},
+		{"fig15", Fig15, reqComparison},
+		{"fig16", Fig16, func(o Options) []runKey {
+			return benchCross(o,
+				schemeCap{SchemeBaseline, 0},
+				schemeCap{SchemeRegLess, DefaultCapacity},
+				schemeCap{SchemeRegLessNC, DefaultCapacity},
+				schemeCap{SchemeRFV, 0},
+				schemeCap{SchemeRFH, 0})
+		}},
+		{"fig17", Fig17, reqRegLessDefault},
+		{"fig18", Fig18, reqRegLessDefault},
+		{"fig19", Fig19, reqRegLessDefault},
+		{"table2", Table2, reqRegLessDefault},
+	}
+}
+
+// extensionExperiments returns the beyond-the-paper runners.
+func extensionExperiments() []Experiment {
+	return []Experiment{
+		{"ablation", Ablations, nil},
+		{"gpuscale", GPUScale, nil},
+		{"oversub", Oversubscription, nil},
+		{"breakdown", EnergyBreakdown, reqBaseRegLess},
+		{"sensitivity", Sensitivity, reqBaseRegLess},
+	}
+}
+
+// Experiments returns every registered experiment: paper order, then the
+// extensions.
+func Experiments() []Experiment {
+	return append(paperExperiments(), extensionExperiments()...)
+}
+
+// All runs every paper experiment in order. The planner first warms the
+// union of their requirements across the worker pool, then the tables are
+// assembled serially from the cache, so output matches a serial run
+// byte for byte.
+func All(s *Suite) ([]*Table, error) {
+	exps := paperExperiments()
+	var keys []runKey
+	for _, e := range exps {
+		if e.Requirements != nil {
+			keys = append(keys, e.Requirements(s.Opts)...)
+		}
+	}
+	if err := s.Warm(keys); err != nil {
+		return nil, err
+	}
+	var out []*Table
+	for _, e := range exps {
+		tb, err := e.Run(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tb)
+	}
+	return out, nil
+}
+
+// ByID returns the experiment function for an ID like "fig16". The
+// returned function warms the experiment's requirements in parallel
+// before assembling the table.
+func ByID(id string) (func(*Suite) (*Table, error), bool) {
+	for _, e := range Experiments() {
+		if e.ID != id {
+			continue
+		}
+		e := e
+		return func(s *Suite) (*Table, error) {
+			if e.Requirements != nil {
+				if err := s.Warm(e.Requirements(s.Opts)); err != nil {
+					return nil, err
+				}
+			}
+			return e.Run(s)
+		}, true
+	}
+	return nil, false
+}

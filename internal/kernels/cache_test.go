@@ -1,0 +1,64 @@
+package kernels
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestLoadMemoized checks the process-wide allocation cache: repeated
+// loads of a benchmark return the identical allocated kernel, and
+// MustLoad shares it.
+func TestLoadMemoized(t *testing.T) {
+	a, err := Load("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second Load re-allocated the kernel")
+	}
+	if c := MustLoad("bfs"); c != a {
+		t.Fatal("MustLoad does not share the Load cache")
+	}
+}
+
+// TestLoadConcurrent loads the same benchmark from many goroutines; the
+// race detector plus the pointer-equality check cover the cache's
+// synchronization.
+func TestLoadConcurrent(t *testing.T) {
+	const callers = 16
+	results := make([]interface{}, callers)
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			k, err := Load("hotspot")
+			if err != nil {
+				results[i] = err
+				return
+			}
+			results[i] = k
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different kernel or an error: %v", i, results[i])
+		}
+	}
+}
+
+// TestLoadUnknownStillErrors makes sure the cache did not swallow the
+// unknown-benchmark error path.
+func TestLoadUnknownStillErrors(t *testing.T) {
+	if _, err := Load("nonesuch"); err == nil {
+		t.Fatal("unknown benchmark did not error")
+	}
+}

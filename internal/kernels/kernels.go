@@ -29,6 +29,7 @@ package kernels
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/isa"
 	"repro/internal/regalloc"
@@ -105,18 +106,48 @@ func ByName(name string) (Benchmark, error) {
 	return Benchmark{}, fmt.Errorf("kernels: unknown benchmark %q (have %v)", name, sorted)
 }
 
+// loadCache memoizes codegen + register allocation per benchmark: the
+// suite kernels are immutable after allocation, every consumer (compiler,
+// simulator, executor) reads them without mutation, and the experiment
+// engine loads the same benchmark hundreds of times across schemes and
+// capacities. Entries carry a sync.Once so concurrent first loads of the
+// same benchmark share one allocation instead of racing.
+var loadCache = struct {
+	sync.Mutex
+	m map[string]*loadEntry
+}{m: map[string]*loadEntry{}}
+
+type loadEntry struct {
+	once sync.Once
+	k    *isa.Kernel
+	err  error
+}
+
 // Load builds a benchmark's kernel and runs register allocation, returning
-// architecturally-allocated code.
+// architecturally-allocated code. The result is memoized process-wide:
+// repeated loads of the same benchmark return the same *isa.Kernel, which
+// callers must treat as immutable.
 func Load(name string) (*isa.Kernel, error) {
 	b, err := ByName(name)
 	if err != nil {
 		return nil, err
 	}
-	res, err := regalloc.Allocate(b.Build())
-	if err != nil {
-		return nil, fmt.Errorf("kernels: allocating %s: %w", name, err)
+	loadCache.Lock()
+	e, ok := loadCache.m[name]
+	if !ok {
+		e = &loadEntry{}
+		loadCache.m[name] = e
 	}
-	return res.Kernel, nil
+	loadCache.Unlock()
+	e.once.Do(func() {
+		res, err := regalloc.Allocate(b.Build())
+		if err != nil {
+			e.err = fmt.Errorf("kernels: allocating %s: %w", name, err)
+			return
+		}
+		e.k = res.Kernel
+	})
+	return e.k, e.err
 }
 
 // MustLoad is Load but panics on error (suite kernels failing to build is

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Record a performance snapshot of the full experiment suite.
+#
+# Runs every paper table/figure through the parallel run planner and
+# writes a BENCH_<utc-timestamp>.json record (wall-clock seconds, total
+# simulated cycles, simcycles/s) to the repo root, so suite throughput
+# can be compared across PRs.
+#
+# Usage: scripts/bench.sh [extra cmd/regless flags, e.g. -parallel 4]
+set -eu
+cd "$(dirname "$0")/.."
+out="BENCH_$(date -u +%Y%m%dT%H%M%SZ).json"
+go run ./cmd/regless -experiment all -json "$@" | tee "$out"
+echo "wrote $out" >&2

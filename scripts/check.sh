@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-2 verification: vet plus the full test suite under the race
+# detector. The concurrency in the experiment engine (singleflight run
+# cache, worker-pool planner, kernel/compile caches) is only meaningfully
+# exercised with -race, so this runs alongside the tier-1
+# `go build ./... && go test ./...` gate.
+set -eux
+cd "$(dirname "$0")/.."
+go vet ./...
+go test -race ./...
