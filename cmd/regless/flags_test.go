@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain lets tests re-exec this binary as the real CLI: with
+// REGLESS_RUN_MAIN=1 the process runs main() (flag parsing, os.Exit
+// semantics and all) instead of the test harness.
+func TestMain(m *testing.M) {
+	if os.Getenv("REGLESS_RUN_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		parallel int
+		metrics  string
+		wantErr  string
+	}{
+		{1, "", ""},
+		{8, "jsonl", ""},
+		{0, "", "-parallel must be at least 1"},
+		{-3, "", "-parallel must be at least 1"},
+		{1, "xml", `unknown -metrics format "xml"`},
+		{0, "xml", "-parallel must be at least 1"}, // first error wins
+	}
+	for _, c := range cases {
+		err := validateFlags(c.parallel, c.metrics)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("validateFlags(%d, %q) = %v, want nil", c.parallel, c.metrics, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("validateFlags(%d, %q) = %v, want error containing %q", c.parallel, c.metrics, err, c.wantErr)
+		}
+	}
+}
+
+// runMain re-executes the test binary as the CLI with the given args.
+func runMain(t *testing.T, args ...string) (stdout, stderr string, exitCode int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "REGLESS_RUN_MAIN=1")
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("re-exec failed to run: %v", err)
+		}
+		code = ee.ExitCode()
+	}
+	return out.String(), errb.String(), code
+}
+
+// TestBadFlagsExitWithUsage drives the real binary: invalid -parallel and
+// -metrics values must exit 2 with a usage message on stderr, leaving
+// stdout clean.
+func TestBadFlagsExitWithUsage(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-parallel", "0", "-experiment", "fig2"}, "-parallel must be at least 1, got 0"},
+		{[]string{"-parallel", "-2", "-list"}, "-parallel must be at least 1, got -2"},
+		{[]string{"-metrics", "csv", "-experiment", "fig2"}, `unknown -metrics format "csv"`},
+	}
+	for _, c := range cases {
+		stdout, stderr, code := runMain(t, c.args...)
+		if strings.Contains(strings.Join(c.args, " "), "-list") {
+			// -list short-circuits before validation; it must still work.
+			if code != 0 {
+				t.Fatalf("%v: exit %d, stderr %q", c.args, code, stderr)
+			}
+			continue
+		}
+		if code != 2 {
+			t.Fatalf("%v: exit %d, want 2 (stderr %q)", c.args, code, stderr)
+		}
+		if !strings.Contains(stderr, c.want) {
+			t.Fatalf("%v: stderr %q missing %q", c.args, stderr, c.want)
+		}
+		if !strings.Contains(stderr, "Usage") {
+			t.Fatalf("%v: stderr lacks usage text:\n%s", c.args, stderr)
+		}
+		if stdout != "" {
+			t.Fatalf("%v: unexpected stdout %q", c.args, stdout)
+		}
+	}
+}
+
+// TestMetricsStreamIsValidJSONL runs one small benchmark with -metrics
+// jsonl through the real binary and checks stdout is pure JSONL (tables
+// moved to stderr) with the run's labels on every record.
+func TestMetricsStreamIsValidJSONL(t *testing.T) {
+	stdout, stderr, code := runMain(t,
+		"-metrics", "jsonl", "-bench", "nw", "-scheme", "baseline", "-warps", "8")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "benchmark      nw") {
+		t.Fatalf("tables did not move to stderr:\n%s", stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no JSONL records on stdout")
+	}
+	for i, ln := range lines {
+		var rec struct {
+			Bench  string `json:"bench"`
+			Scheme string `json:"scheme"`
+			End    uint64 `json:"end"`
+		}
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i+1, err, ln)
+		}
+		if rec.Bench != "nw" || rec.Scheme != "baseline" {
+			t.Fatalf("line %d mislabeled: %s", i+1, ln)
+		}
+	}
+}

@@ -9,14 +9,22 @@
 //	regless -bench hotspot -scheme regless  # one run with stats
 //	regless -experiment all -markdown       # markdown output
 //	regless -warps 32                       # scale the SM occupancy
+//	regless -metrics jsonl -experiment fig17  # stream per-window metrics
+//	regless -cpuprofile cpu.pb.gz -experiment all  # profile the run
+//
+// With -metrics jsonl and no -metrics-out, the JSONL stream takes stdout
+// and tables move to stderr, so piping into a JSON consumer always sees a
+// valid stream.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -40,12 +48,16 @@ func main() {
 		warps      = flag.Int("warps", 64, "warps per SM")
 		benchList  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 21)")
 		markdown   = flag.Bool("markdown", false, "emit markdown tables")
-		parallel   = flag.Int("parallel", 0, "concurrent simulations in the run planner (0 = GOMAXPROCS); output is identical at any setting")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations in the run planner (must be >= 1); output is identical at any setting")
 		jsonOut    = flag.Bool("json", false, "with -experiment: emit a JSON benchmark snapshot (wall-clock, simcycles/s) instead of tables")
 		list       = flag.Bool("list", false, "list benchmarks and exit")
 		timeline   = flag.Bool("timeline", false, "with -bench: render a warp-state timeline")
 		bucket     = flag.Int("bucket", 100, "timeline bucket size in cycles")
 		csvOut     = flag.Bool("csv", false, "with -timeline: emit CSV instead of ASCII")
+		metricsFmt = flag.String("metrics", "", "stream per-window metrics; the only format is 'jsonl'")
+		metricsOut = flag.String("metrics-out", "", "write -metrics stream to a file (default: stdout, moving tables to stderr)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -55,6 +67,11 @@ func main() {
 		}
 		return
 	}
+	if err := validateFlags(*parallel, *metricsFmt); err != nil {
+		fmt.Fprintln(os.Stderr, "regless:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	opts := experiments.Default()
 	opts.Warps = *warps
@@ -62,7 +79,42 @@ func main() {
 	if *benchList != "" {
 		opts.Benchmarks = strings.Split(*benchList, ",")
 	}
+
+	// Tables normally print to stdout; a -metrics stream without a file
+	// destination takes stdout over and tables move to stderr.
+	var out io.Writer = os.Stdout
+	if *metricsFmt != "" {
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			check(err)
+			defer f.Close()
+			opts.MetricsWriter = f
+		} else {
+			opts.MetricsWriter = os.Stdout
+			out = os.Stderr
+		}
+	}
 	suite := experiments.NewSuite(opts)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer func() {
+		check(suite.FlushMetrics())
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			check(err)
+			runtime.GC()
+			check(pprof.WriteHeapProfile(f))
+			f.Close()
+		}
+	}()
 
 	switch {
 	case *app != "":
@@ -70,17 +122,17 @@ func main() {
 	case *bench != "" && *timeline:
 		runTimeline(*bench, experiments.Scheme(*scheme), *capacity, *warps, *bucket, *csvOut)
 	case *bench != "":
-		runOne(suite, *bench, experiments.Scheme(*scheme), *capacity)
+		runOne(suite, out, *bench, experiments.Scheme(*scheme), *capacity)
 	case *experiment == "all":
 		start := time.Now()
 		tables, err := experiments.All(suite)
 		check(err)
 		if *jsonOut {
-			emitSnapshot(suite, "all", len(tables), time.Since(start))
+			emitSnapshot(suite, out, "all", len(tables), time.Since(start))
 			return
 		}
 		for _, tb := range tables {
-			fmt.Println(render(tb, *markdown))
+			fmt.Fprintln(out, render(tb, *markdown))
 		}
 	case *experiment != "":
 		fn, ok := experiments.ByID(*experiment)
@@ -92,33 +144,46 @@ func main() {
 		tb, err := fn(suite)
 		check(err)
 		if *jsonOut {
-			emitSnapshot(suite, *experiment, 1, time.Since(start))
+			emitSnapshot(suite, out, *experiment, 1, time.Since(start))
 			return
 		}
-		fmt.Println(render(tb, *markdown))
+		fmt.Fprintln(out, render(tb, *markdown))
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
+// validateFlags rejects flag values that would otherwise be silently
+// misread: a non-positive planner width used to mean "GOMAXPROCS" but now
+// the default carries that value, so anything below 1 is a mistake.
+func validateFlags(parallel int, metricsFmt string) error {
+	if parallel < 1 {
+		return fmt.Errorf("-parallel must be at least 1, got %d", parallel)
+	}
+	if metricsFmt != "" && metricsFmt != "jsonl" {
+		return fmt.Errorf("unknown -metrics format %q (only \"jsonl\")", metricsFmt)
+	}
+	return nil
+}
+
 // benchSnapshot is the -json performance record: scripts/bench.sh writes
 // one per run so the suite's throughput is tracked across PRs.
 type benchSnapshot struct {
-	Experiment     string  `json:"experiment"`
-	Parallelism    int     `json:"parallelism"`
-	GOMAXPROCS     int     `json:"gomaxprocs"`
-	Warps          int     `json:"warps"`
-	Benchmarks     int     `json:"benchmarks"`
-	Tables         int     `json:"tables"`
-	Runs           int     `json:"runs"`
-	SimCycles      uint64  `json:"sim_cycles"`
-	WallSeconds    float64 `json:"wall_seconds"`
-	SimCyclesPerS  float64 `json:"simcycles_per_sec"`
-	TablesPerS     float64 `json:"tables_per_sec"`
+	Experiment    string  `json:"experiment"`
+	Parallelism   int     `json:"parallelism"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Warps         int     `json:"warps"`
+	Benchmarks    int     `json:"benchmarks"`
+	Tables        int     `json:"tables"`
+	Runs          int     `json:"runs"`
+	SimCycles     uint64  `json:"sim_cycles"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	SimCyclesPerS float64 `json:"simcycles_per_sec"`
+	TablesPerS    float64 `json:"tables_per_sec"`
 }
 
-func emitSnapshot(s *experiments.Suite, experiment string, tables int, wall time.Duration) {
+func emitSnapshot(s *experiments.Suite, out io.Writer, experiment string, tables int, wall time.Duration) {
 	runs := s.CachedRuns()
 	var cycles uint64
 	for _, r := range runs {
@@ -137,7 +202,7 @@ func emitSnapshot(s *experiments.Suite, experiment string, tables int, wall time
 		SimCyclesPerS: float64(cycles) / wall.Seconds(),
 		TablesPerS:    float64(tables) / wall.Seconds(),
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	check(enc.Encode(snap))
 }
@@ -188,32 +253,32 @@ func runTimeline(bench string, scheme experiments.Scheme, capacity, warps, bucke
 	fmt.Printf("total: %d cycles, IPC %.2f\n", res.Stats.Cycles, res.Stats.IPC())
 }
 
-func runOne(suite *experiments.Suite, bench string, scheme experiments.Scheme, capacity int) {
+func runOne(suite *experiments.Suite, out io.Writer, bench string, scheme experiments.Scheme, capacity int) {
 	r, err := suite.Get(bench, scheme, capacity)
 	check(err)
 	st := r.Stats
-	fmt.Printf("benchmark      %s\n", bench)
-	fmt.Printf("scheme         %s", scheme)
+	fmt.Fprintf(out, "benchmark      %s\n", bench)
+	fmt.Fprintf(out, "scheme         %s", scheme)
 	if scheme == experiments.SchemeRegLess || scheme == experiments.SchemeRegLessNC {
-		fmt.Printf(" (%d registers/SM)", capacity)
+		fmt.Fprintf(out, " (%d registers/SM)", capacity)
 	}
-	fmt.Println()
-	fmt.Printf("cycles         %d\n", st.Cycles)
-	fmt.Printf("instructions   %d (IPC %.2f, SIMT efficiency %.2f)\n", st.DynInsns, st.IPC(), st.SIMTEfficiency())
-	fmt.Printf("reg accesses   %d reads, %d writes\n", r.Prov.StructReads, r.Prov.StructWrites)
-	fmt.Printf("working set    %.1f KB per 100-cycle window\n", st.WorkingSetKB)
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "cycles         %d\n", st.Cycles)
+	fmt.Fprintf(out, "instructions   %d (IPC %.2f, SIMT efficiency %.2f)\n", st.DynInsns, st.IPC(), st.SIMTEfficiency())
+	fmt.Fprintf(out, "reg accesses   %d reads, %d writes\n", r.Prov.StructReads, r.Prov.StructWrites)
+	fmt.Fprintf(out, "working set    %.1f KB per 100-cycle window\n", st.WorkingSetKB)
 	if p := r.Prov.Preloads(); p > 0 {
-		fmt.Printf("preloads       %d (OSU %.1f%%, compressor %.1f%%, L1 %.2f%%, L2/DRAM %.3f%%)\n",
+		fmt.Fprintf(out, "preloads       %d (OSU %.1f%%, compressor %.1f%%, L1 %.2f%%, L2/DRAM %.3f%%)\n",
 			p,
 			100*float64(r.Prov.PreloadFromOSU)/float64(p),
 			100*float64(r.Prov.PreloadFromCompressor)/float64(p),
 			100*float64(r.Prov.PreloadFromL1)/float64(p),
 			100*float64(r.Prov.PreloadFromL2DRAM)/float64(p))
-		fmt.Printf("regions        %d activations, %.1f cycles/region, %d metadata insns\n",
+		fmt.Fprintf(out, "regions        %d activations, %.1f cycles/region, %d metadata insns\n",
 			r.Prov.RegionActivations,
 			float64(r.Prov.RegionCycles)/float64(max64(r.Prov.RegionActivations, 1)),
 			r.Prov.MetaInsns)
-		fmt.Printf("L1 traffic     %d preload reads, %d stores, %d invalidations\n",
+		fmt.Fprintf(out, "L1 traffic     %d preload reads, %d stores, %d invalidations\n",
 			r.Prov.L1PreloadReads, r.Prov.L1StoreWrites, r.Prov.L1Invalidates)
 	}
 }

@@ -1,0 +1,43 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+// FuzzParse drives the parser with arbitrary source. Invariants:
+//
+//  1. Parse never panics, whatever the input.
+//  2. Anything that parses must survive a format->parse round trip, and
+//     formatting must be a fixed point (Format(Parse(Format(k))) ==
+//     Format(k)) — the property TestFormatParseRoundTripSuite checks on
+//     the real suite, here under adversarial inputs.
+//
+// Seeds are the formatted assembly of all 21 suite kernels (real syntax
+// in full variety: labels, negative offsets, every opcode the suite
+// uses) plus small handwritten edge cases.
+func FuzzParse(f *testing.F) {
+	for _, name := range kernels.Names() {
+		f.Add(Format(kernels.MustLoad(name)))
+	}
+	f.Add(".kernel t warps_per_cta=1\n    exit\n")
+	f.Add(".kernel t warps_per_cta=8\nL:\n    bnz r0, L\n    exit\n")
+	f.Add(".kernel t warps_per_cta=2\n    ldg r1, [r0 + -4]\n    exit\n")
+	f.Add("; comment only\n")
+	f.Add(".kernel t warps_per_cta=1\n    movi r0, 0xffffffff\n    exit")
+	f.Fuzz(func(t *testing.T, src string) {
+		k, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := Format(k)
+		k2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("formatted output does not parse: %v\n%s", err, text)
+		}
+		if again := Format(k2); again != text {
+			t.Fatalf("format is not a fixed point:\nfirst:\n%s\nsecond:\n%s", text, again)
+		}
+	})
+}

@@ -1,0 +1,157 @@
+package bitvec
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// mapSet is the trivially correct oracle: a map of member bits plus a
+// mirror of every Set operation.
+type mapSet map[int]bool
+
+func (m mapSet) set(i int)   { m[i] = true }
+func (m mapSet) clear(i int) { delete(m, i) }
+func (m mapSet) get(i int) bool {
+	return m[i]
+}
+func (m mapSet) reset() {
+	for k := range m {
+		delete(m, k)
+	}
+}
+func (m mapSet) or(o mapSet) {
+	for k := range o {
+		m[k] = true
+	}
+}
+func (m mapSet) and(o mapSet) {
+	for k := range m {
+		if !o[k] {
+			delete(m, k)
+		}
+	}
+}
+func (m mapSet) andNot(o mapSet) {
+	for k := range o {
+		delete(m, k)
+	}
+}
+func (m mapSet) copyFrom(o mapSet) {
+	m.reset()
+	m.or(o)
+}
+func (m mapSet) members() []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+func (m mapSet) intersects(o mapSet) bool {
+	for k := range m {
+		if o[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAgainstOracle compares every observer of s with the oracle.
+func checkAgainstOracle(t *testing.T, step int, s *Set, m mapSet) {
+	t.Helper()
+	if s.Count() != len(m) {
+		t.Fatalf("step %d: Count=%d oracle=%d", step, s.Count(), len(m))
+	}
+	if s.Empty() != (len(m) == 0) {
+		t.Fatalf("step %d: Empty=%v oracle size %d", step, s.Empty(), len(m))
+	}
+	got := s.Members()
+	want := m.members()
+	if len(got) != len(want) {
+		t.Fatalf("step %d: Members=%v oracle=%v", step, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: Members=%v oracle=%v", step, got, want)
+		}
+	}
+	for _, i := range want {
+		if !s.Get(i) {
+			t.Fatalf("step %d: Get(%d)=false, oracle has it", step, i)
+		}
+	}
+}
+
+// TestPropertyAgainstMapOracle drives random operation sequences over two
+// sets (bit mutations, bulk Or/And/AndNot/CopyFrom/Reset, Copy aliasing)
+// and checks every observer against a map-based oracle after each step.
+func TestPropertyAgainstMapOracle(t *testing.T) {
+	caps := []int{1, 7, 63, 64, 65, 200}
+	for _, n := range caps {
+		n := n
+		for seed := int64(0); seed < 4; seed++ {
+			seed := seed
+			t.Run("", func(t *testing.T) {
+				t.Parallel()
+				rng := rand.New(rand.NewSource(seed*1000 + int64(n)))
+				a, b := New(n), New(n)
+				ma, mb := mapSet{}, mapSet{}
+				for step := 0; step < 500; step++ {
+					i := rng.Intn(n)
+					switch rng.Intn(10) {
+					case 0:
+						a.Set(i)
+						ma.set(i)
+					case 1:
+						b.Set(i)
+						mb.set(i)
+					case 2:
+						a.Clear(i)
+						ma.clear(i)
+					case 3:
+						b.Clear(i)
+						mb.clear(i)
+					case 4:
+						changedS := a.Or(b)
+						before := len(ma)
+						ma.or(mb)
+						if changedS != (len(ma) != before) {
+							t.Fatalf("step %d: Or changed=%v oracle grew=%v", step, changedS, len(ma) != before)
+						}
+					case 5:
+						a.And(b)
+						ma.and(mb)
+					case 6:
+						a.AndNot(b)
+						ma.andNot(mb)
+					case 7:
+						b.CopyFrom(a)
+						mb.copyFrom(ma)
+					case 8:
+						if rng.Intn(4) == 0 {
+							a.Reset()
+							ma.reset()
+						}
+					case 9:
+						// Copy independence: mutating the copy must not
+						// disturb the original.
+						c := a.Copy()
+						if !c.Equal(a) {
+							t.Fatalf("step %d: Copy not Equal to source", step)
+						}
+						c.Set(i)
+						c.Clear((i + 1) % n)
+						checkAgainstOracle(t, step, a, ma)
+					}
+					if a.Intersects(b) != ma.intersects(mb) {
+						t.Fatalf("step %d: Intersects=%v oracle=%v", step, a.Intersects(b), ma.intersects(mb))
+					}
+					checkAgainstOracle(t, step, a, ma)
+					checkAgainstOracle(t, step, b, mb)
+				}
+			})
+		}
+	}
+}

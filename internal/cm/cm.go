@@ -65,10 +65,32 @@ type Config struct {
 	FIFOStack bool
 }
 
+// Stats counts state-machine transitions (observability; the energy model
+// does not consume these).
+type Stats struct {
+	// Activations counts ActivateTop successes (Inactive -> Preloading or
+	// Active); Immediate is the subset that skipped Preloading because the
+	// region needed no input fetches.
+	Activations uint64
+	Immediate   uint64
+	// Deferrals counts DeferTop stack rotations (barrier waits).
+	Deferrals uint64
+	// PreloadsDone counts completed input fetches signalled to the CM.
+	PreloadsDone uint64
+	// Drains counts Active -> Draining transitions, DrainsDone the
+	// Draining -> Inactive completions, and Finishes warp retirements.
+	Drains     uint64
+	DrainsDone uint64
+	Finishes   uint64
+	// LinesReleased counts single-line reservation returns during drains.
+	LinesReleased uint64
+}
+
 // CM is one shard's capacity manager. Warps are identified by a dense
 // local index.
 type CM struct {
-	cfg Config
+	cfg   Config
+	Stats Stats
 
 	state []State
 	// stack holds Inactive warps; the top (last element) activates next.
@@ -134,6 +156,7 @@ func (c *CM) DeferTop() {
 	if n < 2 {
 		return
 	}
+	c.Stats.Deferrals++
 	top := c.stack[n-1]
 	copy(c.stack[1:], c.stack[:n-1])
 	c.stack[0] = top
@@ -174,7 +197,9 @@ func (c *CM) ActivateTop(region int, usage []int, preloads int, now uint64) (int
 	c.region[w] = region
 	c.activatedAt[w] = now
 	c.pendingPreloads[w] = preloads
+	c.Stats.Activations++
 	if preloads == 0 {
+		c.Stats.Immediate++
 		c.state[w] = Active
 	} else {
 		c.state[w] = Preloading
@@ -189,6 +214,7 @@ func (c *CM) PreloadDone(w int) {
 		return
 	}
 	c.pendingPreloads[w]--
+	c.Stats.PreloadsDone++
 	if c.pendingPreloads[w] <= 0 {
 		c.state[w] = Active
 	}
@@ -202,6 +228,7 @@ func (c *CM) BeginDrain(w int, activeLines []int) {
 		return
 	}
 	c.state[w] = Draining
+	c.Stats.Drains++
 	for b := 0; b < c.cfg.Banks; b++ {
 		excess := c.warpRes[w][b] - activeLines[b]
 		if excess > 0 {
@@ -217,6 +244,7 @@ func (c *CM) ReleaseLine(w, b int) {
 	if c.warpRes[w][b] > 0 {
 		c.warpRes[w][b]--
 		c.reserved[b]--
+		c.Stats.LinesReleased++
 	}
 }
 
@@ -225,6 +253,7 @@ func (c *CM) ReleaseLine(w, b int) {
 // top of the stack.
 func (c *CM) FinishDrain(w int, now uint64) (cycles uint64) {
 	c.releaseAll(w)
+	c.Stats.DrainsDone++
 	cycles = now - c.activatedAt[w]
 	c.region[w] = -1
 	c.state[w] = Inactive
@@ -240,6 +269,7 @@ func (c *CM) FinishDrain(w int, now uint64) (cycles uint64) {
 // Finish retires a warp that exited the kernel.
 func (c *CM) Finish(w int) {
 	c.releaseAll(w)
+	c.Stats.Finishes++
 	c.region[w] = -1
 	c.state[w] = Finished
 }

@@ -1,0 +1,25 @@
+package cm
+
+import "repro/internal/metrics"
+
+// BindMetrics exposes the transition counters and live stack/reservation
+// occupancy on r under prefix+"/..." (one CM per shard, so callers pass
+// e.g. "cm/s0").
+func (c *CM) BindMetrics(r *metrics.Registry, prefix string) {
+	r.Bind(prefix+"/activations", &c.Stats.Activations)
+	r.Bind(prefix+"/immediate_activations", &c.Stats.Immediate)
+	r.Bind(prefix+"/deferrals", &c.Stats.Deferrals)
+	r.Bind(prefix+"/preloads_done", &c.Stats.PreloadsDone)
+	r.Bind(prefix+"/drains", &c.Stats.Drains)
+	r.Bind(prefix+"/drains_done", &c.Stats.DrainsDone)
+	r.Bind(prefix+"/finishes", &c.Stats.Finishes)
+	r.Bind(prefix+"/lines_released", &c.Stats.LinesReleased)
+	r.Gauge(prefix+"/stack_depth", func() uint64 { return uint64(len(c.stack)) })
+	r.Gauge(prefix+"/reserved_lines", func() uint64 {
+		n := 0
+		for _, v := range c.reserved {
+			n += v
+		}
+		return uint64(n)
+	})
+}

@@ -151,6 +151,10 @@ type Stats struct {
 	LineFetches  uint64 // compressed lines fetched from L1
 	LineEvicts   uint64 // dirty compressed lines written to L1
 	Invalidation uint64 // compressed entries dropped by invalidations
+
+	// PatHits breaks Hits down by matched pattern (PatHits[PatNone] stays
+	// zero); the hit-mix figure reads these.
+	PatHits [NumPatterns]uint64
 }
 
 // Compressor is one shard's compressor unit. It tracks which (warp,
@@ -274,6 +278,7 @@ func (c *Compressor) TryCompress(warp int, reg isa.Reg, v *[isa.WarpWidth]uint32
 		return PatNone, false
 	}
 	c.Stats.Hits++
+	c.Stats.PatHits[p]++
 	c.compressed[c.index(warp, reg)] = p
 	return p, true
 }

@@ -1,0 +1,24 @@
+package compress
+
+import "repro/internal/metrics"
+
+// BindMetrics exposes the compressor's counters and live populations on r
+// under prefix+"/..." (one compressor per shard, so callers pass e.g.
+// "compress/s0"). The per-pattern hit mix is exported one counter per
+// pattern ("<prefix>/hits/stride4", ...).
+func (c *Compressor) BindMetrics(r *metrics.Registry, prefix string) {
+	r.Bind(prefix+"/matches", &c.Stats.Matches)
+	r.Bind(prefix+"/hits", &c.Stats.Hits)
+	r.Bind(prefix+"/misses", &c.Stats.Misses)
+	r.Bind(prefix+"/bit_checks", &c.Stats.BitChecks)
+	r.Bind(prefix+"/cache_hits", &c.Stats.CacheHits)
+	r.Bind(prefix+"/cache_misses", &c.Stats.CacheMisses)
+	r.Bind(prefix+"/line_fetches", &c.Stats.LineFetches)
+	r.Bind(prefix+"/line_evicts", &c.Stats.LineEvicts)
+	r.Bind(prefix+"/invalidations", &c.Stats.Invalidation)
+	for p := PatConst; p < NumPatterns; p++ {
+		r.Bind(prefix+"/hits/"+p.String(), &c.Stats.PatHits[p])
+	}
+	r.Gauge(prefix+"/compressed_regs", func() uint64 { return uint64(c.CompressedCount()) })
+	r.Gauge(prefix+"/cache_lines", func() uint64 { return uint64(len(c.cache)) })
+}

@@ -23,7 +23,7 @@ func (p *Provider) OnIssue(w *sim.Warp, info *exec.StepInfo) int {
 	// Metadata instructions precede the region's first real instruction.
 	if p.cfg.MetadataOverhead && gi == region.StartGI {
 		penalty += region.MetaInsns
-		p.stats.MetaInsns += uint64(region.MetaInsns)
+		p.m.MetaInsns.Add(uint64(region.MetaInsns))
 	}
 
 	// Source reads: one OSU bank access each; same-bank collisions
@@ -34,17 +34,17 @@ func (p *Provider) OnIssue(w *sim.Warp, info *exec.StepInfo) int {
 		if !r.Valid() {
 			continue
 		}
-		p.stats.StructReads++
+		p.m.StructReads.Inc()
 		sh.osu.CountRead()
 		b := (w.ID + int(r)) % p.cfg.Banks
 		if banksUsed[b] {
-			p.stats.BankConflicts++
+			p.m.BankConflicts.Inc()
 			penalty++
 		}
 		banksUsed[b] = true
 	}
 	if in.Op.HasDst() && in.Dst.Valid() {
-		p.stats.StructWrites++
+		p.m.StructWrites.Inc()
 		sh.osu.CountWrite()
 		if !ws.staged[in.Dst] {
 			// Interior register's first write allocates its line.
@@ -131,8 +131,8 @@ func (p *Provider) finishDrain(sh *shard, ws *warpState) {
 			p.warpID(ws), ws.regionID, len(ws.staged)))
 	}
 	cycles := sh.cm.FinishDrain(ws.local, p.sm.Cycle())
-	p.stats.RegionCycles += cycles
-	p.stats.RegionActivations++
+	p.m.RegionCycles.Add(cycles)
+	p.m.RegionActivations.Inc()
 	ws.regionID = -1
 }
 

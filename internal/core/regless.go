@@ -139,10 +139,10 @@ type warpState struct {
 
 // Provider is the RegLess register scheme.
 type Provider struct {
-	cfg   Config
-	comp  *regions.Compiled
-	sm    *sim.SM
-	stats sim.ProviderStats
+	cfg  Config
+	comp *regions.Compiled
+	sm   *sim.SM
+	m    *sim.ProviderCounters
 
 	shards []*shard
 	warps  []*warpState
@@ -265,7 +265,7 @@ func (p *Provider) Compiled() *regions.Compiled { return p.comp }
 func (p *Provider) Name() string { return "regless" }
 
 // Stats implements sim.Provider.
-func (p *Provider) Stats() *sim.ProviderStats { return &p.stats }
+func (p *Provider) Stats() *sim.ProviderStats { return p.m.Stats() }
 
 // Attach implements sim.Provider.
 func (p *Provider) Attach(smv *sim.SM) {
@@ -276,6 +276,7 @@ func (p *Provider) Attach(smv *sim.SM) {
 		panic(fmt.Sprintf("core: %d shards but %d schedulers", p.cfg.Shards, smv.Cfg.Schedulers))
 	}
 	p.sm = smv
+	p.m = sim.NewProviderCounters(smv.Metrics)
 	warpsPerShard := smv.Cfg.Warps / p.cfg.Shards
 	p.shards = make([]*shard, p.cfg.Shards)
 	for s := range p.shards {
@@ -295,6 +296,16 @@ func (p *Provider) Attach(smv *sim.SM) {
 			preloadQ: make([][]preloadReq, p.cfg.Banks),
 		}
 		p.shards[s] = sh
+		sh.cm.BindMetrics(smv.Metrics, fmt.Sprintf("cm/s%d", s))
+		sh.osu.BindMetrics(smv.Metrics, fmt.Sprintf("osu/s%d", s))
+		sh.cmp.BindMetrics(smv.Metrics, fmt.Sprintf("compress/s%d", s))
+		smv.Metrics.Gauge(fmt.Sprintf("core/s%d/preload_backlog", s), func() uint64 {
+			n := len(sh.invalQ) + len(sh.evictQ) + len(sh.l1ops)
+			for _, q := range sh.preloadQ {
+				n += len(q)
+			}
+			return uint64(n)
+		})
 	}
 	p.warps = make([]*warpState, smv.Cfg.Warps)
 	for w := range p.warps {
@@ -322,7 +333,7 @@ func (p *Provider) CanIssue(w *sim.Warp) bool {
 	if p.shards[ws.shard].cm.StateOf(ws.local) == cm.Active {
 		return true
 	}
-	p.stats.StallCycles++
+	p.m.StallCycles.Inc()
 	return false
 }
 

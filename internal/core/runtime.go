@@ -37,20 +37,20 @@ func (p *Provider) drainL1Ops() {
 		if op.inval {
 			ok = p.sm.Mem.L1Invalidate(op.addr)
 			if ok {
-				p.stats.L1Invalidates++
+				p.m.L1Invalidates.Inc()
 			}
 		} else {
 			ok = p.sm.Mem.L1Access(op.addr, op.write, op.done)
 			if ok {
 				if op.write {
-					p.stats.L1StoreWrites++
+					p.m.L1StoreWrites.Inc()
 				} else {
-					p.stats.L1PreloadReads++
+					p.m.L1PreloadReads.Inc()
 				}
 			}
 		}
 		if ok {
-			p.stats.BackingAccesses++
+			p.m.BackingAccesses.Inc()
 			sh.l1ops = sh.l1ops[1:]
 			p.rrShard = (p.rrShard + i + 1) % n
 			return
@@ -68,12 +68,12 @@ func (p *Provider) processEvictions(sh *shard) {
 	}
 	req := sh.evictQ[0]
 	sh.evictQ = sh.evictQ[1:]
-	p.stats.Evictions++
+	p.m.Evictions.Inc()
 	if p.cfg.EnableCompressor {
 		val := p.sm.Warps[req.warp].Exec.ReadReg(req.reg)
 		if _, ok := sh.cmp.TryCompress(req.warp, req.reg, &val); ok {
-			p.stats.CompressorHits++
-			p.stats.CompressorCacheOps++
+			p.m.CompressorHits.Inc()
+			p.m.CompressorCacheOps.Inc()
 			res := sh.cmp.AccessLine(req.warp, req.reg, true)
 			if res.HasFetch {
 				// Read-modify-write of a non-resident compressed
@@ -85,7 +85,7 @@ func (p *Provider) processEvictions(sh *shard) {
 			}
 			return
 		}
-		p.stats.CompressorMisses++
+		p.m.CompressorMisses.Inc()
 	}
 	sh.l1ops = append(sh.l1ops, l1op{addr: p.regAddr(req.warp, req.reg), write: true})
 }
@@ -107,11 +107,11 @@ func (p *Provider) processPreloads(sh *shard) {
 // path, or raw L1 read.
 func (p *Provider) preload(sh *shard, req preloadReq) {
 	ws := p.warps[req.warp]
-	p.stats.TagLookups++
+	p.m.TagLookups.Inc()
 	if st, ok := sh.osu.Lookup(req.warp, req.reg); ok {
 		sh.osu.Activate(req.warp, req.reg)
 		p.stage(ws, req.reg, st == osu.StateDirty)
-		p.stats.PreloadFromOSU++
+		p.m.PreloadFromOSU.Inc()
 		if req.invalidate {
 			p.dropBacking(sh, req.warp, req.reg)
 		}
@@ -123,7 +123,7 @@ func (p *Provider) preload(sh *shard, req preloadReq) {
 		if sh.evictQ[i].warp == req.warp && sh.evictQ[i].reg == req.reg {
 			sh.evictQ = append(sh.evictQ[:i], sh.evictQ[i+1:]...)
 			p.install(sh, ws, req.reg, true)
-			p.stats.PreloadFromOSU++
+			p.m.PreloadFromOSU.Inc()
 			if req.invalidate {
 				p.dropBacking(sh, req.warp, req.reg)
 			}
@@ -132,10 +132,10 @@ func (p *Provider) preload(sh *shard, req preloadReq) {
 		}
 	}
 	if p.cfg.EnableCompressor {
-		p.stats.CompressorBitChecks++
+		p.m.CompressorBitChecks.Inc()
 	}
 	if p.cfg.EnableCompressor && sh.cmp.IsCompressed(req.warp, req.reg) {
-		p.stats.CompressorCacheOps++
+		p.m.CompressorCacheOps.Inc()
 		res := sh.cmp.AccessLine(req.warp, req.reg, false)
 		if res.HasWriteback {
 			sh.l1ops = append(sh.l1ops, l1op{addr: res.WritebackLine + p.cfg.AddrOffset, write: true})
@@ -145,7 +145,7 @@ func (p *Provider) preload(sh *shard, req preloadReq) {
 			// one for the bit vector.
 			p.sm.After(3, func() {
 				p.install(sh, ws, req.reg, false)
-				p.stats.PreloadFromCompressor++
+				p.m.PreloadFromCompressor.Inc()
 				if req.invalidate {
 					sh.cmp.Drop(req.warp, req.reg)
 				}
@@ -178,9 +178,9 @@ func (p *Provider) preload(sh *shard, req preloadReq) {
 
 func (p *Provider) countPreloadSource(src mem.Source) {
 	if src == mem.SrcL1 {
-		p.stats.PreloadFromL1++
+		p.m.PreloadFromL1.Inc()
 	} else {
-		p.stats.PreloadFromL2DRAM++
+		p.m.PreloadFromL2DRAM.Inc()
 	}
 }
 
@@ -230,7 +230,7 @@ func (p *Provider) processInvalidations(sh *shard) {
 	}
 	req := sh.invalQ[0]
 	sh.invalQ = sh.invalQ[1:]
-	p.stats.CacheInvalidations++
+	p.m.CacheInvalidations.Inc()
 	// Purge a dead pending writeback.
 	for i := range sh.evictQ {
 		if sh.evictQ[i].warp == req.warp && sh.evictQ[i].reg == req.reg {

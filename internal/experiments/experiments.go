@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 	"sort"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/kernels"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/rf"
 	"repro/internal/sim"
 )
@@ -64,6 +66,14 @@ type Options struct {
 	// independent and deterministic, and tables are assembled serially
 	// from the warm cache, so output is identical at any setting.
 	Parallelism int
+
+	// MetricsWriter, when non-nil, receives one JSONL record per
+	// statistics window of every simulation the suite executes, labeled
+	// with the run's (bench, scheme, capacity). Records from concurrent
+	// simulations interleave whole lines; call FlushMetrics after the
+	// last run. Streaming does not perturb results — windows only read
+	// counters the simulations maintain anyway.
+	MetricsWriter io.Writer
 }
 
 // Default returns the full-scale options (Table 1's 64 warps per SM).
@@ -157,6 +167,9 @@ type Suite struct {
 	Opts   Options
 	Params energy.Params
 
+	// jsonl streams per-window metrics when Opts.MetricsWriter is set.
+	jsonl *metrics.JSONLWriter
+
 	// OnSimulate, when non-nil, is invoked exactly once per simulation
 	// actually executed (cache misses only) — a hook for tests and
 	// progress reporting. Set it before the first Get; it may be called
@@ -169,7 +182,20 @@ type Suite struct {
 
 // NewSuite builds an experiment suite.
 func NewSuite(opts Options) *Suite {
-	return &Suite{Opts: opts, Params: energy.DefaultParams(), cache: map[runKey]*runEntry{}}
+	s := &Suite{Opts: opts, Params: energy.DefaultParams(), cache: map[runKey]*runEntry{}}
+	if opts.MetricsWriter != nil {
+		s.jsonl = metrics.NewJSONLWriter(opts.MetricsWriter)
+	}
+	return s
+}
+
+// FlushMetrics drains the buffered JSONL stream (no-op without a
+// MetricsWriter) and reports the first write error.
+func (s *Suite) FlushMetrics() error {
+	if s.jsonl == nil {
+		return nil
+	}
+	return s.jsonl.Flush()
 }
 
 // Get returns the memoized run for (bench, scheme, capacity), simulating
@@ -311,6 +337,13 @@ func (s *Suite) simulate(bench string, scheme Scheme, capacity int) (*Run, error
 	smv, rp, err := BuildSM(bench, scheme, capacity, s.Opts.Warps, s.Opts.MaxCycles)
 	if err != nil {
 		return nil, err
+	}
+	if s.jsonl != nil {
+		smv.Metrics.SetSink(s.jsonl.Run(
+			metrics.String("bench", bench),
+			metrics.String("scheme", string(scheme)),
+			metrics.Int("capacity", capacity),
+		))
 	}
 	run := &Run{Bench: bench, Scheme: scheme, Capacity: capacity, RegLess: rp}
 	st, err := smv.Run()

@@ -106,6 +106,15 @@ type Stats struct {
 	DataReads       uint64
 	DataWrites      uint64
 	DRAMAccesses    uint64
+
+	// Structural-hazard rejections (the submitting unit retries next
+	// cycle, so these count contention cycles, not lost requests):
+	// L1PortRejects are requests refused because the single L1 port was
+	// claimed this cycle, MSHRRejects because all MSHRs were in use, and
+	// DataRejects because the bypass queue or injection port was busy.
+	L1PortRejects uint64
+	MSHRRejects   uint64
+	DataRejects   uint64
 }
 
 type line struct {
@@ -266,6 +275,7 @@ func (h *Hierarchy) claimL1Port()          { h.l1PortCycle = h.now + 1 }
 func (h *Hierarchy) L1Access(addr uint32, write bool, done func(Source)) bool {
 	a := align(addr)
 	if !h.l1PortAvailable() {
+		h.Stats.L1PortRejects++
 		return false
 	}
 	complete := func(delay int, src Source) {
@@ -302,6 +312,7 @@ func (h *Hierarchy) L1Access(addr uint32, write bool, done func(Source)) bool {
 		return true
 	}
 	if len(h.mshrs) >= h.cfg.L1MSHRs {
+		h.Stats.MSHRRejects++
 		return false
 	}
 	h.claimL1Port()
@@ -335,6 +346,7 @@ func (h *Hierarchy) fill(a uint32, dirty bool) {
 func (h *Hierarchy) L1Invalidate(addr uint32) bool {
 	a := align(addr)
 	if !h.l1PortAvailable() {
+		h.Stats.L1PortRejects++
 		return false
 	}
 	h.claimL1Port()
@@ -437,6 +449,7 @@ func (h *Hierarchy) dramWrite() {
 func (h *Hierarchy) DataAccess(addr uint32, write bool, done func(Source)) bool {
 	a := align(addr)
 	if h.dataInFlight >= h.cfg.DataQueueDepth || h.dataNextFree > h.now {
+		h.Stats.DataRejects++
 		return false
 	}
 	h.dataNextFree = h.now + uint64(h.cfg.DataCyclesPerReq)

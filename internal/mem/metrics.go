@@ -1,0 +1,26 @@
+package mem
+
+import "repro/internal/metrics"
+
+// BindMetrics exposes the hierarchy's counters and live occupancies on r
+// under "mem/...". The Stats fields stay plain uint64 increments on the hot
+// path (Bind registers views, not replacements); occupancy gauges sample
+// only at window boundaries.
+func (h *Hierarchy) BindMetrics(r *metrics.Registry) {
+	r.Bind("mem/l1_hits", &h.Stats.L1Hits)
+	r.Bind("mem/l1_misses", &h.Stats.L1Misses)
+	r.Bind("mem/l1_reads", &h.Stats.L1Reads)
+	r.Bind("mem/l1_writes", &h.Stats.L1Writes)
+	r.Bind("mem/l1_writebacks", &h.Stats.L1Writebacks)
+	r.Bind("mem/l1_invalidations", &h.Stats.L1Invalidations)
+	r.Bind("mem/l2_hits", &h.Stats.L2Hits)
+	r.Bind("mem/l2_misses", &h.Stats.L2Misses)
+	r.Bind("mem/data_reads", &h.Stats.DataReads)
+	r.Bind("mem/data_writes", &h.Stats.DataWrites)
+	r.Bind("mem/dram_accesses", &h.Stats.DRAMAccesses)
+	r.Bind("mem/l1_port_rejects", &h.Stats.L1PortRejects)
+	r.Bind("mem/mshr_rejects", &h.Stats.MSHRRejects)
+	r.Bind("mem/data_rejects", &h.Stats.DataRejects)
+	r.Gauge("mem/mshr_occupancy", func() uint64 { return uint64(len(h.mshrs)) })
+	r.Gauge("mem/data_in_flight", func() uint64 { return uint64(h.dataInFlight) })
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// JSONLWriter serializes windows from any number of concurrently running
+// simulations onto one line-oriented stream. Each Emit writes exactly one
+// JSON object terminated by a newline, so interleaving across simulations
+// never corrupts a line; a single mutex orders the writes.
+//
+// One record looks like
+//
+//	{"bench":"bfs","scheme":"regless","capacity":512,"window":3,
+//	 "start":300,"end":400,
+//	 "counters":{"provider/struct_reads":812,...},
+//	 "gauges":{"mem/mshr_occupancy":2,...}}
+//
+// Counter deltas of zero are elided to keep the stream compact; gauges are
+// always written (a zero occupancy is information).
+type JSONLWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONLWriter wraps w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: bufio.NewWriter(w)}
+}
+
+// Flush drains buffered lines to the underlying writer and returns the
+// first write error encountered by any Emit.
+func (j *JSONLWriter) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// Run returns a Sink labeling every window with one simulation's identity.
+// Label values are JSON-encoded as strings for texts and bare numbers for
+// ints; keys and values must not need escaping beyond strconv.Quote.
+func (j *JSONLWriter) Run(labels ...Label) Sink {
+	return &runSink{j: j, labels: labels}
+}
+
+// Label is one key/value pair attached to a run's records.
+type Label struct {
+	Key string
+	// Str is used unless IsInt; then Int is written as a bare number.
+	Str   string
+	Int   int
+	IsInt bool
+}
+
+// String builds a text label.
+func String(k, v string) Label { return Label{Key: k, Str: v} }
+
+// Int builds a numeric label.
+func Int(k string, v int) Label { return Label{Key: k, Int: v, IsInt: true} }
+
+type runSink struct {
+	j      *JSONLWriter
+	labels []Label
+	buf    []byte // reused line buffer (guarded by j.mu during Emit)
+}
+
+// Emit implements Sink.
+func (s *runSink) Emit(w Window) {
+	s.j.mu.Lock()
+	defer s.j.mu.Unlock()
+	b := s.buf[:0]
+	b = append(b, '{')
+	for _, l := range s.labels {
+		b = appendKey(b, l.Key)
+		if l.IsInt {
+			b = strconv.AppendInt(b, int64(l.Int), 10)
+		} else {
+			b = strconv.AppendQuote(b, l.Str)
+		}
+		b = append(b, ',')
+	}
+	b = appendKey(b, "window")
+	b = strconv.AppendInt(b, int64(w.Index), 10)
+	b = append(b, ',')
+	b = appendKey(b, "start")
+	b = strconv.AppendUint(b, w.Start, 10)
+	b = append(b, ',')
+	b = appendKey(b, "end")
+	b = strconv.AppendUint(b, w.End, 10)
+
+	b = append(b, ',')
+	b = appendKey(b, "counters")
+	b = append(b, '{')
+	first := true
+	for i, n := range w.Names {
+		if w.Kinds[i] != KindCounter || w.Values[i] == 0 {
+			continue
+		}
+		if !first {
+			b = append(b, ',')
+		}
+		first = false
+		b = appendKey(b, n)
+		b = strconv.AppendUint(b, w.Values[i], 10)
+	}
+	b = append(b, '}')
+
+	b = append(b, ',')
+	b = appendKey(b, "gauges")
+	b = append(b, '{')
+	first = true
+	for i, n := range w.Names {
+		if w.Kinds[i] != KindGauge {
+			continue
+		}
+		if !first {
+			b = append(b, ',')
+		}
+		first = false
+		b = appendKey(b, n)
+		b = strconv.AppendUint(b, w.Values[i], 10)
+	}
+	b = append(b, "}}\n"...)
+
+	s.buf = b
+	if _, err := s.j.w.Write(b); err != nil && s.j.err == nil {
+		s.j.err = err
+	}
+}
+
+func appendKey(b []byte, k string) []byte {
+	b = strconv.AppendQuote(b, k)
+	return append(b, ':')
+}

@@ -1,0 +1,345 @@
+// Package metrics is the simulator's observability substrate: a
+// lightweight registry of named event counters, gauges, and histograms
+// with a snapshot/diff API and per-window delta export.
+//
+// Design constraints (this package sits under every hot simulation loop):
+//
+//   - Counting is allocation-free. A Counter is one pointer; Inc/Add are a
+//     nil check plus an increment. Registration (done once, at simulation
+//     construction) is the only place that allocates.
+//   - The zero value of every instrument is a safe no-op, so code compiled
+//     with instrumentation pays exactly one predictable branch when the
+//     owning registry is absent or the handle was never registered.
+//   - A Registry belongs to one simulation and is driven from a single
+//     goroutine (the simulator is deterministic and single-threaded per
+//     SM); cross-simulation aggregation happens at the export layer
+//     (JSONLWriter serializes emits from concurrent simulations).
+//
+// Existing statistics structs integrate without touching their hot paths:
+// Bind registers a view over an external *uint64 field, so `stats.X++`
+// keeps compiling to a bare increment while the registry can still
+// snapshot, diff, and export the cell. Gauges sample a closure only at
+// snapshot/window boundaries, which makes occupancy-style metrics (queue
+// depths, cache residency) free during simulation.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind classifies a registered cell for export.
+type Kind uint8
+
+const (
+	// KindCounter cells accumulate monotonically; windows export deltas.
+	KindCounter Kind = iota
+	// KindGauge cells are sampled at snapshot time; windows export the
+	// sampled value, not a delta.
+	KindGauge
+)
+
+type cell struct {
+	name string
+	kind Kind
+	// val backs counters (owned or bound); nil for gauges.
+	val *uint64
+	// sample backs gauges.
+	sample func() uint64
+}
+
+// Registry is an ordered collection of named instruments. Instruments are
+// registered once (names must be unique) and then counted against with no
+// further lookups. The registry is not goroutine-safe: one registry per
+// simulation, driven from the simulation's goroutine.
+type Registry struct {
+	cells []cell
+	index map[string]int
+
+	sink     Sink
+	window   int
+	winStart uint64
+	// last holds each counter cell's value at the previous window close,
+	// in cell order; scratch is the reused delta buffer handed to sinks;
+	// winNames/winKinds are the frozen header built at SetSink.
+	last     []uint64
+	scratch  []uint64
+	winNames []string
+	winKinds []Kind
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: map[string]int{}}
+}
+
+func (r *Registry) register(c cell) int {
+	if _, dup := r.index[c.name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate registration of %q", c.name))
+	}
+	if r.last != nil {
+		panic(fmt.Sprintf("metrics: registration of %q after SetSink", c.name))
+	}
+	r.index[c.name] = len(r.cells)
+	r.cells = append(r.cells, c)
+	return len(r.cells) - 1
+}
+
+// Counter registers (or re-acquires) an owned counter cell. Registering a
+// name twice panics; use Lookup for re-acquisition if needed. A nil
+// registry returns the zero Counter, whose methods are no-ops.
+func (r *Registry) Counter(name string) Counter {
+	if r == nil {
+		return Counter{}
+	}
+	v := new(uint64)
+	r.register(cell{name: name, kind: KindCounter, val: v})
+	return Counter{v: v}
+}
+
+// Bind registers a counter view over an externally owned cell (a field of
+// an existing statistics struct). The owner keeps incrementing the field
+// directly — zero added cost on its hot path — while the registry gains
+// snapshot/export visibility. A nil registry ignores the call.
+func (r *Registry) Bind(name string, v *uint64) {
+	if r == nil {
+		return
+	}
+	r.register(cell{name: name, kind: KindCounter, val: v})
+}
+
+// Gauge registers a sampled instrument: fn runs at snapshot and window
+// boundaries only, never during counting. A nil registry ignores the call.
+func (r *Registry) Gauge(name string, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.register(cell{name: name, kind: KindGauge, sample: fn})
+}
+
+// Histogram registers a bucketed counter under name: one cell per bucket
+// (`name/le_B` for each bound, `name/inf` for the overflow), so histogram
+// buckets ride through snapshots and windows like any counter. Bounds must
+// be strictly increasing. A nil registry returns the zero Histogram.
+func (r *Registry) Histogram(name string, bounds ...uint64) Histogram {
+	if r == nil {
+		return Histogram{}
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q bounds not increasing", name))
+		}
+	}
+	h := Histogram{bounds: bounds, cells: make([]*uint64, len(bounds)+1)}
+	for i, b := range bounds {
+		h.cells[i] = new(uint64)
+		r.register(cell{name: fmt.Sprintf("%s/le_%d", name, b), kind: KindCounter, val: h.cells[i]})
+	}
+	h.cells[len(bounds)] = new(uint64)
+	r.register(cell{name: name + "/inf", kind: KindCounter, val: h.cells[len(bounds)]})
+	return h
+}
+
+// Counter is a handle to one registered cell. The zero value is a no-op:
+// instrumented code pays one predictable branch when disabled.
+type Counter struct {
+	v *uint64
+}
+
+// Inc adds one.
+func (c Counter) Inc() {
+	if c.v != nil {
+		*c.v++
+	}
+}
+
+// Add adds n.
+func (c Counter) Add(n uint64) {
+	if c.v != nil {
+		*c.v += n
+	}
+}
+
+// Value returns the current count (0 for the zero Counter).
+func (c Counter) Value() uint64 {
+	if c.v == nil {
+		return 0
+	}
+	return *c.v
+}
+
+// Histogram is a bucketed counter handle. The zero value is a no-op.
+type Histogram struct {
+	bounds []uint64
+	cells  []*uint64
+}
+
+// Observe records one sample of v into its bucket.
+func (h Histogram) Observe(v uint64) {
+	if h.cells == nil {
+		return
+	}
+	for i, b := range h.bounds {
+		if v <= b {
+			*h.cells[i]++
+			return
+		}
+	}
+	*h.cells[len(h.bounds)]++
+}
+
+// Sample is one named value in a snapshot.
+type Sample struct {
+	Name  string
+	Kind  Kind
+	Value uint64
+}
+
+// Len returns the number of registered cells (histograms count one per
+// bucket).
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.cells)
+}
+
+// Names returns the registered names in registration order.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	out := make([]string, len(r.cells))
+	for i, c := range r.cells {
+		out[i] = c.name
+	}
+	return out
+}
+
+// Value returns the current value of the named cell and whether it exists.
+func (r *Registry) Value(name string) (uint64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	i, ok := r.index[name]
+	if !ok {
+		return 0, false
+	}
+	return r.read(i), true
+}
+
+func (r *Registry) read(i int) uint64 {
+	c := &r.cells[i]
+	if c.kind == KindGauge {
+		return c.sample()
+	}
+	return *c.val
+}
+
+// Snapshot captures every cell (gauges are sampled now) in registration
+// order.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	out := make([]Sample, len(r.cells))
+	for i, c := range r.cells {
+		out[i] = Sample{Name: c.name, Kind: c.kind, Value: r.read(i)}
+	}
+	return out
+}
+
+// Diff returns cur minus prev by name: counters subtract (missing names in
+// prev count from zero); gauges keep cur's sampled value. The result is
+// sorted by name. Snapshots from different registries may be diffed as
+// long as the shared names refer to the same instruments.
+func Diff(cur, prev []Sample) []Sample {
+	base := map[string]uint64{}
+	for _, s := range prev {
+		base[s.Name] = s.Value
+	}
+	out := make([]Sample, 0, len(cur))
+	for _, s := range cur {
+		d := s
+		if s.Kind == KindCounter {
+			d.Value = s.Value - base[s.Name]
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Window is one closed export interval. Names/Kinds/Values alias
+// registry-owned buffers that are reused on the next close: sinks must
+// consume (or copy) them before returning.
+type Window struct {
+	// Index is the 0-based window ordinal within this registry.
+	Index int
+	// Start and End delimit the interval in simulation cycles,
+	// half-open as (Start, End].
+	Start, End uint64
+	Names      []string
+	Kinds      []Kind
+	// Values holds counter deltas since the previous close and sampled
+	// gauge values, in registration order.
+	Values []uint64
+}
+
+// Sink receives closed windows.
+type Sink interface {
+	Emit(w Window)
+}
+
+// SetSink installs the per-window export destination. Call before the
+// first CloseWindow; installing a sink arms window tracking from the
+// current cell values.
+func (r *Registry) SetSink(s Sink) {
+	if r == nil {
+		return
+	}
+	r.sink = s
+	r.last = make([]uint64, len(r.cells))
+	r.winNames = make([]string, len(r.cells))
+	r.winKinds = make([]Kind, len(r.cells))
+	for i, c := range r.cells {
+		if c.kind == KindCounter {
+			r.last[i] = *c.val
+		}
+		r.winNames[i] = c.name
+		r.winKinds[i] = c.kind
+	}
+	r.scratch = make([]uint64, len(r.cells))
+}
+
+// HasSink reports whether a sink is installed — the simulator's one-branch
+// guard around window bookkeeping.
+func (r *Registry) HasSink() bool { return r != nil && r.sink != nil }
+
+// CloseWindow emits the interval ending at cycle end to the sink and
+// starts the next window. Without a sink it is a no-op. Empty intervals
+// (end == previous close) are skipped.
+func (r *Registry) CloseWindow(end uint64) {
+	if r == nil || r.sink == nil || end == r.winStart {
+		return
+	}
+	for i, c := range r.cells {
+		if c.kind == KindGauge {
+			r.scratch[i] = c.sample()
+			continue
+		}
+		v := *c.val
+		r.scratch[i] = v - r.last[i]
+		r.last[i] = v
+	}
+	r.sink.Emit(Window{
+		Index:  r.window,
+		Start:  r.winStart,
+		End:    end,
+		Names:  r.winNames,
+		Kinds:  r.winKinds,
+		Values: r.scratch,
+	})
+	r.window++
+	r.winStart = end
+}

@@ -1,0 +1,271 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCounterAndBind(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a/ops")
+	var external uint64
+	r.Bind("b/ops", &external)
+
+	c.Inc()
+	c.Add(4)
+	external = 7
+
+	if v, ok := r.Value("a/ops"); !ok || v != 5 {
+		t.Fatalf("a/ops = %d,%v want 5,true", v, ok)
+	}
+	if v, ok := r.Value("b/ops"); !ok || v != 7 {
+		t.Fatalf("b/ops = %d,%v want 7,true", v, ok)
+	}
+	if _, ok := r.Value("nosuch"); ok {
+		t.Fatal("Value found unregistered name")
+	}
+	if got := r.Names(); len(got) != 2 || got[0] != "a/ops" || got[1] != "b/ops" {
+		t.Fatalf("Names = %v", got)
+	}
+}
+
+func TestZeroValueInstrumentsAreNoOps(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(10)
+	if c.Value() != 0 {
+		t.Fatal("zero Counter counted")
+	}
+	var h Histogram
+	h.Observe(3) // must not panic
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	r.Bind("y", new(uint64))
+	r.Gauge("z", func() uint64 { return 1 })
+	h := r.Histogram("h", 1, 2)
+	h.Observe(5)
+	if r.Len() != 0 || r.Names() != nil || r.Snapshot() != nil {
+		t.Fatal("nil registry not empty")
+	}
+	r.CloseWindow(10)
+	if r.HasSink() {
+		t.Fatal("nil registry has sink")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("dup")
+	r.Counter("dup")
+}
+
+func TestRegistrationAfterSinkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registration after SetSink did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("a")
+	r.SetSink(sinkFunc(func(Window) {}))
+	r.Counter("b")
+}
+
+type sinkFunc func(Window)
+
+func (f sinkFunc) Emit(w Window) { f(w) }
+
+func TestGaugeSampledAtSnapshot(t *testing.T) {
+	r := NewRegistry()
+	depth := uint64(0)
+	r.Gauge("q/depth", func() uint64 { return depth })
+	depth = 9
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Value != 9 || snap[0].Kind != KindGauge {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 1, 8, 64)
+	for _, v := range []uint64{0, 1, 2, 8, 9, 64, 65, 1000} {
+		h.Observe(v)
+	}
+	want := map[string]uint64{"lat/le_1": 2, "lat/le_8": 2, "lat/le_64": 2, "lat/inf": 2}
+	for name, w := range want {
+		if v, ok := r.Value(name); !ok || v != w {
+			t.Fatalf("%s = %d,%v want %d", name, v, ok, w)
+		}
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing bounds did not panic")
+		}
+	}()
+	NewRegistry().Histogram("bad", 4, 4)
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := uint64(1)
+	r.Gauge("g", func() uint64 { return g })
+	c.Add(10)
+	prev := r.Snapshot()
+	c.Add(5)
+	g = 3
+	d := Diff(r.Snapshot(), prev)
+	if len(d) != 2 {
+		t.Fatalf("diff = %+v", d)
+	}
+	// Sorted by name: c then g.
+	if d[0].Name != "c" || d[0].Value != 5 {
+		t.Fatalf("counter delta = %+v", d[0])
+	}
+	if d[1].Name != "g" || d[1].Value != 3 {
+		t.Fatalf("gauge sample = %+v", d[1])
+	}
+}
+
+func TestWindowDeltasSumToTotal(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events")
+	var wins []Window
+	var deltas []uint64
+	r.SetSink(sinkFunc(func(w Window) {
+		// Values is reused; copy what we keep.
+		cp := w
+		cp.Values = append([]uint64(nil), w.Values...)
+		wins = append(wins, cp)
+		deltas = append(deltas, cp.Values[0])
+	}))
+	if !r.HasSink() {
+		t.Fatal("sink not installed")
+	}
+	c.Add(3)
+	r.CloseWindow(100)
+	c.Add(4)
+	r.CloseWindow(200)
+	r.CloseWindow(200) // empty interval: skipped
+	c.Add(5)
+	r.CloseWindow(250) // final partial window
+
+	if len(wins) != 3 {
+		t.Fatalf("%d windows, want 3", len(wins))
+	}
+	var sum uint64
+	for _, d := range deltas {
+		sum += d
+	}
+	if sum != c.Value() || sum != 12 {
+		t.Fatalf("window deltas sum %d, counter %d", sum, c.Value())
+	}
+	if wins[0].Start != 0 || wins[0].End != 100 || wins[1].Start != 100 || wins[2].End != 250 {
+		t.Fatalf("window bounds wrong: %+v", wins)
+	}
+	for i, w := range wins {
+		if w.Index != i {
+			t.Fatalf("window %d has index %d", i, w.Index)
+		}
+	}
+}
+
+func TestJSONLWriterValidAndLabeled(t *testing.T) {
+	var buf bytes.Buffer
+	jw := NewJSONLWriter(&buf)
+
+	r := NewRegistry()
+	c := r.Counter("provider/preloads")
+	z := r.Counter("provider/zero") // zero delta: must be elided
+	depth := uint64(4)
+	r.Gauge("osu/depth", func() uint64 { return depth })
+	r.SetSink(jw.Run(String("bench", "bfs"), String("scheme", "regless"), Int("capacity", 512)))
+
+	c.Add(2)
+	r.CloseWindow(100)
+	c.Add(3)
+	depth = 0
+	r.CloseWindow(142)
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_ = z
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	type rec struct {
+		Bench    string            `json:"bench"`
+		Scheme   string            `json:"scheme"`
+		Capacity int               `json:"capacity"`
+		Window   int               `json:"window"`
+		Start    uint64            `json:"start"`
+		End      uint64            `json:"end"`
+		Counters map[string]uint64 `json:"counters"`
+		Gauges   map[string]uint64 `json:"gauges"`
+	}
+	var total uint64
+	for i, ln := range lines {
+		var v rec
+		if err := json.Unmarshal([]byte(ln), &v); err != nil {
+			t.Fatalf("line %d invalid JSON: %v\n%s", i, err, ln)
+		}
+		if v.Bench != "bfs" || v.Scheme != "regless" || v.Capacity != 512 {
+			t.Fatalf("labels wrong: %+v", v)
+		}
+		if v.Window != i {
+			t.Fatalf("window index %d on line %d", v.Window, i)
+		}
+		if _, ok := v.Counters["provider/zero"]; ok {
+			t.Fatal("zero-delta counter not elided")
+		}
+		if _, ok := v.Gauges["osu/depth"]; !ok {
+			t.Fatal("gauge missing (gauges must always be written)")
+		}
+		total += v.Counters["provider/preloads"]
+	}
+	if total != 5 {
+		t.Fatalf("counter deltas sum %d, want 5", total)
+	}
+	var second rec
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Gauges["osu/depth"] != 0 || second.Start != 100 || second.End != 142 {
+		t.Fatalf("second record wrong: %+v", second)
+	}
+}
+
+// The disabled path must stay allocation-free and cheap: a zero Counter's
+// Inc is a single branch.
+func BenchmarkCounterDisabled(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	c := NewRegistry().Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

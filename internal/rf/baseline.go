@@ -16,8 +16,8 @@ const BaselineBanks = 32
 // Baseline is the conventional full-size register file: every operand read
 // and write accesses the main RF. It never stalls a warp.
 type Baseline struct {
-	sm    *sim.SM
-	stats sim.ProviderStats
+	sm *sim.SM
+	m  *sim.ProviderCounters
 }
 
 // NewBaseline returns the baseline provider.
@@ -27,7 +27,10 @@ func NewBaseline() *Baseline { return &Baseline{} }
 func (b *Baseline) Name() string { return "baseline" }
 
 // Attach implements sim.Provider.
-func (b *Baseline) Attach(sm *sim.SM) { b.sm = sm }
+func (b *Baseline) Attach(sm *sim.SM) {
+	b.sm = sm
+	b.m = sim.NewProviderCounters(sm.Metrics)
+}
 
 // CanIssue implements sim.Provider: the full RF always has every register.
 func (b *Baseline) CanIssue(*sim.Warp) bool { return true }
@@ -42,8 +45,8 @@ func (b *Baseline) OnIssue(w *sim.Warp, info *exec.StepInfo) int {
 		if !r.Valid() {
 			continue
 		}
-		b.stats.StructReads++
-		b.stats.BackingAccesses++
+		b.m.StructReads.Inc()
+		b.m.BackingAccesses.Inc()
 		bank := (int(r) + w.ID) % BaselineBanks
 		if banks[bank] {
 			conflicts++
@@ -51,10 +54,10 @@ func (b *Baseline) OnIssue(w *sim.Warp, info *exec.StepInfo) int {
 		banks[bank] = true
 	}
 	if in.Op.HasDst() && in.Dst.Valid() {
-		b.stats.StructWrites++
-		b.stats.BackingAccesses++
+		b.m.StructWrites.Inc()
+		b.m.BackingAccesses.Inc()
 	}
-	b.stats.BankConflicts += uint64(conflicts)
+	b.m.BankConflicts.Add(uint64(conflicts))
 	return conflicts
 }
 
@@ -71,4 +74,4 @@ func (b *Baseline) Tick() {}
 func (b *Baseline) Drained() bool { return true }
 
 // Stats implements sim.Provider.
-func (b *Baseline) Stats() *sim.ProviderStats { return &b.stats }
+func (b *Baseline) Stats() *sim.ProviderStats { return b.m.Stats() }

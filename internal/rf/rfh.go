@@ -16,8 +16,8 @@ import (
 // sim.SchedTwoLevel, which is why its geomean trails the GTO baseline,
 // §6.4).
 type RFH struct {
-	sm    *sim.SM
-	stats sim.ProviderStats
+	sm *sim.SM
+	m  *sim.ProviderCounters
 
 	// ORFEntries is the per-warp operand buffer capacity (8-entry
 	// scratchpad in Figure 3's configuration).
@@ -36,6 +36,7 @@ func (h *RFH) Name() string { return "rfh" }
 // Attach implements sim.Provider.
 func (h *RFH) Attach(sm *sim.SM) {
 	h.sm = sm
+	h.m = sim.NewProviderCounters(sm.Metrics)
 	h.lastDst = make([]isa.Reg, len(sm.Warps))
 	for i := range h.lastDst {
 		h.lastDst[i] = isa.NoReg
@@ -70,8 +71,8 @@ func (h *RFH) orfInsert(w int, r isa.Reg) {
 		return
 	}
 	// Evict LRU to the main register file.
-	h.stats.MRFAccesses++
-	h.stats.BackingAccesses++
+	h.m.MRFAccesses.Inc()
+	h.m.BackingAccesses.Inc()
 	copy(lst[1:], lst[:len(lst)-1])
 	lst[0] = r
 }
@@ -84,20 +85,20 @@ func (h *RFH) OnIssue(w *sim.Warp, info *exec.StepInfo) int {
 		if !r.Valid() {
 			continue
 		}
-		h.stats.StructReads++
+		h.m.StructReads.Inc()
 		switch {
 		case r == h.lastDst[w.ID]:
-			h.stats.LRFAccesses++
+			h.m.LRFAccesses.Inc()
 		case h.orfHit(w.ID, r):
-			h.stats.ORFAccesses++
+			h.m.ORFAccesses.Inc()
 		default:
-			h.stats.MRFAccesses++
-			h.stats.BackingAccesses++
+			h.m.MRFAccesses.Inc()
+			h.m.BackingAccesses.Inc()
 			h.orfInsert(w.ID, r)
 		}
 	}
 	if in.Op.HasDst() && in.Dst.Valid() {
-		h.stats.StructWrites++
+		h.m.StructWrites.Inc()
 		// Writes land in the ORF (compiler-allocated); eviction later
 		// costs an MRF access.
 		h.orfInsert(w.ID, in.Dst)
@@ -121,4 +122,4 @@ func (h *RFH) Tick() {}
 func (h *RFH) Drained() bool { return true }
 
 // Stats implements sim.Provider.
-func (h *RFH) Stats() *sim.ProviderStats { return &h.stats }
+func (h *RFH) Stats() *sim.ProviderStats { return h.m.Stats() }

@@ -16,9 +16,9 @@ import (
 // traffic) before its next use — the register-pressure cost the paper
 // reports for dwt2d and hotspot (§6.3).
 type RFV struct {
-	sm    *sim.SM
-	lv    *cfg.Liveness
-	stats sim.ProviderStats
+	sm *sim.SM
+	lv *cfg.Liveness
+	m  *sim.ProviderCounters
 
 	physRegs int
 	free     int
@@ -53,6 +53,7 @@ func (v *RFV) Name() string { return "rfv" }
 // Attach implements sim.Provider.
 func (v *RFV) Attach(sm *sim.SM) {
 	v.sm = sm
+	v.m = sim.NewProviderCounters(sm.Metrics)
 	v.lv = cfg.ComputeLiveness(sm.G)
 	v.free = v.physRegs
 	v.mapped = make([][]bool, len(sm.Warps))
@@ -83,15 +84,15 @@ func (v *RFV) alloc(w int, r isa.Reg) int {
 				v.spilled[e.warp][e.reg] = true
 				v.free++
 				v.spills++
-				v.stats.Evictions++
-				v.stats.BackingAccesses++
+				v.m.Evictions.Inc()
+				v.m.BackingAccesses.Inc()
 				break
 			}
 		}
 		if v.free == 0 {
 			// Pool smaller than one instruction's needs; charge the
 			// penalty and proceed (degenerate configuration).
-			v.stats.StallCycles++
+			v.m.StallCycles.Inc()
 			return v.SpillPenalty
 		}
 	}
@@ -110,7 +111,7 @@ func (v *RFV) touch(w int, r isa.Reg) int {
 	if v.spilled[w][r] {
 		v.spilled[w][r] = false
 		v.refills++
-		v.stats.BackingAccesses++ // refill read from the memory system
+		v.m.BackingAccesses.Inc() // refill read from the memory system
 		penalty += v.SpillPenalty
 	}
 	return penalty
@@ -127,7 +128,7 @@ func (v *RFV) OnIssue(w *sim.Warp, info *exec.StepInfo) int {
 		if !r.Valid() {
 			continue
 		}
-		v.stats.StructReads++
+		v.m.StructReads.Inc()
 		penalty += v.touch(w.ID, r)
 		// Release at last read (renaming reclaims dead values).
 		if v.lv.IsLastUse(gi, r) && v.mapped[w.ID][r] {
@@ -136,7 +137,7 @@ func (v *RFV) OnIssue(w *sim.Warp, info *exec.StepInfo) int {
 		}
 	}
 	if in.Op.HasDst() && in.Dst.Valid() {
-		v.stats.StructWrites++
+		v.m.StructWrites.Inc()
 		if !v.mapped[w.ID][in.Dst] {
 			// A fresh write does not refill: the old value dies.
 			v.spilled[w.ID][in.Dst] = false
@@ -144,7 +145,7 @@ func (v *RFV) OnIssue(w *sim.Warp, info *exec.StepInfo) int {
 		}
 	}
 	if penalty > 0 {
-		v.stats.StallCycles += uint64(penalty)
+		v.m.StallCycles.Add(uint64(penalty))
 	}
 	return penalty
 }
@@ -170,7 +171,7 @@ func (v *RFV) Tick() {}
 func (v *RFV) Drained() bool { return true }
 
 // Stats implements sim.Provider.
-func (v *RFV) Stats() *sim.ProviderStats { return &v.stats }
+func (v *RFV) Stats() *sim.ProviderStats { return v.m.Stats() }
 
 // LiveMapped returns the currently mapped physical register count (tests).
 func (v *RFV) LiveMapped() int { return v.physRegs - v.free }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 )
 
 // SchedKind selects the warp scheduling policy.
@@ -159,9 +160,22 @@ type SM struct {
 
 	Stats Stats
 
+	// Metrics is the simulation's observability registry: every layer
+	// (SM, provider, OSU/CM/compressor shards, memory hierarchy)
+	// registers its counters here at construction. Attach a sink
+	// (Metrics.SetSink) before Run to stream per-window snapshots.
+	Metrics *metrics.Registry
+
 	groups [][]*Warp
 	sched  scheduler
 	lsu    *lsu
+
+	// Per-scheduler-group issue accounting (cycles with an issue, cycles
+	// without, scoreboard rejections, provider staging rejections).
+	mIssued        []metrics.Counter
+	mNoIssue       []metrics.Counter
+	mScoreboard    []metrics.Counter
+	mProviderStall []metrics.Counter
 
 	cycle     uint64
 	calendar  map[uint64][]func()
@@ -208,11 +222,13 @@ func NewWithHierarchy(cfgv Config, k *isa.Kernel, p Provider, mm *exec.Memory, h
 		G:            g,
 		Mem:          hier,
 		Provider:     p,
+		Metrics:      metrics.NewRegistry(),
 		calendar:     map[uint64][]func(){},
 		windowRegs:   map[uint32]struct{}{},
 		atBarrier:    make([]bool, cfgv.Warps),
 		sfuNextIssue: make([]uint64, cfgv.Schedulers),
 	}
+	sm.registerMetrics()
 	sm.groups = make([][]*Warp, cfgv.Schedulers)
 	for i := 0; i < cfgv.Warps; i++ {
 		gid := cfgv.WarpIDBase + i
@@ -237,6 +253,34 @@ func NewWithHierarchy(cfgv Config, k *isa.Kernel, p Provider, mm *exec.Memory, h
 	sm.lsu = newLSU(sm, cfgv.LSUQueue)
 	p.Attach(sm)
 	return sm, nil
+}
+
+// registerMetrics binds the SM's own counters into the registry: views
+// over the Stats struct (zero hot-path cost) plus per-scheduler-group
+// issue/stall counters and an LSU backlog gauge. The memory hierarchy and
+// the provider add their own cells afterwards (provider at Attach).
+func (sm *SM) registerMetrics() {
+	r := sm.Metrics
+	r.Bind("sim/dyn_insns", &sm.Stats.DynInsns)
+	r.Bind("sim/issue_stalls", &sm.Stats.IssueStalls)
+	r.Bind("sim/alu_ops", &sm.Stats.ALUOps)
+	r.Bind("sim/fma_ops", &sm.Stats.FMAOps)
+	r.Bind("sim/sfu_ops", &sm.Stats.SFUOps)
+	r.Bind("sim/global_loads", &sm.Stats.GlobalLoads)
+	r.Bind("sim/global_stores", &sm.Stats.GlobalStores)
+	r.Bind("sim/shared_ops", &sm.Stats.SharedOps)
+	r.Bind("sim/branches", &sm.Stats.Branches)
+	r.Bind("sim/barriers", &sm.Stats.Barriers)
+	r.Bind("sim/mem_lines", &sm.Stats.MemLines)
+	r.Bind("sim/active_lanes", &sm.Stats.ActiveLanes)
+	r.Gauge("sim/lsu_queue_depth", func() uint64 { return uint64(len(sm.lsu.queue)) })
+	for g := 0; g < sm.Cfg.Schedulers; g++ {
+		sm.mIssued = append(sm.mIssued, r.Counter(fmt.Sprintf("sim/sched/g%d/issue_cycles", g)))
+		sm.mNoIssue = append(sm.mNoIssue, r.Counter(fmt.Sprintf("sim/sched/g%d/stall_cycles", g)))
+		sm.mScoreboard = append(sm.mScoreboard, r.Counter(fmt.Sprintf("sim/sched/g%d/scoreboard_rejects", g)))
+		sm.mProviderStall = append(sm.mProviderStall, r.Counter(fmt.Sprintf("sim/sched/g%d/provider_rejects", g)))
+	}
+	sm.Mem.BindMetrics(r)
 }
 
 // Cycle returns the current cycle.
@@ -303,7 +347,10 @@ func (sm *SM) step() {
 	sm.lsu.tick()
 	for g := 0; g < sm.Cfg.Schedulers; g++ {
 		if w := sm.sched.pick(g, sm); w != nil {
+			sm.mIssued[g].Inc()
 			sm.issue(w)
+		} else {
+			sm.mNoIssue[g].Inc()
 		}
 	}
 	sm.releaseBarriers()
@@ -317,6 +364,7 @@ func (sm *SM) ready(w *Warp) bool {
 	}
 	in := w.Exec.Insn()
 	if !w.scoreboardReady(in) {
+		sm.mScoreboard[w.Group].Inc()
 		return false
 	}
 	switch in.Op.ClassOf() {
@@ -331,6 +379,7 @@ func (sm *SM) ready(w *Warp) bool {
 	}
 	if !sm.Provider.CanIssue(w) {
 		sm.Stats.IssueStalls++
+		sm.mProviderStall[w.Group].Inc()
 		return false
 	}
 	return true
@@ -472,10 +521,18 @@ func (sm *SM) sampleWindow() {
 	cur := sm.Provider.Stats().BackingAccesses
 	sm.Stats.BackingSeries = append(sm.Stats.BackingSeries, cur-sm.lastBackingCt)
 	sm.lastBackingCt = cur
+	if sm.Metrics.HasSink() {
+		sm.Metrics.CloseWindow(sm.cycle)
+	}
 }
 
 func (sm *SM) finishWindows() {
 	if sm.windowCount > 0 {
 		sm.Stats.WorkingSetKB = sm.windowSum / float64(sm.windowCount)
+	}
+	// Close the final partial window so exported deltas always sum to the
+	// run's counter totals (CloseWindow skips empty intervals itself).
+	if sm.Metrics.HasSink() {
+		sm.Metrics.CloseWindow(sm.cycle)
 	}
 }

@@ -4,11 +4,15 @@
 # Runs every paper table/figure through the parallel run planner and
 # writes a BENCH_<utc-timestamp>.json record (wall-clock seconds, total
 # simulated cycles, simcycles/s) to the repo root, so suite throughput
-# can be compared across PRs.
+# can be compared across PRs. A CPU profile of the same run is captured
+# next to it (BENCH_<utc-timestamp>.cpu.pprof; inspect with
+# `go tool pprof`) so regressions come with their own flame graph.
 #
 # Usage: scripts/bench.sh [extra cmd/regless flags, e.g. -parallel 4]
 set -eu
 cd "$(dirname "$0")/.."
-out="BENCH_$(date -u +%Y%m%dT%H%M%SZ).json"
-go run ./cmd/regless -experiment all -json "$@" | tee "$out"
-echo "wrote $out" >&2
+stamp="$(date -u +%Y%m%dT%H%M%SZ)"
+out="BENCH_${stamp}.json"
+prof="BENCH_${stamp}.cpu.pprof"
+go run ./cmd/regless -experiment all -json -cpuprofile "$prof" "$@" | tee "$out"
+echo "wrote $out and $prof" >&2

@@ -3,8 +3,10 @@
 # detector. The concurrency in the experiment engine (singleflight run
 # cache, worker-pool planner, kernel/compile caches) is only meaningfully
 # exercised with -race, so this runs alongside the tier-1
-# `go build ./... && go test ./...` gate.
+# `go build ./... && go test ./...` gate. A coverage floor over the
+# simulation core (scripts/cover.sh) rides along.
 set -eux
 cd "$(dirname "$0")/.."
 go vet ./...
 go test -race ./...
+scripts/cover.sh
