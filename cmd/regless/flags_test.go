@@ -24,25 +24,34 @@ func TestValidateFlags(t *testing.T) {
 	cases := []struct {
 		parallel int
 		metrics  string
+		bucket   int
+		trace    string
+		report   bool
+		bench    string
 		wantErr  string
 	}{
-		{1, "", ""},
-		{8, "jsonl", ""},
-		{0, "", "-parallel must be at least 1"},
-		{-3, "", "-parallel must be at least 1"},
-		{1, "xml", `unknown -metrics format "xml"`},
-		{0, "xml", "-parallel must be at least 1"}, // first error wins
+		{1, "", 100, "", false, "", ""},
+		{8, "jsonl", 1, "", false, "", ""},
+		{0, "", 100, "", false, "", "-parallel must be at least 1"},
+		{-3, "", 100, "", false, "", "-parallel must be at least 1"},
+		{1, "xml", 100, "", false, "", `unknown -metrics format "xml"`},
+		{0, "xml", 100, "", false, "", "-parallel must be at least 1"}, // first error wins
+		{1, "", 0, "", false, "", "-bucket must be at least 1, got 0"},
+		{1, "", -50, "", false, "", "-bucket must be at least 1, got -50"},
+		{1, "", 100, "out.json", false, "", "-trace and -trace-report require -bench"},
+		{1, "", 100, "", true, "", "-trace and -trace-report require -bench"},
+		{1, "", 100, "out.json", true, "nw", ""},
 	}
 	for _, c := range cases {
-		err := validateFlags(c.parallel, c.metrics)
+		err := validateFlags(c.parallel, c.metrics, c.bucket, c.trace, c.report, c.bench)
 		if c.wantErr == "" {
 			if err != nil {
-				t.Errorf("validateFlags(%d, %q) = %v, want nil", c.parallel, c.metrics, err)
+				t.Errorf("validateFlags(%+v) = %v, want nil", c, err)
 			}
 			continue
 		}
 		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
-			t.Errorf("validateFlags(%d, %q) = %v, want error containing %q", c.parallel, c.metrics, err, c.wantErr)
+			t.Errorf("validateFlags(%+v) = %v, want error containing %q", c, err, c.wantErr)
 		}
 	}
 }
@@ -78,6 +87,8 @@ func TestBadFlagsExitWithUsage(t *testing.T) {
 		{[]string{"-parallel", "0", "-experiment", "fig2"}, "-parallel must be at least 1, got 0"},
 		{[]string{"-parallel", "-2", "-list"}, "-parallel must be at least 1, got -2"},
 		{[]string{"-metrics", "csv", "-experiment", "fig2"}, `unknown -metrics format "csv"`},
+		{[]string{"-bucket", "0", "-bench", "nw", "-timeline"}, "-bucket must be at least 1, got 0"},
+		{[]string{"-trace-report", "-experiment", "fig2"}, "-trace and -trace-report require -bench"},
 	}
 	for _, c := range cases {
 		stdout, stderr, code := runMain(t, c.args...)

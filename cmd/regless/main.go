@@ -28,7 +28,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/compress"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/experiments"
 	"repro/internal/isa"
 	"repro/internal/kernels"
@@ -52,8 +54,11 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "with -experiment: emit a JSON benchmark snapshot (wall-clock, simcycles/s) instead of tables")
 		list       = flag.Bool("list", false, "list benchmarks and exit")
 		timeline   = flag.Bool("timeline", false, "with -bench: render a warp-state timeline")
-		bucket     = flag.Int("bucket", 100, "timeline bucket size in cycles")
+		bucket     = flag.Int("bucket", 100, "timeline bucket size in cycles (must be >= 1)")
 		csvOut     = flag.Bool("csv", false, "with -timeline: emit CSV instead of ASCII")
+		traceOut   = flag.String("trace", "", "with -bench: write a Chrome trace-event JSON file (open in Perfetto)")
+		traceRep   = flag.Bool("trace-report", false, "with -bench: print a stall-attribution and preload-latency report")
+		gitSHA     = flag.String("snapshot-sha", "", "git revision to stamp into the -json snapshot (scripts/bench.sh)")
 		metricsFmt = flag.String("metrics", "", "stream per-window metrics; the only format is 'jsonl'")
 		metricsOut = flag.String("metrics-out", "", "write -metrics stream to a file (default: stdout, moving tables to stderr)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -67,7 +72,7 @@ func main() {
 		}
 		return
 	}
-	if err := validateFlags(*parallel, *metricsFmt); err != nil {
+	if err := validateFlags(*parallel, *metricsFmt, *bucket, *traceOut, *traceRep, *bench); err != nil {
 		fmt.Fprintln(os.Stderr, "regless:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -119,8 +124,13 @@ func main() {
 	switch {
 	case *app != "":
 		runApp(*app, experiments.Scheme(*scheme), *capacity, *warps)
-	case *bench != "" && *timeline:
-		runTimeline(*bench, experiments.Scheme(*scheme), *capacity, *warps, *bucket, *csvOut)
+	case *bench != "" && (*timeline || *traceOut != "" || *traceRep):
+		runTrace(traceOpts{
+			bench: *bench, scheme: experiments.Scheme(*scheme),
+			capacity: *capacity, warps: *warps, bucket: *bucket,
+			csv: *csvOut, timeline: *timeline,
+			traceFile: *traceOut, report: *traceRep,
+		})
 	case *bench != "":
 		runOne(suite, out, *bench, experiments.Scheme(*scheme), *capacity)
 	case *experiment == "all":
@@ -128,7 +138,7 @@ func main() {
 		tables, err := experiments.All(suite)
 		check(err)
 		if *jsonOut {
-			emitSnapshot(suite, out, "all", len(tables), time.Since(start))
+			emitSnapshot(suite, out, "all", *gitSHA, len(tables), time.Since(start))
 			return
 		}
 		for _, tb := range tables {
@@ -144,7 +154,7 @@ func main() {
 		tb, err := fn(suite)
 		check(err)
 		if *jsonOut {
-			emitSnapshot(suite, out, *experiment, 1, time.Since(start))
+			emitSnapshot(suite, out, *experiment, *gitSHA, 1, time.Since(start))
 			return
 		}
 		fmt.Fprintln(out, render(tb, *markdown))
@@ -156,13 +166,21 @@ func main() {
 
 // validateFlags rejects flag values that would otherwise be silently
 // misread: a non-positive planner width used to mean "GOMAXPROCS" but now
-// the default carries that value, so anything below 1 is a mistake.
-func validateFlags(parallel int, metricsFmt string) error {
+// the default carries that value, so anything below 1 is a mistake; a
+// non-positive bucket used to be silently replaced by 100 inside the
+// tracer.
+func validateFlags(parallel int, metricsFmt string, bucket int, traceOut string, traceRep bool, bench string) error {
 	if parallel < 1 {
 		return fmt.Errorf("-parallel must be at least 1, got %d", parallel)
 	}
 	if metricsFmt != "" && metricsFmt != "jsonl" {
 		return fmt.Errorf("unknown -metrics format %q (only \"jsonl\")", metricsFmt)
+	}
+	if bucket < 1 {
+		return fmt.Errorf("-bucket must be at least 1, got %d", bucket)
+	}
+	if (traceOut != "" || traceRep) && bench == "" {
+		return fmt.Errorf("-trace and -trace-report require -bench")
 	}
 	return nil
 }
@@ -171,6 +189,7 @@ func validateFlags(parallel int, metricsFmt string) error {
 // one per run so the suite's throughput is tracked across PRs.
 type benchSnapshot struct {
 	Experiment    string  `json:"experiment"`
+	GitSHA        string  `json:"git_sha,omitempty"`
 	Parallelism   int     `json:"parallelism"`
 	GOMAXPROCS    int     `json:"gomaxprocs"`
 	Warps         int     `json:"warps"`
@@ -183,7 +202,7 @@ type benchSnapshot struct {
 	TablesPerS    float64 `json:"tables_per_sec"`
 }
 
-func emitSnapshot(s *experiments.Suite, out io.Writer, experiment string, tables int, wall time.Duration) {
+func emitSnapshot(s *experiments.Suite, out io.Writer, experiment, gitSHA string, tables int, wall time.Duration) {
 	runs := s.CachedRuns()
 	var cycles uint64
 	for _, r := range runs {
@@ -191,6 +210,7 @@ func emitSnapshot(s *experiments.Suite, out io.Writer, experiment string, tables
 	}
 	snap := benchSnapshot{
 		Experiment:    experiment,
+		GitSHA:        gitSHA,
 		Parallelism:   s.Opts.Parallelism,
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Warps:         s.Opts.Warps,
@@ -239,18 +259,69 @@ func runApp(name string, scheme experiments.Scheme, capacity, warps int) {
 	fmt.Printf("total          %d cycles; L2 hits across launches: %d\n", res.Cycles, res.MemStats.L2Hits)
 }
 
-func runTimeline(bench string, scheme experiments.Scheme, capacity, warps, bucket int, csv bool) {
-	smv, _, err := experiments.BuildSM(bench, scheme, capacity, warps, 60_000_000)
+// traceOpts parameterizes the traced single-benchmark run shared by
+// -timeline, -trace, and -trace-report (one simulation feeds all three).
+type traceOpts struct {
+	bench     string
+	scheme    experiments.Scheme
+	capacity  int
+	warps     int
+	bucket    int
+	csv       bool
+	timeline  bool
+	traceFile string
+	report    bool
+}
+
+func runTrace(o traceOpts) {
+	smv, _, err := experiments.BuildSM(o.bench, o.scheme, o.capacity, o.warps, 60_000_000)
 	check(err)
-	res, err := trace.Run(smv, bucket)
-	check(err)
-	if csv {
-		fmt.Print(res.CSV())
-		return
+	// The timeline alone needs only warp-state events; the Perfetto
+	// export and the stall report consume every family.
+	var mask events.Mask
+	if o.traceFile != "" || o.report {
+		mask = events.MaskAll
 	}
-	fmt.Printf("%s under %s:\n", bench, scheme)
-	fmt.Print(res.Render(160))
-	fmt.Printf("total: %d cycles, IPC %.2f\n", res.Stats.Cycles, res.Stats.IPC())
+	res, err := trace.Run(smv, o.bucket, mask)
+	check(err)
+	if o.timeline {
+		if o.csv {
+			fmt.Print(res.CSV())
+		} else {
+			fmt.Printf("%s under %s:\n", o.bench, o.scheme)
+			fmt.Print(res.Render(160))
+			fmt.Printf("total: %d cycles, IPC %.2f\n", res.Stats.Cycles, res.Stats.IPC())
+		}
+	}
+	if o.traceFile != "" {
+		f, err := os.Create(o.traceFile)
+		check(err)
+		check(events.WritePerfetto(f, res.Events, events.TraceMeta{
+			Bench:        o.bench,
+			Scheme:       string(o.scheme),
+			Warps:        len(smv.Warps),
+			Schedulers:   smv.Cfg.Schedulers,
+			Cycles:       res.Stats.Cycles,
+			PatternNames: patternNames(),
+		}))
+		check(f.Close())
+		fmt.Fprintf(os.Stderr, "regless: wrote %d events to %s (open in ui.perfetto.dev)\n",
+			res.Events.Len(), o.traceFile)
+	}
+	if o.report {
+		rep := events.Analyze(res.Events, res.Stats.Cycles, smv.Cfg.Schedulers)
+		fmt.Printf("%s under %s: stall attribution over %d cycles\n", o.bench, o.scheme, res.Stats.Cycles)
+		fmt.Print(rep.Render(10))
+	}
+}
+
+// patternNames indexes compressor pattern IDs to names for trace args.
+func patternNames() []string {
+	names := make([]string, compress.NumPatterns)
+	for p := compress.Pattern(0); p < compress.NumPatterns; p++ {
+		names[p] = p.String()
+	}
+	return names
 }
 
 func runOne(suite *experiments.Suite, out io.Writer, bench string, scheme experiments.Scheme, capacity int) {

@@ -92,6 +92,12 @@ type CM struct {
 	cfg   Config
 	Stats Stats
 
+	// OnTransition, when set, observes every warp state change with the
+	// region involved (the one entered on activation, the one left on
+	// drain completion or finish). Event tracing hooks in here; nil
+	// costs one branch per transition.
+	OnTransition func(w int, to State, region int)
+
 	state []State
 	// stack holds Inactive warps; the top (last element) activates next.
 	stack []int
@@ -204,7 +210,14 @@ func (c *CM) ActivateTop(region int, usage []int, preloads int, now uint64) (int
 	} else {
 		c.state[w] = Preloading
 	}
+	c.notify(w, region)
 	return w, nil
+}
+
+func (c *CM) notify(w, region int) {
+	if c.OnTransition != nil {
+		c.OnTransition(w, c.state[w], region)
+	}
 }
 
 // PreloadDone signals one completed input fetch; the warp activates when
@@ -217,6 +230,7 @@ func (c *CM) PreloadDone(w int) {
 	c.Stats.PreloadsDone++
 	if c.pendingPreloads[w] <= 0 {
 		c.state[w] = Active
+		c.notify(w, c.region[w])
 	}
 }
 
@@ -229,6 +243,7 @@ func (c *CM) BeginDrain(w int, activeLines []int) {
 	}
 	c.state[w] = Draining
 	c.Stats.Drains++
+	c.notify(w, c.region[w])
 	for b := 0; b < c.cfg.Banks; b++ {
 		excess := c.warpRes[w][b] - activeLines[b]
 		if excess > 0 {
@@ -255,8 +270,10 @@ func (c *CM) FinishDrain(w int, now uint64) (cycles uint64) {
 	c.releaseAll(w)
 	c.Stats.DrainsDone++
 	cycles = now - c.activatedAt[w]
+	left := c.region[w]
 	c.region[w] = -1
 	c.state[w] = Inactive
+	c.notify(w, left)
 	if c.cfg.FIFOStack {
 		// Oldest-first: rejoin at the bottom.
 		c.stack = append([]int{w}, c.stack...)
@@ -270,8 +287,10 @@ func (c *CM) FinishDrain(w int, now uint64) (cycles uint64) {
 func (c *CM) Finish(w int) {
 	c.releaseAll(w)
 	c.Stats.Finishes++
+	left := c.region[w]
 	c.region[w] = -1
 	c.state[w] = Finished
+	c.notify(w, left)
 }
 
 func (c *CM) releaseAll(w int) {

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/cm"
 	"repro/internal/compress"
+	"repro/internal/events"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/metadata"
@@ -143,6 +144,7 @@ type Provider struct {
 	comp *regions.Compiled
 	sm   *sim.SM
 	m    *sim.ProviderCounters
+	rec  *events.Recorder // nil-safe event recorder (sim.RecorderAware)
 
 	shards []*shard
 	warps  []*warpState
@@ -329,12 +331,39 @@ func (p *Provider) regAddr(warp int, reg isa.Reg) uint32 {
 
 // CanIssue implements sim.Provider: a warp issues only while Active.
 func (p *Provider) CanIssue(w *sim.Warp) bool {
-	ws := p.warps[w.ID]
-	if p.shards[ws.shard].cm.StateOf(ws.local) == cm.Active {
+	if p.CanIssueQuiet(w) {
 		return true
 	}
 	p.m.StallCycles.Inc()
 	return false
+}
+
+// CanIssueQuiet implements sim.IssueProber: CanIssue's staging check
+// without the stall accounting, for side-effect-free stall attribution.
+func (p *Provider) CanIssueQuiet(w *sim.Warp) bool {
+	ws := p.warps[w.ID]
+	return p.shards[ws.shard].cm.StateOf(ws.local) == cm.Active
+}
+
+// AttachRecorder implements sim.RecorderAware: forward the recorder into
+// each shard's machinery. Capacity-manager transitions and OSU line
+// events flow out via hooks; the initial all-Inactive states are seeded
+// here so consumers reconstruct full lifecycles (warps begin on the
+// stack without a transition event). Call after Attach (sim.New runs
+// Attach during construction).
+func (p *Provider) AttachRecorder(rec *events.Recorder) {
+	p.rec = rec
+	warpsPerShard := len(p.warps) / p.cfg.Shards
+	for s, sh := range p.shards {
+		s, sh := s, sh
+		for local := 0; local < warpsPerShard; local++ {
+			rec.State(s, local*p.cfg.Shards+s, events.Phase(sh.cm.StateOf(local)), sh.cm.RegionOf(local))
+		}
+		sh.cm.OnTransition = func(local int, to cm.State, region int) {
+			rec.State(s, local*p.cfg.Shards+s, events.Phase(to), region)
+		}
+		sh.osu.SetRecorder(rec, s)
+	}
 }
 
 // Drained implements sim.Provider.

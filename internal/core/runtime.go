@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/events"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/osu"
@@ -71,7 +72,9 @@ func (p *Provider) processEvictions(sh *shard) {
 	p.m.Evictions.Inc()
 	if p.cfg.EnableCompressor {
 		val := p.sm.Warps[req.warp].Exec.ReadReg(req.reg)
-		if _, ok := sh.cmp.TryCompress(req.warp, req.reg, &val); ok {
+		pat, ok := sh.cmp.TryCompress(req.warp, req.reg, &val)
+		p.rec.Compress(p.warps[req.warp].shard, req.warp, uint8(pat), ok)
+		if ok {
 			p.m.CompressorHits.Inc()
 			p.m.CompressorCacheOps.Inc()
 			res := sh.cmp.AccessLine(req.warp, req.reg, true)
@@ -112,6 +115,7 @@ func (p *Provider) preload(sh *shard, req preloadReq) {
 		sh.osu.Activate(req.warp, req.reg)
 		p.stage(ws, req.reg, st == osu.StateDirty)
 		p.m.PreloadFromOSU.Inc()
+		p.rec.PreloadFill(ws.shard, req.warp, uint32(req.reg), events.SrcOSU)
 		if req.invalidate {
 			p.dropBacking(sh, req.warp, req.reg)
 		}
@@ -124,6 +128,7 @@ func (p *Provider) preload(sh *shard, req preloadReq) {
 			sh.evictQ = append(sh.evictQ[:i], sh.evictQ[i+1:]...)
 			p.install(sh, ws, req.reg, true)
 			p.m.PreloadFromOSU.Inc()
+			p.rec.PreloadFill(ws.shard, req.warp, uint32(req.reg), events.SrcOSU)
 			if req.invalidate {
 				p.dropBacking(sh, req.warp, req.reg)
 			}
@@ -146,6 +151,7 @@ func (p *Provider) preload(sh *shard, req preloadReq) {
 			p.sm.After(3, func() {
 				p.install(sh, ws, req.reg, false)
 				p.m.PreloadFromCompressor.Inc()
+				p.rec.PreloadFill(ws.shard, req.warp, uint32(req.reg), events.SrcCompressor)
 				if req.invalidate {
 					sh.cmp.Drop(req.warp, req.reg)
 				}
@@ -157,6 +163,7 @@ func (p *Provider) preload(sh *shard, req preloadReq) {
 		sh.l1ops = append(sh.l1ops, l1op{addr: res.FetchLine + p.cfg.AddrOffset, done: func(src mem.Source) {
 			p.install(sh, ws, req.reg, false)
 			p.countPreloadSource(src)
+			p.rec.PreloadFill(ws.shard, req.warp, uint32(req.reg), fillSrc(src))
 			if req.invalidate {
 				sh.cmp.Drop(req.warp, req.reg)
 			}
@@ -169,6 +176,7 @@ func (p *Provider) preload(sh *shard, req preloadReq) {
 	sh.l1ops = append(sh.l1ops, l1op{addr: addr, done: func(src mem.Source) {
 		p.install(sh, ws, req.reg, false)
 		p.countPreloadSource(src)
+		p.rec.PreloadFill(ws.shard, req.warp, uint32(req.reg), fillSrc(src))
 		if req.invalidate {
 			p.sm.Mem.L1InvalidateQuiet(addr)
 		}
@@ -182,6 +190,15 @@ func (p *Provider) countPreloadSource(src mem.Source) {
 	} else {
 		p.m.PreloadFromL2DRAM.Inc()
 	}
+}
+
+// fillSrc maps a memory-hierarchy source to the event-taxonomy source,
+// mirroring countPreloadSource's two-way split.
+func fillSrc(src mem.Source) events.PreloadSrc {
+	if src == mem.SrcL1 {
+		return events.SrcL1
+	}
+	return events.SrcL2DRAM
 }
 
 // dropBacking deletes every backing copy of a dead value (invalidating
@@ -288,6 +305,7 @@ func (p *Provider) tryActivate(s int, sh *shard) {
 	for _, pl := range region.Preloads {
 		b := (warp + int(pl.Reg)) % p.cfg.Banks
 		sh.preloadQ[b] = append(sh.preloadQ[b], preloadReq{warp: warp, reg: pl.Reg, invalidate: pl.Invalidate})
+		p.rec.PreloadIssue(s, warp, uint32(pl.Reg))
 	}
 	for _, reg := range region.CacheInvalidations {
 		sh.invalQ = append(sh.invalQ, preloadReq{warp: warp, reg: reg})

@@ -1,0 +1,166 @@
+package events_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// tracedRun simulates one benchmark under a scheme with every event
+// family recorded, via the same path the CLI uses, returning the SM for
+// its metrics registry.
+func tracedRun(t *testing.T, scheme experiments.Scheme) (*trace.Result, *sim.SM) {
+	t.Helper()
+	smv, _, err := experiments.BuildSM("nw", scheme, experiments.DefaultCapacity, 8, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := trace.Run(smv, 50, events.MaskAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cycles == 0 || res.Events == nil {
+		t.Fatal("empty traced run")
+	}
+	return res, smv
+}
+
+func metric(t *testing.T, smv *sim.SM, name string) uint64 {
+	t.Helper()
+	v, ok := smv.Metrics.Value(name)
+	if !ok {
+		t.Fatalf("metric %q not registered", name)
+	}
+	return v
+}
+
+// TestSchedEventsReconcileAcrossSchemes proves, for every scheme, the
+// analyzer's core invariant against independently-maintained counters:
+// issue/stall events tile Cycles x Schedulers exactly and agree with the
+// per-group issue_cycles/stall_cycles metrics the scheduler loop bumps.
+func TestSchedEventsReconcileAcrossSchemes(t *testing.T) {
+	for _, scheme := range []experiments.Scheme{
+		experiments.SchemeBaseline,
+		experiments.SchemeBaseline2L,
+		experiments.SchemeRFV,
+		experiments.SchemeRFH,
+		experiments.SchemeRegLess,
+		experiments.SchemeRegLessNC,
+	} {
+		t.Run(string(scheme), func(t *testing.T) {
+			res, smv := tracedRun(t, scheme)
+			rec := res.Events
+			schedulers := rec.NumShards()
+
+			var mIssued, mStalled uint64
+			for g := 0; g < schedulers; g++ {
+				mIssued += metric(t, smv, fmt.Sprintf("sim/sched/g%d/issue_cycles", g))
+				mStalled += metric(t, smv, fmt.Sprintf("sim/sched/g%d/stall_cycles", g))
+			}
+			if got := rec.Count(events.KindIssue); got != mIssued {
+				t.Errorf("issue events %d != issue_cycles metric %d", got, mIssued)
+			}
+			if got := rec.Count(events.KindStall); got != mStalled {
+				t.Errorf("stall events %d != stall_cycles metric %d", got, mStalled)
+			}
+
+			rep := events.Analyze(rec, res.Stats.Cycles, schedulers)
+			if !rep.TilesExactly() {
+				var total uint64
+				for _, s := range rep.Stalls {
+					total += s
+				}
+				t.Errorf("stall breakdown does not tile: issued %d + stalls %d != %d slots",
+					rep.Issued, total, rep.IssueSlots)
+			}
+			if rep.Issued != mIssued {
+				t.Errorf("report issued %d != metric %d", rep.Issued, mIssued)
+			}
+		})
+	}
+}
+
+// TestNonRegLessSchemesEmitNoStagingEvents: schemes without a capacity
+// manager must produce scheduler events only — no phantom RegLess spans.
+func TestNonRegLessSchemesEmitNoStagingEvents(t *testing.T) {
+	for _, scheme := range []experiments.Scheme{
+		experiments.SchemeBaseline,
+		experiments.SchemeRFV,
+		experiments.SchemeRFH,
+	} {
+		t.Run(string(scheme), func(t *testing.T) {
+			res, _ := tracedRun(t, scheme)
+			rec := res.Events
+			for _, k := range []events.Kind{
+				events.KindWarpState, events.KindPreloadIssue, events.KindPreloadFill,
+				events.KindOSUAlloc, events.KindOSUActivate, events.KindOSUDemote,
+				events.KindOSUEvict, events.KindOSUErase, events.KindCompress,
+			} {
+				if n := rec.Count(k); n != 0 {
+					t.Errorf("%s emitted %d %v events", scheme, n, k)
+				}
+			}
+			if rec.Count(events.KindExit) == 0 {
+				t.Error("no exit events: timelines cannot mark finished warps")
+			}
+		})
+	}
+}
+
+// TestRegLessEventsReconcileWithFig17 checks the preload-span events
+// against the provider's Figure 17 source counters, the capacity stall
+// attribution against the provider's own stall count, and the staging
+// lifecycle's internal consistency.
+func TestRegLessEventsReconcileWithFig17(t *testing.T) {
+	res, smv := tracedRun(t, experiments.SchemeRegLess)
+	rec := res.Events
+	rep := events.Analyze(rec, res.Stats.Cycles, rec.NumShards())
+
+	for src, name := range map[events.PreloadSrc]string{
+		events.SrcOSU:        "provider/preload_from_osu",
+		events.SrcCompressor: "provider/preload_from_compressor",
+		events.SrcL1:         "provider/preload_from_l1",
+		events.SrcL2DRAM:     "provider/preload_from_l2dram",
+	} {
+		if got, want := rep.FillsBySrc[src], metric(t, smv, name); got != want {
+			t.Errorf("fills from %v = %d, metric %s = %d", src, got, name, want)
+		}
+	}
+	if issued, filled := rec.Count(events.KindPreloadIssue), rec.Count(events.KindPreloadFill); issued != filled {
+		t.Errorf("preload spans leak: %d issued, %d filled", issued, filled)
+	}
+	if rep.Preloads == 0 || rep.RegionInstances == 0 {
+		t.Fatalf("regless run staged nothing: %+v", rep)
+	}
+
+	// Each capacity-attributed slot required at least one provider
+	// rejection that cycle, so the attribution is bounded by the
+	// provider-reject count.
+	if capStalls, rejects := rep.Stalls[events.StallCapacity], res.Stats.IssueStalls; capStalls > rejects {
+		t.Errorf("capacity stalls %d exceed provider rejects %d", capStalls, rejects)
+	}
+
+	// Every capacity stall lands in some region's tally.
+	var attributed uint64
+	for _, reg := range rep.TopRegions {
+		attributed += reg.StallCycles
+	}
+	if attributed != rep.Stalls[events.StallCapacity] {
+		t.Errorf("region attribution %d != capacity stalls %d", attributed, rep.Stalls[events.StallCapacity])
+	}
+
+	// OSU line lifecycle: every allocation is eventually erased or still
+	// resident at exit; erases+evicts cannot exceed allocs+activations.
+	allocs := rec.Count(events.KindOSUAlloc)
+	erases := rec.Count(events.KindOSUErase)
+	if allocs == 0 || erases == 0 {
+		t.Errorf("OSU lifecycle missing: %d allocs, %d erases", allocs, erases)
+	}
+	if erases > allocs {
+		t.Errorf("more erases (%d) than allocations (%d)", erases, allocs)
+	}
+}

@@ -1,0 +1,281 @@
+package events
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceMeta labels an exported trace.
+type TraceMeta struct {
+	Bench      string
+	Scheme     string
+	Warps      int
+	Schedulers int
+	Cycles     uint64
+	// PatternNames optionally names compressor pattern IDs (A field of
+	// KindCompress events); unnamed IDs render as "pat<N>".
+	PatternNames []string
+}
+
+// Track process IDs in the exported trace. Perfetto renders each pid as
+// a collapsible process group; tids within it are rows.
+const (
+	pidScheduler = 1 // per-group issue/stall spans
+	pidWarps     = 2 // per-warp capacity-phase and barrier spans
+	pidPreloads  = 3 // per-warp preload (issue -> fill) spans
+	pidOSU       = 4 // per-shard occupancy counters
+	pidCompress  = 5 // per-shard compressor decisions (instants)
+)
+
+// traceEvent is one Chrome trace-event JSON object. Ts/Dur are in
+// microseconds; we map one simulated cycle to 1 us so Perfetto's time
+// axis reads directly in cycles.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type perfettoWriter struct {
+	w     *bufio.Writer
+	first bool
+	err   error
+}
+
+func (pw *perfettoWriter) event(ev traceEvent) {
+	if pw.err != nil {
+		return
+	}
+	raw, err := json.Marshal(ev)
+	if err != nil {
+		pw.err = err
+		return
+	}
+	if !pw.first {
+		pw.w.WriteString(",\n")
+	}
+	pw.first = false
+	_, pw.err = pw.w.Write(raw)
+}
+
+func (pw *perfettoWriter) meta(pid, tid int, key, value string, args map[string]any) {
+	if args == nil {
+		args = map[string]any{}
+	}
+	args["name"] = value
+	pw.event(traceEvent{Name: key, Ph: "M", Pid: pid, Tid: tid, Args: args})
+}
+
+// WritePerfetto exports the recording as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing: scheduler
+// groups as merged issue/stall spans, warps as capacity-phase tracks,
+// preload spans, OSU occupancy counters, and compressor decisions.
+func WritePerfetto(w io.Writer, rec *Recorder, meta TraceMeta) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	pw := &perfettoWriter{w: bw, first: true}
+
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\n\"otherData\":{\"bench\":%q,\"scheme\":%q,\"warps\":%d,\"schedulers\":%d,\"cycles\":%d,\"unit\":\"1us = 1 cycle\"},\n\"traceEvents\":[\n",
+		meta.Bench, meta.Scheme, meta.Warps, meta.Schedulers, meta.Cycles)
+
+	pw.meta(pidScheduler, 0, "process_name", "scheduler groups", map[string]any{"sort_index": pidScheduler})
+	pw.meta(pidWarps, 0, "process_name", "warp states", map[string]any{"sort_index": pidWarps})
+	pw.meta(pidPreloads, 0, "process_name", "preloads", map[string]any{"sort_index": pidPreloads})
+	pw.meta(pidOSU, 0, "process_name", "osu occupancy", map[string]any{"sort_index": pidOSU})
+	pw.meta(pidCompress, 0, "process_name", "compressor", map[string]any{"sort_index": pidCompress})
+	for g := 0; g < rec.NumShards(); g++ {
+		pw.meta(pidScheduler, g, "thread_name", fmt.Sprintf("group %d", g), nil)
+		pw.meta(pidOSU, g, "thread_name", fmt.Sprintf("shard %d", g), nil)
+		pw.meta(pidCompress, g, "thread_name", fmt.Sprintf("shard %d", g), nil)
+	}
+	for w := 0; w < meta.Warps; w++ {
+		pw.meta(pidWarps, w, "thread_name", fmt.Sprintf("w%02d", w), nil)
+		pw.meta(pidPreloads, w, "thread_name", fmt.Sprintf("w%02d", w), nil)
+	}
+
+	if rec != nil {
+		for s := 0; s <= rec.NumShards(); s++ {
+			exportShard(pw, rec, s, meta)
+		}
+	}
+
+	bw.WriteString("\n]}\n")
+	if pw.err != nil {
+		return pw.err
+	}
+	return bw.Flush()
+}
+
+// exportShard walks one shard's buffer once, maintaining the small
+// per-track run/span state needed to merge per-cycle events into spans.
+func exportShard(pw *perfettoWriter, rec *Recorder, s int, meta TraceMeta) {
+	// Scheduler track: merge consecutive same-labelled cycles into spans.
+	type run struct {
+		name    string
+		isStall bool
+		start   uint64
+		end     uint64 // last cycle included
+		n       int
+	}
+	var sched *run
+	flushSched := func() {
+		if sched == nil {
+			return
+		}
+		args := map[string]any{"cycles": sched.n}
+		ph := "issue"
+		if sched.isStall {
+			ph = "stall"
+		}
+		args["kind"] = ph
+		pw.event(traceEvent{Name: sched.name, Ph: "X", Ts: sched.start,
+			Dur: sched.end - sched.start + 1, Pid: pidScheduler, Tid: s, Args: args})
+		sched = nil
+	}
+	schedStep := func(name string, isStall bool, cycle uint64) {
+		if sched != nil && sched.name == name && sched.isStall == isStall && cycle == sched.end+1 {
+			sched.end = cycle
+			sched.n++
+			return
+		}
+		flushSched()
+		sched = &run{name: name, isStall: isStall, start: cycle, end: cycle, n: 1}
+	}
+
+	// Warp-state spans: one open phase span per warp on this shard.
+	type openSpan struct {
+		ph     Phase
+		region int
+		start  uint64
+	}
+	phases := map[int]*openSpan{}
+	flushPhase := func(w int, until uint64) {
+		sp := phases[w]
+		if sp == nil {
+			return
+		}
+		delete(phases, w)
+		if sp.ph == PhaseInactive || sp.ph == PhaseFinished {
+			return // gaps read as inactive; don't clutter the track
+		}
+		args := map[string]any{}
+		if sp.region >= 0 {
+			args["region"] = sp.region
+		}
+		dur := until - sp.start
+		if dur == 0 {
+			dur = 1
+		}
+		pw.event(traceEvent{Name: sp.ph.String(), Ph: "X", Ts: sp.start,
+			Dur: dur, Pid: pidWarps, Tid: w, Args: args})
+	}
+	barriers := map[int]uint64{}
+	preloads := map[uint64]uint64{} // (warp,reg) -> issue cycle
+
+	// OSU occupancy counter, emitted on change (coalesced per cycle).
+	active, evictable := 0, 0
+	lastCounterCycle := ^uint64(0)
+	dirtyCounter := false
+	flushCounter := func(cycle uint64) {
+		if !dirtyCounter || lastCounterCycle == ^uint64(0) {
+			return
+		}
+		pw.event(traceEvent{Name: "osu lines", Ph: "C", Ts: lastCounterCycle,
+			Pid: pidOSU, Tid: s, Args: map[string]any{"active": active, "evictable": evictable}})
+		dirtyCounter = false
+	}
+	bumpCounter := func(cycle uint64, dActive, dEvictable int) {
+		if cycle != lastCounterCycle {
+			flushCounter(cycle)
+			lastCounterCycle = cycle
+		}
+		active += dActive
+		evictable += dEvictable
+		dirtyCounter = true
+	}
+
+	patName := func(id uint8) string {
+		if int(id) < len(meta.PatternNames) {
+			return meta.PatternNames[id]
+		}
+		return fmt.Sprintf("pat%d", id)
+	}
+
+	var lastCycle uint64
+	rec.ShardEvents(s, func(e Event) {
+		lastCycle = e.Cycle
+		switch e.Kind {
+		case KindIssue:
+			schedStep(fmt.Sprintf("w%02d", e.Warp), false, e.Cycle)
+		case KindStall:
+			schedStep(StallReason(e.A).String(), true, e.Cycle)
+		case KindWarpState:
+			w := int(e.Warp)
+			flushPhase(w, e.Cycle)
+			phases[w] = &openSpan{ph: Phase(e.A), region: e.Region(), start: e.Cycle}
+		case KindBarrier:
+			w := int(e.Warp)
+			if e.A == 1 {
+				barriers[w] = e.Cycle
+			} else if start, ok := barriers[w]; ok {
+				delete(barriers, w)
+				dur := e.Cycle - start
+				if dur == 0 {
+					dur = 1
+				}
+				pw.event(traceEvent{Name: "barrier", Ph: "X", Ts: start, Dur: dur,
+					Pid: pidWarps, Tid: w, Args: map[string]any{"kind": "barrier"}})
+			}
+		case KindExit:
+			flushPhase(int(e.Warp), e.Cycle)
+		case KindPreloadIssue:
+			preloads[uint64(e.Warp)<<32|uint64(e.Arg)] = e.Cycle
+		case KindPreloadFill:
+			key := uint64(e.Warp)<<32 | uint64(e.Arg)
+			if start, ok := preloads[key]; ok {
+				delete(preloads, key)
+				dur := e.Cycle - start
+				if dur == 0 {
+					dur = 1
+				}
+				pw.event(traceEvent{Name: fmt.Sprintf("R%d", e.Arg), Ph: "X", Ts: start,
+					Dur: dur, Pid: pidPreloads, Tid: int(e.Warp),
+					Args: map[string]any{"src": PreloadSrc(e.A).String()}})
+			}
+		case KindOSUAlloc:
+			bumpCounter(e.Cycle, 1, 0)
+		case KindOSUActivate:
+			if LineState(e.A) != LineActive {
+				bumpCounter(e.Cycle, 1, -1)
+			}
+		case KindOSUDemote:
+			bumpCounter(e.Cycle, -1, 1)
+		case KindOSUEvict:
+			bumpCounter(e.Cycle, 0, -1)
+		case KindOSUErase:
+			if LineState(e.A) == LineActive {
+				bumpCounter(e.Cycle, -1, 0)
+			} else {
+				bumpCounter(e.Cycle, 0, -1)
+			}
+		case KindCompress:
+			name := patName(e.A)
+			if e.Arg == 0 {
+				name = "miss"
+			}
+			pw.event(traceEvent{Name: name, Ph: "i", Ts: e.Cycle, S: "t",
+				Pid: pidCompress, Tid: s, Args: map[string]any{"warp": e.Warp}})
+		}
+	})
+	flushSched()
+	flushCounter(lastCycle + 1)
+	for w := range phases {
+		flushPhase(w, lastCycle)
+	}
+}

@@ -13,6 +13,8 @@
 // completion callbacks fire during Tick.
 package mem
 
+import "repro/internal/events"
+
 // LineSize is the cache line size in bytes; one register (32 lanes x 4 B)
 // fills exactly one line.
 const LineSize = 128
@@ -212,8 +214,14 @@ type Hierarchy struct {
 	// throttle with a GPU-wide level (multi-SM simulation).
 	shared *SharedL2
 
+	// rec, when attached, observes accepted L1 accesses (nil-safe).
+	rec *events.Recorder
+
 	events eventQueue
 }
+
+// SetRecorder attaches an event recorder for backing-store L1 traffic.
+func (h *Hierarchy) SetRecorder(r *events.Recorder) { h.rec = r }
 
 // l2cache returns the L2 this hierarchy talks to.
 func (h *Hierarchy) l2cache() *cache {
@@ -287,6 +295,7 @@ func (h *Hierarchy) L1Access(addr uint32, write bool, done func(Source)) bool {
 		h.claimL1Port()
 		h.countL1(write)
 		h.Stats.L1Hits++
+		h.rec.L1(write, true, a)
 		if write {
 			ln.dirty = true
 		}
@@ -299,6 +308,7 @@ func (h *Hierarchy) L1Access(addr uint32, write bool, done func(Source)) bool {
 		h.claimL1Port()
 		h.countL1(write)
 		h.Stats.L1Hits++ // counts as a hit: no lower-level traffic
+		h.rec.L1(write, true, a)
 		h.fill(a, true)
 		complete(h.cfg.L1HitLatency, SrcL1)
 		return true
@@ -309,6 +319,7 @@ func (h *Hierarchy) L1Access(addr uint32, write bool, done func(Source)) bool {
 		h.countL1(write)
 		h.mshrs[a] = append(waiters, done)
 		h.Stats.L1Misses++
+		h.rec.L1(write, false, a)
 		return true
 	}
 	if len(h.mshrs) >= h.cfg.L1MSHRs {
@@ -318,6 +329,7 @@ func (h *Hierarchy) L1Access(addr uint32, write bool, done func(Source)) bool {
 	h.claimL1Port()
 	h.countL1(write)
 	h.Stats.L1Misses++
+	h.rec.L1(write, false, a)
 	h.mshrs[a] = []func(Source){done}
 	h.l2Access(a, false, func(src Source) {
 		h.fill(a, false)

@@ -13,6 +13,7 @@ package osu
 import (
 	"fmt"
 
+	"repro/internal/events"
 	"repro/internal/isa"
 )
 
@@ -75,7 +76,19 @@ type OSU struct {
 	Stats Stats
 	banks []bank
 	clock uint64
+
+	rec   *events.Recorder // nil-safe: disabled tracing costs one branch
+	shard int
 }
+
+// SetRecorder attaches an event recorder; line lifecycle events
+// (alloc/activate/demote/evict/erase) are emitted under this shard ID.
+func (o *OSU) SetRecorder(r *events.Recorder, shard int) {
+	o.rec = r
+	o.shard = shard
+}
+
+func lineState(s State) events.LineState { return events.LineState(s) }
 
 // New builds an OSU.
 func New(cfg Config) *OSU {
@@ -128,6 +141,7 @@ func (o *OSU) Activate(warp int, reg isa.Reg) bool {
 	}
 	o.Stats.Hits++
 	o.clock++
+	o.rec.OSULine(events.KindOSUActivate, o.shard, warp, uint32(reg), lineState(b.lines[i].state))
 	b.lines[i].state = StateActive
 	b.lines[i].lru = o.clock
 	return true
@@ -152,6 +166,7 @@ func (o *OSU) Install(warp int, reg isa.Reg) (Victim, bool, error) {
 	b := &o.banks[o.Bank(warp, reg)]
 	o.clock++
 	o.Stats.Installs++
+	o.rec.OSULine(events.KindOSUAlloc, o.shard, warp, uint32(reg), events.LineActive)
 	nl := line{warp: warp, reg: reg, state: StateActive, lru: o.clock}
 	if len(b.lines) < o.cfg.LinesPerBank {
 		b.lines = append(b.lines, nl)
@@ -167,6 +182,7 @@ func (o *OSU) Install(warp int, reg isa.Reg) (Victim, bool, error) {
 		}
 	}
 	if idx >= 0 {
+		o.rec.OSULine(events.KindOSUErase, o.shard, b.lines[idx].warp, uint32(b.lines[idx].reg), events.LineClean)
 		b.lines[idx] = nl
 		return Victim{}, false, nil
 	}
@@ -182,6 +198,7 @@ func (o *OSU) Install(warp int, reg isa.Reg) (Victim, bool, error) {
 			o.Bank(warp, reg), warp, reg)
 	}
 	v := Victim{Warp: b.lines[idx].warp, Reg: b.lines[idx].reg}
+	o.rec.OSULine(events.KindOSUEvict, o.shard, v.Warp, uint32(v.Reg), events.LineDirty)
 	b.lines[idx] = nl
 	return v, true, nil
 }
@@ -195,6 +212,7 @@ func (o *OSU) Erase(warp int, reg isa.Reg) bool {
 		return false
 	}
 	o.Stats.Erases++
+	o.rec.OSULine(events.KindOSUErase, o.shard, warp, uint32(reg), lineState(b.lines[i].state))
 	b.lines[i] = b.lines[len(b.lines)-1]
 	b.lines = b.lines[:len(b.lines)-1]
 	return true
@@ -213,6 +231,7 @@ func (o *OSU) MarkEvictable(warp int, reg isa.Reg, dirty bool) bool {
 	} else {
 		b.lines[i].state = StateClean
 	}
+	o.rec.OSULine(events.KindOSUDemote, o.shard, warp, uint32(reg), lineState(b.lines[i].state))
 	b.lines[i].lru = o.clock
 	return true
 }
@@ -231,6 +250,7 @@ func (o *OSU) FreeWarp(warp int) int {
 		b := &o.banks[bi]
 		for i := 0; i < len(b.lines); {
 			if b.lines[i].warp == warp {
+				o.rec.OSULine(events.KindOSUErase, o.shard, warp, uint32(b.lines[i].reg), lineState(b.lines[i].state))
 				b.lines[i] = b.lines[len(b.lines)-1]
 				b.lines = b.lines[:len(b.lines)-1]
 				n++

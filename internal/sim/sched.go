@@ -1,8 +1,12 @@
 package sim
 
 // scheduler picks the warp a scheduler group issues from each cycle.
+// candidates exposes the warps pick actually considered this cycle so
+// stall attribution classifies the same set (the two-level scheduler
+// restricts issue to its active set).
 type scheduler interface {
 	pick(group int, sm *SM) *Warp
+	candidates(group int) []*Warp
 }
 
 // gto is greedy-then-oldest: keep issuing from the current warp until it
@@ -16,6 +20,8 @@ type gto struct {
 func newGTO(groups [][]*Warp) *gto {
 	return &gto{current: make([]*Warp, len(groups)), groups: groups}
 }
+
+func (s *gto) candidates(g int) []*Warp { return s.groups[g] }
 
 func (s *gto) pick(g int, sm *SM) *Warp {
 	if cur := s.current[g]; cur != nil && sm.ready(cur) {
@@ -56,6 +62,10 @@ func newTwoLevel(groups [][]*Warp, size int) *twoLevel {
 	}
 	return s
 }
+
+// candidates returns the post-pick active set: pick runs first each
+// cycle, so demotions and promotions have already settled.
+func (s *twoLevel) candidates(g int) []*Warp { return s.active[g] }
 
 func (s *twoLevel) pick(g int, sm *SM) *Warp {
 	// Demote active warps that are finished or stalled on long-latency
@@ -135,6 +145,8 @@ type lrr struct {
 func newLRR(groups [][]*Warp) *lrr {
 	return &lrr{next: make([]int, len(groups)), groups: groups}
 }
+
+func (s *lrr) candidates(g int) []*Warp { return s.groups[g] }
 
 func (s *lrr) pick(g int, sm *SM) *Warp {
 	grp := s.groups[g]

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/cfg"
+	"repro/internal/events"
 	"repro/internal/exec"
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -165,6 +166,15 @@ type SM struct {
 	// registers its counters here at construction. Attach a sink
 	// (Metrics.SetSink) before Run to stream per-window snapshots.
 	Metrics *metrics.Registry
+
+	// Rec, when attached (AttachRecorder), receives cycle-stamped typed
+	// events from every layer; nil (the default) costs one branch per
+	// emission site.
+	Rec *events.Recorder
+
+	// prober is the provider's side-effect-free CanIssue, cached at
+	// AttachRecorder for stall attribution (nil: always issuable).
+	prober IssueProber
 
 	groups [][]*Warp
 	sched  scheduler
@@ -336,6 +346,7 @@ func (sm *SM) allDone() bool {
 // step advances the SM one cycle.
 func (sm *SM) step() {
 	sm.cycle++
+	sm.Rec.SetCycle(sm.cycle)
 	sm.Mem.Tick()
 	if fns, ok := sm.calendar[sm.cycle]; ok {
 		for _, fn := range fns {
@@ -348,9 +359,16 @@ func (sm *SM) step() {
 	for g := 0; g < sm.Cfg.Schedulers; g++ {
 		if w := sm.sched.pick(g, sm); w != nil {
 			sm.mIssued[g].Inc()
+			if sm.Rec.Enabled(events.MaskSched) {
+				sm.Rec.Issue(g, w.ID, w.NextGI())
+			}
 			sm.issue(w)
 		} else {
 			sm.mNoIssue[g].Inc()
+			if sm.Rec.Enabled(events.MaskSched) {
+				reason, culprit := sm.stallReason(g)
+				sm.Rec.Stall(g, reason, culprit)
+			}
 		}
 	}
 	sm.releaseBarriers()
@@ -429,9 +447,11 @@ func (sm *SM) issue(w *Warp) {
 	case isa.ClassBarrier:
 		sm.Stats.Barriers++
 		w.atBarrier = true
+		sm.Rec.Barrier(w.Group, w.ID, true)
 	case isa.ClassExit:
 		if info.Exited {
 			w.finished = true
+			sm.Rec.Exit(w.Group, w.ID)
 			sm.Provider.OnWarpFinish(w)
 		}
 	}
@@ -489,7 +509,11 @@ func (sm *SM) releaseBarriers() {
 		}
 		if allAt && anyAt {
 			for i := lo; i < hi; i++ {
-				sm.Warps[i].atBarrier = false
+				w := sm.Warps[i]
+				if w.atBarrier {
+					w.atBarrier = false
+					sm.Rec.Barrier(w.Group, w.ID, false)
+				}
 			}
 		}
 	}

@@ -1,24 +1,25 @@
-// Package trace samples a running simulation cycle-by-cycle and renders
-// warp-state timelines — the view a RegLess designer needs to see the
-// capacity manager breathing: warps cycling through
-// inactive/preloading/active/draining as regions stage, and issue slots
-// filling or starving.
+// Package trace renders warp-state timelines — the view a RegLess
+// designer needs to see the capacity manager breathing: warps cycling
+// through inactive/preloading/active/draining as regions stage, and
+// issue slots filling or starving.
 //
-// The sampler steps the SM itself (sim.SM.StepOne), so no hooks are
-// threaded through the simulator; states come from the RegLess provider's
-// capacity managers when present, or from issue activity otherwise.
+// The tracer steps the SM itself (sim.SM.StepOne) with an event
+// recorder attached, and folds the drained event stream into per-cycle
+// warp states: capacity phases from KindWarpState transitions, barriers
+// and exits from the scheduler events every scheme emits. Nothing is
+// re-sampled from provider internals, so the same recorder doubles as
+// the source for Perfetto export and stall-attribution analysis.
 package trace
 
 import (
 	"fmt"
 	"strings"
 
-	"repro/internal/cm"
-	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/sim"
 )
 
-// State is the sampled per-warp condition in one bucket.
+// State is the per-warp condition in one bucket.
 type State byte
 
 // Timeline glyphs: each bucket shows the state the warp spent the most
@@ -49,23 +50,30 @@ type Sample struct {
 	Insns uint64
 }
 
-// Result is the full sampled run.
+// Result is the full traced run.
 type Result struct {
 	Bucket  int
 	Samples []Sample
 	Stats   *sim.Stats
+	// Events is the recorder that backed the run; callers hand it to
+	// events.WritePerfetto or events.Analyze for the richer views.
+	Events *events.Recorder
 }
 
-// Run simulates smv to completion, sampling every `bucket` cycles. The
-// provider may be the RegLess core provider (rich states) or any other
-// (issue-based states only).
-func Run(smv *sim.SM, bucket int) (*Result, error) {
+// Run simulates smv to completion with an event recorder attached,
+// bucketing per-cycle warp states every `bucket` cycles. mask selects
+// extra event families to record beyond the timeline's own
+// (events.MaskTimeline is always added); pass events.MaskAll when the
+// recorder will also feed Perfetto export or stall attribution.
+func Run(smv *sim.SM, bucket int, mask events.Mask) (*Result, error) {
 	if bucket <= 0 {
 		bucket = 100
 	}
-	rp, _ := smv.Provider.(*core.Provider)
-	res := &Result{Bucket: bucket}
+	rec := events.NewRecorder(smv.Cfg.Schedulers, mask|events.MaskTimeline)
+	smv.AttachRecorder(rec)
+	res := &Result{Bucket: bucket, Events: rec}
 
+	tr := newTracker(len(smv.Warps))
 	counts := make([][7]int, len(smv.Warps)) // per-warp state histogram
 	lastInsns := uint64(0)
 	sampled := 0 // cycles accumulated since the last flush
@@ -87,8 +95,9 @@ func Run(smv *sim.SM, bucket int) (*Result, error) {
 			return nil, fmt.Errorf("trace: exceeded %d cycles", smv.Cfg.MaxCycles)
 		}
 		smv.StepOne()
-		for i, w := range smv.Warps {
-			counts[i][stateIndex(classify(rp, w, i))]++
+		rec.Drain(tr.apply)
+		for i := range smv.Warps {
+			counts[i][tr.classify(i)]++
 		}
 		sampled++
 		if (smv.Cycle()-start)%uint64(bucket) == 0 {
@@ -105,15 +114,6 @@ func Run(smv *sim.SM, bucket int) (*Result, error) {
 var stateOrder = [7]State{StateIdle, StateInactive, StatePreloading,
 	StateActive, StateDraining, StateBarrier, StateFinished}
 
-func stateIndex(s State) int {
-	for i, x := range stateOrder {
-		if x == s {
-			return i
-		}
-	}
-	return 0
-}
-
 func dominant(hist *[7]int) State {
 	best, n := 0, -1
 	for i, c := range hist {
@@ -124,27 +124,62 @@ func dominant(hist *[7]int) State {
 	return stateOrder[best]
 }
 
-func classify(rp *core.Provider, w *sim.Warp, idx int) State {
-	if w.Finished() {
-		return StateFinished
+// tracker folds the drained event stream into per-warp instantaneous
+// state. Per-warp ordering holds because each warp's state events live
+// in a single shard buffer and each warp's barrier/exit events live in
+// a single group buffer.
+type tracker struct {
+	finished []bool
+	barrier  []bool
+	phase    []int8 // events.Phase; -1 until a WarpState event arrives
+}
+
+func newTracker(n int) *tracker {
+	t := &tracker{
+		finished: make([]bool, n),
+		barrier:  make([]bool, n),
+		phase:    make([]int8, n),
 	}
-	if w.AtBarrier() {
-		return StateBarrier
+	for i := range t.phase {
+		t.phase[i] = -1
 	}
-	if rp == nil {
-		return StateIdle
+	return t
+}
+
+func (t *tracker) apply(e events.Event) {
+	switch e.Kind {
+	case events.KindWarpState:
+		t.phase[e.Warp] = int8(e.A)
+	case events.KindBarrier:
+		t.barrier[e.Warp] = e.A == 1
+	case events.KindExit:
+		t.finished[e.Warp] = true
 	}
-	switch rp.WarpState(idx) {
-	case cm.Inactive:
-		return StateInactive
-	case cm.Preloading:
-		return StatePreloading
-	case cm.Active:
-		return StateActive
-	case cm.Draining:
-		return StateDraining
+}
+
+// classify returns warp w's stateOrder index with the timeline's
+// priority: finished beats barrier beats capacity phase; warps that
+// never emitted a phase (baseline schemes) read as Idle.
+func (t *tracker) classify(w int) int {
+	switch {
+	case t.finished[w]:
+		return 6 // StateFinished
+	case t.barrier[w]:
+		return 5 // StateBarrier
+	case t.phase[w] < 0:
+		return 0 // StateIdle
+	}
+	switch events.Phase(t.phase[w]) {
+	case events.PhaseInactive:
+		return 1
+	case events.PhasePreloading:
+		return 2
+	case events.PhaseActive:
+		return 3
+	case events.PhaseDraining:
+		return 4
 	default:
-		return StateFinished
+		return 6
 	}
 }
 

@@ -31,7 +31,7 @@ func traceRun(t *testing.T, regless bool) *Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(smv, 50)
+	res, err := Run(smv, 50, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

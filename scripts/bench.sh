@@ -14,5 +14,7 @@ cd "$(dirname "$0")/.."
 stamp="$(date -u +%Y%m%dT%H%M%SZ)"
 out="BENCH_${stamp}.json"
 prof="BENCH_${stamp}.cpu.pprof"
-go run ./cmd/regless -experiment all -json -cpuprofile "$prof" "$@" | tee "$out"
+sha="$(git rev-parse --short=12 HEAD 2>/dev/null || true)"
+go run ./cmd/regless -experiment all -json -cpuprofile "$prof" \
+	-snapshot-sha "$sha" "$@" | tee "$out"
 echo "wrote $out and $prof" >&2

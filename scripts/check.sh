@@ -10,3 +10,13 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go test -race ./...
 scripts/cover.sh
+
+# Trace-schema smoke test: a small traced run must produce a Perfetto
+# trace that validates and a stall report that tiles (no WARNING line).
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/regless -bench nw -scheme regless -warps 8 \
+	-trace "$tracedir/trace.json" -trace-report > "$tracedir/report.txt"
+go run ./scripts/tracecheck "$tracedir/trace.json"
+grep -q "stall attribution" "$tracedir/report.txt"
+! grep -q "WARNING" "$tracedir/report.txt"

@@ -1,0 +1,88 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced
+// by `regless -trace`: the file must parse, carry the run's metadata,
+// and contain at least one complete ("X") span with a duration —
+// the minimum for Perfetto to render something useful. scripts/check.sh
+// runs it as the trace-schema smoke test.
+//
+// Usage: go run ./scripts/tracecheck FILE
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type traceFile struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	OtherData       struct {
+		Bench  string `json:"bench"`
+		Scheme string `json:"scheme"`
+		Cycles uint64 `json:"cycles"`
+	} `json:"otherData"`
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Pid  int     `json:"pid"`
+	} `json:"traceEvents"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck FILE")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	fatal(err)
+	var tf traceFile
+	fatal(json.Unmarshal(data, &tf))
+
+	if tf.OtherData.Bench == "" || tf.OtherData.Scheme == "" {
+		die("otherData missing bench/scheme: %+v", tf.OtherData)
+	}
+	if len(tf.TraceEvents) == 0 {
+		die("no trace events")
+	}
+	var spans, counters, metas int
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			if ev.Name == "" {
+				die("X event without a name at ts %v", ev.Ts)
+			}
+			if ev.Dur < 1 {
+				die("X event %q has dur %v < 1", ev.Name, ev.Dur)
+			}
+			spans++
+		case "C":
+			counters++
+		case "M":
+			metas++
+		case "i":
+		default:
+			die("unknown phase %q on event %q", ev.Ph, ev.Name)
+		}
+	}
+	if spans == 0 {
+		die("no complete (X) spans")
+	}
+	if metas == 0 {
+		die("no metadata (M) events: tracks would be unnamed")
+	}
+	fmt.Printf("tracecheck: %s ok — %d events (%d spans, %d counter samples) for %s/%s\n",
+		os.Args[1], len(tf.TraceEvents), spans, counters, tf.OtherData.Bench, tf.OtherData.Scheme)
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
