@@ -22,28 +22,34 @@ func TestMain(m *testing.M) {
 
 func TestValidateFlags(t *testing.T) {
 	cases := []struct {
-		parallel int
-		metrics  string
-		bucket   int
-		trace    string
-		report   bool
-		bench    string
-		wantErr  string
+		parallel  int
+		metrics   string
+		bucket    int
+		trace     string
+		report    bool
+		bench     string
+		maxCycles uint64
+		faults    string
+		wantErr   string
 	}{
-		{1, "", 100, "", false, "", ""},
-		{8, "jsonl", 1, "", false, "", ""},
-		{0, "", 100, "", false, "", "-parallel must be at least 1"},
-		{-3, "", 100, "", false, "", "-parallel must be at least 1"},
-		{1, "xml", 100, "", false, "", `unknown -metrics format "xml"`},
-		{0, "xml", 100, "", false, "", "-parallel must be at least 1"}, // first error wins
-		{1, "", 0, "", false, "", "-bucket must be at least 1, got 0"},
-		{1, "", -50, "", false, "", "-bucket must be at least 1, got -50"},
-		{1, "", 100, "out.json", false, "", "-trace and -trace-report require -bench"},
-		{1, "", 100, "", true, "", "-trace and -trace-report require -bench"},
-		{1, "", 100, "out.json", true, "nw", ""},
+		{1, "", 100, "", false, "", 1, "", ""},
+		{8, "jsonl", 1, "", false, "", 60_000_000, "", ""},
+		{0, "", 100, "", false, "", 1, "", "-parallel must be at least 1"},
+		{-3, "", 100, "", false, "", 1, "", "-parallel must be at least 1"},
+		{1, "xml", 100, "", false, "", 1, "", `unknown -metrics format "xml"`},
+		{0, "xml", 100, "", false, "", 1, "", "-parallel must be at least 1"}, // first error wins
+		{1, "", 0, "", false, "", 1, "", "-bucket must be at least 1, got 0"},
+		{1, "", -50, "", false, "", 1, "", "-bucket must be at least 1, got -50"},
+		{1, "", 100, "out.json", false, "", 1, "", "-trace and -trace-report require -bench"},
+		{1, "", 100, "", true, "", 1, "", "-trace and -trace-report require -bench"},
+		{1, "", 100, "out.json", true, "nw", 1, "", ""},
+		{1, "", 100, "", false, "", 0, "", "-max-cycles must be at least 1"},
+		{1, "", 100, "", false, "", 1, "mem-drop@5000", ""},
+		{1, "", 100, "", false, "", 1, "warp-eater", "unknown class"},
+		{1, "", 100, "", false, "", 1, "mem-drop:delay=9", "delay= applies to mem-delay"},
 	}
 	for _, c := range cases {
-		err := validateFlags(c.parallel, c.metrics, c.bucket, c.trace, c.report, c.bench)
+		err := validateFlags(c.parallel, c.metrics, c.bucket, c.trace, c.report, c.bench, c.maxCycles, c.faults)
 		if c.wantErr == "" {
 			if err != nil {
 				t.Errorf("validateFlags(%+v) = %v, want nil", c, err)
@@ -142,5 +148,88 @@ func TestMetricsStreamIsValidJSONL(t *testing.T) {
 		if rec.Bench != "nw" || rec.Scheme != "baseline" {
 			t.Fatalf("line %d mislabeled: %s", i+1, ln)
 		}
+	}
+}
+
+// TestRobustnessFlagsExitWithUsage: the validated -max-cycles and -faults
+// flags reject bad values through the real binary with exit 2.
+func TestRobustnessFlagsExitWithUsage(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-max-cycles", "0", "-bench", "nw"}, "-max-cycles must be at least 1, got 0"},
+		{[]string{"-faults", "warp-eater", "-bench", "nw"}, `unknown class "warp-eater"`},
+		{[]string{"-faults", "mem-drop@oops", "-bench", "nw"}, "bad cycle"},
+	}
+	for _, c := range cases {
+		stdout, stderr, code := runMain(t, c.args...)
+		if code != 2 {
+			t.Fatalf("%v: exit %d, want 2 (stderr %q)", c.args, code, stderr)
+		}
+		if !strings.Contains(stderr, c.want) {
+			t.Fatalf("%v: stderr %q missing %q", c.args, stderr, c.want)
+		}
+		if !strings.Contains(stderr, "Usage") {
+			t.Fatalf("%v: stderr lacks usage text:\n%s", c.args, stderr)
+		}
+		if stdout != "" {
+			t.Fatalf("%v: unexpected stdout %q", c.args, stdout)
+		}
+	}
+}
+
+// TestDiagnosticBundleEndToEnd drives the full crash path through the
+// real binary: a detected fault exits 1, renders the bundle on stderr,
+// and serializes it as JSON to -diag-out.
+func TestDiagnosticBundleEndToEnd(t *testing.T) {
+	diagFile := t.TempDir() + "/diag.json"
+	stdout, stderr, code := runMain(t,
+		"-bench", "nw", "-scheme", "regless", "-warps", "8",
+		"-faults", "osu-tag@200; seed=3", "-sanitize",
+		"-watchdog", "20000", "-diag-out", diagFile)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	for _, want := range []string{"component  osu/", "violation", "fault      osu-tag", "wrote diagnostic bundle to"} {
+		if !strings.Contains(stderr, want) {
+			t.Fatalf("stderr missing %q:\n%s", want, stderr)
+		}
+	}
+	raw, err := os.ReadFile(diagFile)
+	if err != nil {
+		t.Fatalf("bundle file: %v", err)
+	}
+	var bundle struct {
+		Component     string   `json:"component"`
+		Violation     string   `json:"violation"`
+		Cycle         uint64   `json:"cycle"`
+		Kernel        string   `json:"kernel"`
+		FaultsApplied []string `json:"faults_applied"`
+		Warps         []any    `json:"warps"`
+		Metrics       []any    `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &bundle); err != nil {
+		t.Fatalf("bundle is not valid JSON: %v\n%s", err, raw)
+	}
+	if !strings.HasPrefix(bundle.Component, "osu/") || bundle.Violation == "" || bundle.Kernel != "nw" {
+		t.Fatalf("bundle content: %+v", bundle)
+	}
+	if len(bundle.FaultsApplied) == 0 || len(bundle.Warps) == 0 || len(bundle.Metrics) == 0 {
+		t.Fatalf("bundle missing context: %+v", bundle)
+	}
+}
+
+// TestToleratedFaultRunSucceeds: a sanitized run with a timing-only fault
+// completes normally with the usual stats output.
+func TestToleratedFaultRunSucceeds(t *testing.T) {
+	stdout, stderr, code := runMain(t,
+		"-bench", "nw", "-scheme", "regless", "-warps", "8",
+		"-faults", "mem-delay@200:delay=500; seed=3", "-sanitize", "-watchdog", "20000")
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "benchmark      nw") {
+		t.Fatalf("missing stats output:\n%s", stdout)
 	}
 }

@@ -19,6 +19,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,10 +33,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/isa"
 	"repro/internal/kernels"
 	"repro/internal/launch"
 	"repro/internal/rf"
+	"repro/internal/sanitizer"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -63,8 +66,14 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write -metrics stream to a file (default: stdout, moving tables to stderr)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		maxCycles  = flag.Uint64("max-cycles", 60_000_000, "simulation cycle limit per kernel (must be >= 1)")
+		watchdog   = flag.Uint64("watchdog", 1_000_000, "forward-progress watchdog threshold in cycles (0 disables)")
+		faultSpec  = flag.String("faults", "", "fault-injection spec, e.g. 'mem-drop@5000; seed=3' (DESIGN.md §11)")
+		sanitize   = flag.Bool("sanitize", false, "run the cycle-level invariant sanitizer every cycle")
+		diagOut    = flag.String("diag-out", "", "write the diagnostic bundle as JSON to this file on abnormal termination")
 	)
 	flag.Parse()
+	diagOutPath = *diagOut
 
 	if *list {
 		for _, b := range kernels.Suite() {
@@ -72,7 +81,7 @@ func main() {
 		}
 		return
 	}
-	if err := validateFlags(*parallel, *metricsFmt, *bucket, *traceOut, *traceRep, *bench); err != nil {
+	if err := validateFlags(*parallel, *metricsFmt, *bucket, *traceOut, *traceRep, *bench, *maxCycles, *faultSpec); err != nil {
 		fmt.Fprintln(os.Stderr, "regless:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -81,6 +90,14 @@ func main() {
 	opts := experiments.Default()
 	opts.Warps = *warps
 	opts.Parallelism = *parallel
+	opts.MaxCycles = *maxCycles
+	opts.Watchdog = *watchdog
+	opts.Sanitize = *sanitize
+	if *faultSpec != "" {
+		plan, err := faults.Parse(*faultSpec)
+		check(err) // validateFlags already vetted the spec
+		opts.Faults = plan
+	}
 	if *benchList != "" {
 		opts.Benchmarks = strings.Split(*benchList, ",")
 	}
@@ -123,13 +140,20 @@ func main() {
 
 	switch {
 	case *app != "":
-		runApp(*app, experiments.Scheme(*scheme), *capacity, *warps)
+		runApp(*app, experiments.Scheme(*scheme), *capacity, *warps, *maxCycles, *watchdog)
 	case *bench != "" && (*timeline || *traceOut != "" || *traceRep):
 		runTrace(traceOpts{
 			bench: *bench, scheme: experiments.Scheme(*scheme),
-			capacity: *capacity, warps: *warps, bucket: *bucket,
-			csv: *csvOut, timeline: *timeline,
+			bucket: *bucket, csv: *csvOut, timeline: *timeline,
 			traceFile: *traceOut, report: *traceRep,
+			setup: experiments.SimSetup{
+				Capacity:  *capacity,
+				Warps:     *warps,
+				MaxCycles: *maxCycles,
+				Watchdog:  *watchdog,
+				Sanitize:  *sanitize,
+				Faults:    opts.Faults,
+			},
 		})
 	case *bench != "":
 		runOne(suite, out, *bench, experiments.Scheme(*scheme), *capacity)
@@ -169,7 +193,7 @@ func main() {
 // the default carries that value, so anything below 1 is a mistake; a
 // non-positive bucket used to be silently replaced by 100 inside the
 // tracer.
-func validateFlags(parallel int, metricsFmt string, bucket int, traceOut string, traceRep bool, bench string) error {
+func validateFlags(parallel int, metricsFmt string, bucket int, traceOut string, traceRep bool, bench string, maxCycles uint64, faultSpec string) error {
 	if parallel < 1 {
 		return fmt.Errorf("-parallel must be at least 1, got %d", parallel)
 	}
@@ -181,6 +205,14 @@ func validateFlags(parallel int, metricsFmt string, bucket int, traceOut string,
 	}
 	if (traceOut != "" || traceRep) && bench == "" {
 		return fmt.Errorf("-trace and -trace-report require -bench")
+	}
+	if maxCycles < 1 {
+		return fmt.Errorf("-max-cycles must be at least 1, got %d", maxCycles)
+	}
+	if faultSpec != "" {
+		if _, err := faults.Parse(faultSpec); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -234,11 +266,12 @@ func render(tb *experiments.Table, md bool) string {
 	return tb.Render()
 }
 
-func runApp(name string, scheme experiments.Scheme, capacity, warps int) {
+func runApp(name string, scheme experiments.Scheme, capacity, warps int, maxCycles, watchdog uint64) {
 	application, err := kernels.AppByName(name)
 	check(err)
 	cfg := sim.DefaultConfig()
-	cfg.MaxCycles = 60_000_000
+	cfg.MaxCycles = maxCycles
+	cfg.WatchdogCycles = watchdog
 	factory := func(_ int, k *isa.Kernel) (sim.Provider, error) {
 		switch scheme {
 		case experiments.SchemeBaseline:
@@ -264,17 +297,16 @@ func runApp(name string, scheme experiments.Scheme, capacity, warps int) {
 type traceOpts struct {
 	bench     string
 	scheme    experiments.Scheme
-	capacity  int
-	warps     int
 	bucket    int
 	csv       bool
 	timeline  bool
 	traceFile string
 	report    bool
+	setup     experiments.SimSetup
 }
 
 func runTrace(o traceOpts) {
-	smv, _, err := experiments.BuildSM(o.bench, o.scheme, o.capacity, o.warps, 60_000_000)
+	smv, _, err := experiments.BuildSM(o.bench, o.scheme, o.setup)
 	check(err)
 	// The timeline alone needs only warp-state events; the Perfetto
 	// export and the stall report consume every family.
@@ -361,9 +393,29 @@ func max64(a, b uint64) uint64 {
 	return b
 }
 
+// diagOutPath is -diag-out's destination, consulted when check hits a
+// structured Diagnostic.
+var diagOutPath string
+
 func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "error:", err)
+	var d *sanitizer.Diagnostic
+	if errors.As(err, &d) {
+		fmt.Fprint(os.Stderr, d.Render())
+		if diagOutPath != "" {
+			if f, ferr := os.Create(diagOutPath); ferr != nil {
+				fmt.Fprintln(os.Stderr, "regless: diag-out:", ferr)
+			} else {
+				if werr := d.WriteJSON(f); werr != nil {
+					fmt.Fprintln(os.Stderr, "regless: diag-out:", werr)
+				}
+				f.Close()
+				fmt.Fprintf(os.Stderr, "regless: wrote diagnostic bundle to %s\n", diagOutPath)
+			}
+		}
+	}
+	os.Exit(1)
 }

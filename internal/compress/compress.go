@@ -13,6 +13,8 @@
 package compress
 
 import (
+	"fmt"
+
 	"repro/internal/isa"
 	"repro/internal/mem"
 )
@@ -294,6 +296,25 @@ func (c *Compressor) Drop(warp int, reg isa.Reg) bool {
 	c.compressed[i] = PatNone
 	c.Stats.Invalidation++
 	return true
+}
+
+// CorruptPattern flips one entry of the pattern bit vector (fault
+// injection: a compressed register loses its mark, or an uncompressed
+// one gains a spurious PatConst). Values live in the functional state,
+// so the corruption perturbs only preload routing and timing — the
+// RegLess transparency guarantee must tolerate it. Returns a description
+// of what flipped.
+func (c *Compressor) CorruptPattern(pick int) string {
+	i := pick % len(c.compressed)
+	old := c.compressed[i]
+	if old == PatNone {
+		c.compressed[i] = PatConst
+	} else {
+		c.compressed[i] = PatNone
+	}
+	warp := i / c.cfg.NumRegs
+	reg := i % c.cfg.NumRegs
+	return fmt.Sprintf("bit-vector w%d r%d %v -> %v", warp, reg, old, c.compressed[i])
 }
 
 // CompressedCount returns the live compressed-register population (tests).

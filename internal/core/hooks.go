@@ -127,8 +127,13 @@ func (p *Provider) unstage(sh *shard, ws *warpState, reg isa.Reg) {
 
 func (p *Provider) finishDrain(sh *shard, ws *warpState) {
 	if len(ws.staged) != 0 {
-		panic(fmt.Sprintf("core: warp %d finished region %d with %d staged registers",
-			p.warpID(ws), ws.regionID, len(ws.staged)))
+		// Staged-register count disagrees with the region's annotations
+		// (a leaked line). Report and leave the warp draining; the run
+		// aborts with a Diagnostic at the end of this cycle.
+		p.sm.ReportFault(fmt.Sprintf("core/s%d/drain", ws.shard),
+			fmt.Sprintf("warp %d finished region %d with %d staged registers",
+				p.warpID(ws), ws.regionID, len(ws.staged)), p.warpID(ws))
+		return
 	}
 	cycles := sh.cm.FinishDrain(ws.local, p.sm.Cycle())
 	p.m.RegionCycles.Add(cycles)

@@ -21,6 +21,7 @@ import (
 	"repro/internal/cm"
 	"repro/internal/compress"
 	"repro/internal/events"
+	"repro/internal/faults"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/metadata"
@@ -149,6 +150,10 @@ type Provider struct {
 	shards []*shard
 	warps  []*warpState
 
+	// flt is the fault injector (nil outside injection runs; every
+	// consult costs one branch).
+	flt *faults.Injector
+
 	// regionActivations[id] counts dynamic executions of each region.
 	regionActivations []uint64
 
@@ -270,12 +275,12 @@ func (p *Provider) Name() string { return "regless" }
 func (p *Provider) Stats() *sim.ProviderStats { return p.m.Stats() }
 
 // Attach implements sim.Provider.
-func (p *Provider) Attach(smv *sim.SM) {
+func (p *Provider) Attach(smv *sim.SM) error {
 	if smv.K != p.comp.Kernel {
-		panic("core: provider attached to a different kernel")
+		return fmt.Errorf("core: provider compiled for kernel %q attached to %q", p.comp.Kernel.Name, smv.K.Name)
 	}
 	if smv.Cfg.Schedulers != p.cfg.Shards {
-		panic(fmt.Sprintf("core: %d shards but %d schedulers", p.cfg.Shards, smv.Cfg.Schedulers))
+		return fmt.Errorf("core: %d shards but %d schedulers", p.cfg.Shards, smv.Cfg.Schedulers)
 	}
 	p.sm = smv
 	p.m = sim.NewProviderCounters(smv.Metrics)
@@ -321,6 +326,7 @@ func (p *Provider) Attach(smv *sim.SM) {
 			activePerBank: make([]int, p.cfg.Banks),
 		}
 	}
+	return nil
 }
 
 // regAddr returns the backing-store address of (warp, reg): all copies of
@@ -359,7 +365,13 @@ func (p *Provider) AttachRecorder(rec *events.Recorder) {
 		for local := 0; local < warpsPerShard; local++ {
 			rec.State(s, local*p.cfg.Shards+s, events.Phase(sh.cm.StateOf(local)), sh.cm.RegionOf(local))
 		}
+		// Chain rather than overwrite: the sanitizer's transition checker
+		// may already be hooked in (either attach order works).
+		prev := sh.cm.OnTransition
 		sh.cm.OnTransition = func(local int, to cm.State, region int) {
+			if prev != nil {
+				prev(local, to, region)
+			}
 			rec.State(s, local*p.cfg.Shards+s, events.Phase(to), region)
 		}
 		sh.osu.SetRecorder(rec, s)

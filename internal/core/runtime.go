@@ -13,6 +13,9 @@ import (
 // cycle — L1 port arbitration, eviction (compressor) processing, per-bank
 // preload queues, cache invalidations, and warp activation.
 func (p *Provider) Tick() {
+	if p.flt != nil {
+		p.applyFaults()
+	}
 	p.drainL1Ops()
 	for _, sh := range p.shards {
 		p.processEvictions(sh)
@@ -223,7 +226,11 @@ func (p *Provider) install(sh *shard, ws *warpState, reg isa.Reg, dirty bool) {
 	}
 	victim, hasVictim, err := sh.osu.Install(warp, reg)
 	if err != nil {
-		panic(fmt.Sprintf("core: reservation violated: %v", err))
+		// Reservation violated: report instead of panicking; the run
+		// aborts with a Diagnostic at the end of this cycle.
+		p.sm.ReportFault(fmt.Sprintf("core/s%d/install", ws.shard),
+			fmt.Sprintf("reservation violated: %v", err), warp)
+		return
 	}
 	if hasVictim {
 		sh.evictQ = append(sh.evictQ, preloadReq{warp: victim.Warp, reg: victim.Reg})
@@ -297,7 +304,9 @@ func (p *Provider) tryActivate(s int, sh *shard) {
 		return
 	}
 	if _, err := sh.cm.ActivateTop(region.ID, usage, len(region.Preloads), p.sm.Cycle()); err != nil {
-		panic(fmt.Sprintf("core: activation failed after Fits: %v", err))
+		p.sm.ReportFault(fmt.Sprintf("core/s%d/activate", s),
+			fmt.Sprintf("activation failed after Fits: %v", err), warp)
+		return
 	}
 	p.regionActivations[region.ID]++
 	ws := p.warps[warp]

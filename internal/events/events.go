@@ -31,6 +31,8 @@
 // † the stalled warp closest to issuing, -1 when the group is idle.
 package events
 
+import "sort"
+
 // Kind identifies an event type.
 type Kind uint8
 
@@ -419,6 +421,40 @@ func (r *Recorder) ShardEvents(shard int, fn func(Event)) {
 		return
 	}
 	r.bufs[shard].forEach(fn)
+}
+
+// tail returns the buffer's last n events in order.
+func (b *shardBuf) tail(n int) []Event {
+	out := make([]Event, 0, n)
+	for ci := len(b.chunks) - 1; ci >= 0 && len(out) < n; ci-- {
+		c := b.chunks[ci]
+		for i := len(c) - 1; i >= 0 && len(out) < n; i-- {
+			out = append(out, c[i])
+		}
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Tail returns the last n recorded events across all shards, ordered by
+// cycle (events from the same cycle keep their per-shard order). It is
+// the diagnostic bundle's "last K events" view; the scan is O(n *
+// shards), independent of run length. Nil-safe.
+func (r *Recorder) Tail(n int) []Event {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	var cand []Event
+	for i := range r.bufs {
+		cand = append(cand, r.bufs[i].tail(n)...)
+	}
+	sort.SliceStable(cand, func(a, b int) bool { return cand[a].Cycle < cand[b].Cycle })
+	if len(cand) > n {
+		cand = cand[len(cand)-n:]
+	}
+	return cand
 }
 
 // Drain visits every event appended since the previous Drain, shard by

@@ -15,7 +15,9 @@ import (
 // its metrics registry.
 func tracedRun(t *testing.T, scheme experiments.Scheme) (*trace.Result, *sim.SM) {
 	t.Helper()
-	smv, _, err := experiments.BuildSM("nw", scheme, experiments.DefaultCapacity, 8, 5_000_000)
+	smv, _, err := experiments.BuildSM("nw", scheme, experiments.SimSetup{
+		Capacity: experiments.DefaultCapacity, Warps: 8, MaxCycles: 5_000_000,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,10 +18,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/exec"
+	"repro/internal/faults"
 	"repro/internal/kernels"
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/rf"
+	"repro/internal/sanitizer"
 	"repro/internal/sim"
 )
 
@@ -74,6 +76,16 @@ type Options struct {
 	// last run. Streaming does not perturb results — windows only read
 	// counters the simulations maintain anyway.
 	MetricsWriter io.Writer
+
+	// Watchdog is the forward-progress watchdog threshold in cycles
+	// (0: the simulator default).
+	Watchdog uint64
+	// Sanitize attaches the cycle-level invariant sanitizer to every
+	// simulation (robustness runs; costs per-cycle checking).
+	Sanitize bool
+	// Faults is a fault-injection plan applied to every simulation (each
+	// run gets its own injector, so corruption replays identically).
+	Faults *faults.Plan
 }
 
 // Default returns the full-scale options (Table 1's 64 warps per SM).
@@ -334,7 +346,14 @@ func (s *Suite) CachedRuns() []*Run {
 }
 
 func (s *Suite) simulate(bench string, scheme Scheme, capacity int) (*Run, error) {
-	smv, rp, err := BuildSM(bench, scheme, capacity, s.Opts.Warps, s.Opts.MaxCycles)
+	smv, rp, err := BuildSM(bench, scheme, SimSetup{
+		Capacity:  capacity,
+		Warps:     s.Opts.Warps,
+		MaxCycles: s.Opts.MaxCycles,
+		Watchdog:  s.Opts.Watchdog,
+		Sanitize:  s.Opts.Sanitize,
+		Faults:    s.Opts.Faults,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -356,18 +375,43 @@ func (s *Suite) simulate(bench string, scheme Scheme, capacity int) (*Run, error
 	return run, nil
 }
 
+// SimSetup parameterizes one SM assembly beyond (bench, scheme): sizing,
+// termination bounds, and the robustness instrumentation (sanitizer,
+// fault injection).
+type SimSetup struct {
+	// Capacity is RegLess's OSU registers per SM (ignored otherwise).
+	Capacity int
+	Warps    int
+	// MaxCycles aborts runaway simulations; Watchdog (0: simulator
+	// default) trips the forward-progress check far sooner.
+	MaxCycles uint64
+	Watchdog  uint64
+	// Sanitize attaches the cycle-level invariant sanitizer.
+	Sanitize bool
+	// Faults, when non-nil, arms a fresh injector for this simulation.
+	Faults *faults.Plan
+	// Memory, when non-nil, backs the run's functional state (tests
+	// retain it to compare final stores against the exec reference).
+	Memory *exec.Memory
+}
+
 // BuildSM constructs a ready-to-run SM for (bench, scheme): the shared
 // assembly used by the suite cache and by tools that drive the simulation
 // themselves (the timeline tracer). The returned core provider is non-nil
 // only for RegLess schemes.
-func BuildSM(bench string, scheme Scheme, capacity, warps int, maxCycles uint64) (*sim.SM, *core.Provider, error) {
+func BuildSM(bench string, scheme Scheme, su SimSetup) (*sim.SM, *core.Provider, error) {
 	k, err := kernels.Load(bench)
 	if err != nil {
 		return nil, nil, err
 	}
 	simCfg := sim.DefaultConfig()
-	simCfg.Warps = warps
-	simCfg.MaxCycles = maxCycles
+	simCfg.Warps = su.Warps
+	if su.MaxCycles > 0 {
+		simCfg.MaxCycles = su.MaxCycles
+	}
+	if su.Watchdog > 0 {
+		simCfg.WatchdogCycles = su.Watchdog
+	}
 
 	var provider sim.Provider
 	var rp *core.Provider
@@ -384,7 +428,7 @@ func BuildSM(bench string, scheme Scheme, capacity, warps int, maxCycles uint64)
 		provider = rf.NewRFH(RFHORFEntries)
 		simCfg.Sched = sim.SchedTwoLevel
 	case SchemeRegLess, SchemeRegLessNC:
-		cfg := core.ConfigForCapacity(capacity)
+		cfg := core.ConfigForCapacity(su.Capacity)
 		cfg.EnableCompressor = scheme == SchemeRegLess
 		p, err := core.New(cfg, k)
 		if err != nil {
@@ -395,9 +439,20 @@ func BuildSM(bench string, scheme Scheme, capacity, warps int, maxCycles uint64)
 	default:
 		return nil, nil, fmt.Errorf("unknown scheme %q", scheme)
 	}
-	smv, err := sim.New(simCfg, k, provider, exec.NewMemory(nil))
+	mm := su.Memory
+	if mm == nil {
+		mm = exec.NewMemory(nil)
+	}
+	smv, err := sim.New(simCfg, k, provider, mm)
 	if err != nil {
 		return nil, nil, err
+	}
+	if su.Faults != nil {
+		smv.AttachFaults(faults.NewInjector(su.Faults))
+	}
+	if su.Sanitize {
+		san := sanitizer.New()
+		smv.AttachSanitizer(san)
 	}
 	return smv, rp, nil
 }

@@ -1,0 +1,361 @@
+// Package faults is the deterministic fault-injection harness: a small
+// spec language naming *what* to corrupt and *when*, and a seed-driven
+// Injector that layers (mem, osu, compress, region metadata) consult at
+// their natural corruption points. Injection exists to prove the
+// robustness contract in DESIGN.md §11: every fault class is either
+// tolerated (functional output unchanged) or detected (a sanitizer or
+// watchdog diagnostic naming the faulted component) — never a hang,
+// never a raw panic.
+//
+// Spec grammar (clauses separated by ';'):
+//
+//	spec   := clause (';' clause)*
+//	clause := class ['@' cycle] (':' key '=' int)*  |  'seed' '=' int
+//	class  := mem-delay | mem-drop | osu-tag | osu-state |
+//	          compress-pattern | meta-bank | meta-erase
+//
+// Examples:
+//
+//	mem-drop@5000
+//	mem-delay@1000:delay=2000; seed=7
+//	osu-tag@2500:shard=1
+//	meta-erase:region=3
+//
+// Runtime classes fire at their '@' cycle (default 0: as soon as the
+// target exists); meta-* classes corrupt compiled region metadata before
+// the simulation starts, so their cycle is ignored. Unset targets
+// (shard, region) are picked deterministically from the seed, so one
+// spec string replays the same corruption everywhere.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Class names a fault family; the value is the spec-language spelling.
+type Class string
+
+const (
+	// MemDelay delays one L1/data response callback by Delay cycles.
+	MemDelay Class = "mem-delay"
+	// MemDrop drops one L1/data response callback outright.
+	MemDrop Class = "mem-drop"
+	// OSUTag corrupts a resident OSU line's register tag.
+	OSUTag Class = "osu-tag"
+	// OSUState flips a resident OSU line between the active and
+	// evictable populations.
+	OSUState Class = "osu-state"
+	// CompressPattern flips one entry of the compressor's pattern
+	// bit vector.
+	CompressPattern Class = "compress-pattern"
+	// MetaBank zeroes a region's busiest bank-usage annotation, so the
+	// capacity manager under-reserves for it (compile-time).
+	MetaBank Class = "meta-bank"
+	// MetaErase deletes one of a region's erase annotations, leaking a
+	// staged register past the region's end (compile-time).
+	MetaErase Class = "meta-erase"
+)
+
+// Classes lists every fault class in spec order (test matrices iterate
+// this).
+func Classes() []Class {
+	return []Class{MemDelay, MemDrop, OSUTag, OSUState, CompressPattern, MetaBank, MetaErase}
+}
+
+func validClass(c Class) bool {
+	for _, k := range Classes() {
+		if c == k {
+			return true
+		}
+	}
+	return false
+}
+
+// CompileTime reports whether the class corrupts compiled metadata
+// (applied before cycle 0) rather than live machine state.
+func (c Class) CompileTime() bool { return c == MetaBank || c == MetaErase }
+
+// Fault is one parsed clause.
+type Fault struct {
+	Class Class
+	// At is the cycle the fault becomes due (runtime classes).
+	At uint64
+	// Delay is mem-delay's extra response latency in cycles.
+	Delay int
+	// Shard targets one provider shard (-1: seed-picked).
+	Shard int
+	// Region targets one compiled region (-1: seed-picked).
+	Region int
+}
+
+// Plan is a parsed spec: the seed plus every fault clause.
+type Plan struct {
+	Seed   uint64
+	Faults []Fault
+}
+
+// DefaultDelay is mem-delay's extra latency when the spec omits delay=.
+const DefaultDelay = 1000
+
+// Parse builds a Plan from a spec string. Malformed specs return errors,
+// never panic (a fuzz target enforces this).
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, raw := range strings.Split(spec, ";") {
+		clause := strings.TrimSpace(raw)
+		if clause == "" {
+			return nil, fmt.Errorf("faults: empty clause in %q", spec)
+		}
+		if v, ok := strings.CutPrefix(clause, "seed="); ok {
+			n, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q: %v", v, err)
+			}
+			p.Seed = n
+			continue
+		}
+		head := clause
+		params := ""
+		if i := strings.IndexByte(clause, ':'); i >= 0 {
+			head, params = clause[:i], clause[i+1:]
+		}
+		f := Fault{Delay: DefaultDelay, Shard: -1, Region: -1}
+		name := head
+		if i := strings.IndexByte(head, '@'); i >= 0 {
+			name = head[:i]
+			at, err := strconv.ParseUint(head[i+1:], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad cycle in %q: %v", clause, err)
+			}
+			f.At = at
+		}
+		f.Class = Class(strings.TrimSpace(name))
+		if !validClass(f.Class) {
+			return nil, fmt.Errorf("faults: unknown class %q (valid: %s)", name, classList())
+		}
+		if params != "" {
+			for _, kv := range strings.Split(params, ":") {
+				key, val, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("faults: parameter %q is not key=value", kv)
+				}
+				n, err := strconv.Atoi(strings.TrimSpace(val))
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("faults: bad value in %q", kv)
+				}
+				switch strings.TrimSpace(key) {
+				case "delay":
+					if f.Class != MemDelay {
+						return nil, fmt.Errorf("faults: delay= applies to mem-delay, not %s", f.Class)
+					}
+					if n == 0 {
+						return nil, fmt.Errorf("faults: delay must be positive")
+					}
+					f.Delay = n
+				case "shard":
+					f.Shard = n
+				case "region":
+					f.Region = n
+				default:
+					return nil, fmt.Errorf("faults: unknown parameter %q", key)
+				}
+			}
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	if len(p.Faults) == 0 {
+		return nil, fmt.Errorf("faults: spec %q names no faults", spec)
+	}
+	return p, nil
+}
+
+func classList() string {
+	names := make([]string, 0, len(Classes()))
+	for _, c := range Classes() {
+		names = append(names, string(c))
+	}
+	return strings.Join(names, ", ")
+}
+
+// String renders the plan back into spec syntax; Parse(p.String())
+// yields an equivalent plan (the fuzz target checks the round trip).
+func (p *Plan) String() string {
+	var b strings.Builder
+	for i, f := range p.Faults {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s@%d", f.Class, f.At)
+		if f.Class == MemDelay && f.Delay != DefaultDelay {
+			fmt.Fprintf(&b, ":delay=%d", f.Delay)
+		}
+		if f.Shard >= 0 {
+			fmt.Fprintf(&b, ":shard=%d", f.Shard)
+		}
+		if f.Region >= 0 {
+			fmt.Fprintf(&b, ":region=%d", f.Region)
+		}
+	}
+	if p.Seed != 0 {
+		fmt.Fprintf(&b, "; seed=%d", p.Seed)
+	}
+	return b.String()
+}
+
+// armed is one not-yet-applied fault.
+type armed struct {
+	Fault
+	fired bool
+}
+
+// Injector is one simulation's live fault state: per-class one-shot arms
+// plus a deterministic picker. A nil *Injector is a valid no-op (the
+// disabled-path idiom shared with metrics and events); every consult
+// costs one branch when no faults are armed.
+type Injector struct {
+	faults []armed
+	rng    uint64
+	log    []string
+}
+
+// NewInjector arms every fault in the plan for one simulation. Each
+// simulation needs its own Injector (one-shot state); building two from
+// the same Plan replays identical corruption.
+func NewInjector(p *Plan) *Injector {
+	in := &Injector{rng: p.Seed*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03}
+	for _, f := range p.Faults {
+		in.faults = append(in.faults, armed{Fault: f})
+	}
+	return in
+}
+
+// Pick returns a deterministic value in [0, n) from the seed stream
+// (splitmix64). Callers use it to choose corruption targets.
+func (in *Injector) Pick(n int) int {
+	if in == nil || n <= 0 {
+		return 0
+	}
+	in.rng += 0x9E3779B97F4A7C15
+	z := in.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int(z % uint64(n))
+}
+
+// Due returns an armed fault of class c whose cycle has arrived. The
+// fault stays armed until Consume: corruption points that find no target
+// (e.g. an empty OSU) retry next cycle.
+func (in *Injector) Due(c Class, now uint64) (Fault, bool) {
+	if in == nil {
+		return Fault{}, false
+	}
+	for i := range in.faults {
+		f := &in.faults[i]
+		if !f.fired && f.Class == c && now >= f.At {
+			return f.Fault, true
+		}
+	}
+	return Fault{}, false
+}
+
+// Consume disarms the first armed fault of class c, logging what was
+// done (shown in diagnostics and asserted by tests).
+func (in *Injector) Consume(c Class, detail string) {
+	if in == nil {
+		return
+	}
+	for i := range in.faults {
+		f := &in.faults[i]
+		if !f.fired && f.Class == c {
+			f.fired = true
+			in.log = append(in.log, fmt.Sprintf("%s: %s", c, detail))
+			return
+		}
+	}
+}
+
+// CompileTime returns (and consumes) an armed compile-time fault of
+// class c; providers call it once while corrupting compiled metadata.
+func (in *Injector) CompileTime(c Class) (Fault, bool) {
+	if in == nil || !c.CompileTime() {
+		return Fault{}, false
+	}
+	for i := range in.faults {
+		f := &in.faults[i]
+		if !f.fired && f.Class == c {
+			f.fired = true
+			return f.Fault, true
+		}
+	}
+	return Fault{}, false
+}
+
+// Note records a compile-time corruption description (CompileTime
+// consumes the arm before the corruption site knows its target).
+func (in *Injector) Note(c Class, detail string) {
+	if in == nil {
+		return
+	}
+	in.log = append(in.log, fmt.Sprintf("%s: %s", c, detail))
+}
+
+// MemResponse consults the mem-delay/mem-drop arms for one accepted
+// response callback. At most one fault applies per call; drop wins over
+// delay when both are due.
+func (in *Injector) MemResponse(now uint64) (drop bool, delay int) {
+	if in == nil {
+		return false, 0
+	}
+	if _, ok := in.Due(MemDrop, now); ok {
+		in.Consume(MemDrop, fmt.Sprintf("dropped response at cycle %d", now))
+		return true, 0
+	}
+	if f, ok := in.Due(MemDelay, now); ok {
+		in.Consume(MemDelay, fmt.Sprintf("delayed response by %d cycles at cycle %d", f.Delay, now))
+		return false, f.Delay
+	}
+	return false, 0
+}
+
+// Active reports whether any fault is still armed.
+func (in *Injector) Active() bool {
+	if in == nil {
+		return false
+	}
+	for i := range in.faults {
+		if !in.faults[i].fired {
+			return true
+		}
+	}
+	return false
+}
+
+// Applied returns human-readable descriptions of every fault that fired,
+// in application order.
+func (in *Injector) Applied() []string {
+	if in == nil {
+		return nil
+	}
+	out := make([]string, len(in.log))
+	copy(out, in.log)
+	return out
+}
+
+// Pending returns the classes still armed, sorted (diagnostics).
+func (in *Injector) Pending() []Class {
+	if in == nil {
+		return nil
+	}
+	var out []Class
+	for i := range in.faults {
+		if !in.faults[i].fired {
+			out = append(out, in.faults[i].Class)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

@@ -1,0 +1,232 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseValidSpecs(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Plan
+	}{
+		{"mem-drop@5000", Plan{Faults: []Fault{
+			{Class: MemDrop, At: 5000, Delay: DefaultDelay, Shard: -1, Region: -1}}}},
+		{"mem-delay@1000:delay=2000; seed=7", Plan{Seed: 7, Faults: []Fault{
+			{Class: MemDelay, At: 1000, Delay: 2000, Shard: -1, Region: -1}}}},
+		{"osu-tag@2500:shard=1", Plan{Faults: []Fault{
+			{Class: OSUTag, At: 2500, Delay: DefaultDelay, Shard: 1, Region: -1}}}},
+		{"meta-erase:region=3", Plan{Faults: []Fault{
+			{Class: MetaErase, Delay: DefaultDelay, Shard: -1, Region: 3}}}},
+		{"compress-pattern", Plan{Faults: []Fault{
+			{Class: CompressPattern, Delay: DefaultDelay, Shard: -1, Region: -1}}}},
+		{"mem-drop@10; osu-state@20:shard=0; seed=42", Plan{Seed: 42, Faults: []Fault{
+			{Class: MemDrop, At: 10, Delay: DefaultDelay, Shard: -1, Region: -1},
+			{Class: OSUState, At: 20, Delay: DefaultDelay, Shard: 0, Region: -1}}}},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.spec)
+		if err != nil {
+			t.Errorf("Parse(%q) = %v", c.spec, err)
+			continue
+		}
+		if p.Seed != c.want.Seed || len(p.Faults) != len(c.want.Faults) {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.spec, p, c.want)
+			continue
+		}
+		for i, f := range p.Faults {
+			if f != c.want.Faults[i] {
+				t.Errorf("Parse(%q) fault %d = %+v, want %+v", c.spec, i, f, c.want.Faults[i])
+			}
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []struct{ spec, wantErr string }{
+		{"", "empty clause"},
+		{"; mem-drop", "empty clause"},
+		{"warp-eater", "unknown class"},
+		{"mem-drop@xyz", "bad cycle"},
+		{"seed=banana", "bad seed"},
+		{"seed=1", "names no faults"},
+		{"mem-drop:delay=5", "delay= applies to mem-delay"},
+		{"mem-delay:delay=0", "delay must be positive"},
+		{"mem-delay:delay=-3", "bad value"},
+		{"osu-tag:shard", "not key=value"},
+		{"osu-tag:color=5", "unknown parameter"},
+		{"osu-tag:shard=red", "bad value"},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.spec)
+		if err == nil {
+			t.Errorf("Parse(%q) = %+v, want error containing %q", c.spec, p, c.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("Parse(%q) = %v, want error containing %q", c.spec, err, c.wantErr)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"mem-drop@5000",
+		"mem-delay@1000:delay=2000; seed=7",
+		"osu-tag@2500:shard=1; meta-bank:region=2",
+		"compress-pattern@100; mem-drop@200; seed=99",
+	}
+	for _, spec := range specs {
+		p1, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q) = %v", spec, err)
+		}
+		p2, err := Parse(p1.String())
+		if err != nil {
+			t.Fatalf("Parse(%q.String() = %q) = %v", spec, p1.String(), err)
+		}
+		if p1.String() != p2.String() {
+			t.Errorf("round trip diverged: %q -> %q", p1.String(), p2.String())
+		}
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	p, err := Parse("osu-tag@100; seed=13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := NewInjector(p), NewInjector(p)
+	for i := 0; i < 32; i++ {
+		if x, y := a.Pick(1000), b.Pick(1000); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+	// A different seed must give a different stream (overwhelmingly).
+	p2, _ := Parse("osu-tag@100; seed=14")
+	c, d := NewInjector(p), NewInjector(p2)
+	same := 0
+	for i := 0; i < 32; i++ {
+		if c.Pick(1<<30) == d.Pick(1<<30) {
+			same++
+		}
+	}
+	if same == 32 {
+		t.Error("seed 13 and 14 produced identical pick streams")
+	}
+}
+
+func TestDueConsumeLifecycle(t *testing.T) {
+	p, err := Parse("osu-tag@100:shard=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(p)
+	if !in.Active() {
+		t.Fatal("fresh injector reports inactive")
+	}
+	if _, ok := in.Due(OSUTag, 99); ok {
+		t.Error("fault due before its cycle")
+	}
+	f, ok := in.Due(OSUTag, 100)
+	if !ok || f.Shard != 2 {
+		t.Fatalf("Due at cycle 100 = %+v, %v", f, ok)
+	}
+	// Stays armed until consumed: a corruption point with no target retries.
+	if _, ok := in.Due(OSUTag, 150); !ok {
+		t.Error("unconsumed fault disarmed itself")
+	}
+	in.Consume(OSUTag, "corrupted line 3")
+	if _, ok := in.Due(OSUTag, 200); ok {
+		t.Error("consumed fault still due")
+	}
+	if in.Active() {
+		t.Error("injector active after last fault consumed")
+	}
+	applied := in.Applied()
+	if len(applied) != 1 || !strings.Contains(applied[0], "corrupted line 3") {
+		t.Errorf("Applied() = %v", applied)
+	}
+	if len(in.Pending()) != 0 {
+		t.Errorf("Pending() = %v, want empty", in.Pending())
+	}
+}
+
+func TestMemResponseDropWinsOverDelay(t *testing.T) {
+	p, err := Parse("mem-drop@10; mem-delay@10:delay=500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(p)
+	if drop, delay := in.MemResponse(5); drop || delay != 0 {
+		t.Errorf("faults applied before due: drop=%v delay=%d", drop, delay)
+	}
+	if drop, _ := in.MemResponse(10); !drop {
+		t.Error("drop did not win at its cycle")
+	}
+	if drop, delay := in.MemResponse(10); drop || delay != 500 {
+		t.Errorf("second consult = drop=%v delay=%d, want delay=500", drop, delay)
+	}
+	if drop, delay := in.MemResponse(11); drop || delay != 0 {
+		t.Errorf("one-shot faults re-fired: drop=%v delay=%d", drop, delay)
+	}
+}
+
+func TestCompileTimeConsumes(t *testing.T) {
+	p, err := Parse("meta-bank:region=1; osu-tag@5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(p)
+	if _, ok := in.CompileTime(OSUTag); ok {
+		t.Error("runtime class returned from CompileTime")
+	}
+	f, ok := in.CompileTime(MetaBank)
+	if !ok || f.Region != 1 {
+		t.Fatalf("CompileTime(MetaBank) = %+v, %v", f, ok)
+	}
+	if _, ok := in.CompileTime(MetaBank); ok {
+		t.Error("compile-time fault fired twice")
+	}
+	in.Note(MetaBank, "zeroed bank 3")
+	if got := in.Applied(); len(got) != 1 || !strings.Contains(got[0], "zeroed bank 3") {
+		t.Errorf("Applied() = %v", got)
+	}
+}
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if in.Pick(10) != 0 {
+		t.Error("nil Pick != 0")
+	}
+	if _, ok := in.Due(MemDrop, 0); ok {
+		t.Error("nil Due reported a fault")
+	}
+	in.Consume(MemDrop, "x")
+	in.Note(MemDrop, "x")
+	if _, ok := in.CompileTime(MetaBank); ok {
+		t.Error("nil CompileTime reported a fault")
+	}
+	if drop, delay := in.MemResponse(0); drop || delay != 0 {
+		t.Error("nil MemResponse injected")
+	}
+	if in.Active() {
+		t.Error("nil injector active")
+	}
+	if in.Applied() != nil || in.Pending() != nil {
+		t.Error("nil injector has history")
+	}
+}
+
+func TestClassesAndCompileTime(t *testing.T) {
+	cs := Classes()
+	if len(cs) != 7 {
+		t.Fatalf("Classes() = %v", cs)
+	}
+	for _, c := range cs {
+		wantCT := c == MetaBank || c == MetaErase
+		if c.CompileTime() != wantCT {
+			t.Errorf("%s.CompileTime() = %v", c, c.CompileTime())
+		}
+	}
+}

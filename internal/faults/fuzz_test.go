@@ -1,0 +1,49 @@
+package faults
+
+import "testing"
+
+// FuzzParse enforces the parser's contract: any input either parses into
+// a plan whose String() round-trips, or returns an error — never a
+// panic. `go test -fuzz=FuzzParse ./internal/faults` explores beyond the
+// seed corpus.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"mem-drop@5000",
+		"mem-delay@1000:delay=2000; seed=7",
+		"osu-tag@2500:shard=1",
+		"osu-state",
+		"compress-pattern@100",
+		"meta-bank:region=2",
+		"meta-erase:region=3; seed=42",
+		"mem-drop@10; osu-tag@20; seed=1",
+		"",
+		";",
+		"seed=",
+		"seed=18446744073709551615",
+		"mem-drop@",
+		"mem-drop@@5",
+		"mem-delay:delay=",
+		"osu-tag:shard=1:region=2",
+		"osu-tag::",
+		"unknown-class",
+		"mem-drop@99999999999999999999999",
+		"mem-delay:delay=-1",
+		"  mem-drop@5  ;  seed=3  ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		s := p.String()
+		p2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but Parse(String() = %q) failed: %v", spec, s, err)
+		}
+		if s2 := p2.String(); s2 != s {
+			t.Fatalf("String() not a fixed point: %q -> %q (from %q)", s, s2, spec)
+		}
+	})
+}

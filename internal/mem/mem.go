@@ -13,7 +13,10 @@
 // completion callbacks fire during Tick.
 package mem
 
-import "repro/internal/events"
+import (
+	"repro/internal/events"
+	"repro/internal/faults"
+)
 
 // LineSize is the cache line size in bytes; one register (32 lanes x 4 B)
 // fills exactly one line.
@@ -117,6 +120,11 @@ type Stats struct {
 	L1PortRejects uint64
 	MSHRRejects   uint64
 	DataRejects   uint64
+
+	// FaultDrops/FaultDelays count injected response faults applied
+	// (zero outside fault-injection runs).
+	FaultDrops  uint64
+	FaultDelays uint64
 }
 
 type line struct {
@@ -217,11 +225,41 @@ type Hierarchy struct {
 	// rec, when attached, observes accepted L1 accesses (nil-safe).
 	rec *events.Recorder
 
+	// flt, when armed, corrupts accepted response callbacks (nil-safe:
+	// the disabled path costs one branch per accepted access).
+	flt *faults.Injector
+
 	events eventQueue
 }
 
 // SetRecorder attaches an event recorder for backing-store L1 traffic.
 func (h *Hierarchy) SetRecorder(r *events.Recorder) { h.rec = r }
+
+// SetFaults arms a fault injector: accepted L1/data response callbacks
+// consult it for mem-delay/mem-drop faults.
+func (h *Hierarchy) SetFaults(in *faults.Injector) { h.flt = in }
+
+// applyFault runs one accepted response callback through the injector:
+// a dropped response returns nil (the requester never hears back — the
+// hierarchy's own accounting is unaffected), a delayed one is rescheduled
+// after the extra latency. Called only at accept points, never on
+// rejected requests, so a fault is consumed exactly when it takes effect.
+func (h *Hierarchy) applyFault(done func(Source)) func(Source) {
+	if h.flt == nil || done == nil {
+		return done
+	}
+	drop, delay := h.flt.MemResponse(h.now)
+	if drop {
+		h.Stats.FaultDrops++
+		return nil
+	}
+	if delay > 0 {
+		h.Stats.FaultDelays++
+		orig := done
+		return func(s Source) { h.after(delay, func() { orig(s) }) }
+	}
+	return done
+}
 
 // l2cache returns the L2 this hierarchy talks to.
 func (h *Hierarchy) l2cache() *cache {
@@ -299,6 +337,7 @@ func (h *Hierarchy) L1Access(addr uint32, write bool, done func(Source)) bool {
 		if write {
 			ln.dirty = true
 		}
+		done = h.applyFault(done)
 		complete(h.cfg.L1HitLatency, SrcL1)
 		return true
 	}
@@ -310,6 +349,7 @@ func (h *Hierarchy) L1Access(addr uint32, write bool, done func(Source)) bool {
 		h.Stats.L1Hits++ // counts as a hit: no lower-level traffic
 		h.rec.L1(write, true, a)
 		h.fill(a, true)
+		done = h.applyFault(done)
 		complete(h.cfg.L1HitLatency, SrcL1)
 		return true
 	}
@@ -317,7 +357,7 @@ func (h *Hierarchy) L1Access(addr uint32, write bool, done func(Source)) bool {
 	if waiters, ok := h.mshrs[a]; ok {
 		h.claimL1Port()
 		h.countL1(write)
-		h.mshrs[a] = append(waiters, done)
+		h.mshrs[a] = append(waiters, h.applyFault(done))
 		h.Stats.L1Misses++
 		h.rec.L1(write, false, a)
 		return true
@@ -330,7 +370,7 @@ func (h *Hierarchy) L1Access(addr uint32, write bool, done func(Source)) bool {
 	h.countL1(write)
 	h.Stats.L1Misses++
 	h.rec.L1(write, false, a)
-	h.mshrs[a] = []func(Source){done}
+	h.mshrs[a] = []func(Source){h.applyFault(done)}
 	h.l2Access(a, false, func(src Source) {
 		h.fill(a, false)
 		for _, fn := range h.mshrs[a] {
@@ -466,6 +506,7 @@ func (h *Hierarchy) DataAccess(addr uint32, write bool, done func(Source)) bool 
 	}
 	h.dataNextFree = h.now + uint64(h.cfg.DataCyclesPerReq)
 	h.dataInFlight++
+	done = h.applyFault(done)
 	if write {
 		// Writes are fire-and-forget at the core: the L2 update is
 		// submitted now, the queue slot frees after the injection

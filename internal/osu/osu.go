@@ -276,6 +276,58 @@ func (o *OSU) ActiveLines(bank int) int {
 // ResidentLines returns the total resident lines in a bank.
 func (o *OSU) ResidentLines(bank int) int { return len(o.banks[bank].lines) }
 
+// pickLine returns the pick-th resident line counting across banks, or
+// nil when the unit is empty (fault injection retries next cycle).
+func (o *OSU) pickLine(pick int) *line {
+	total := 0
+	for bi := range o.banks {
+		total += len(o.banks[bi].lines)
+	}
+	if total == 0 {
+		return nil
+	}
+	idx := pick % total
+	for bi := range o.banks {
+		if idx < len(o.banks[bi].lines) {
+			return &o.banks[bi].lines[idx]
+		}
+		idx -= len(o.banks[bi].lines)
+	}
+	return nil
+}
+
+// CorruptTag bumps a resident line's register tag (fault injection: a
+// tag-array bit flip). The line stays in its original bank, so the bank
+// placement invariant breaks and CheckInvariants names this unit. It
+// reports what was corrupted, or false when no line is resident yet.
+func (o *OSU) CorruptTag(pick int) (string, bool) {
+	ln := o.pickLine(pick)
+	if ln == nil {
+		return "", false
+	}
+	old := ln.reg
+	ln.reg++
+	return fmt.Sprintf("line w%d tag %v -> %v (bank %d)", ln.warp, old, ln.reg, o.Bank(ln.warp, old)), true
+}
+
+// CorruptState flips a resident line between the active and evictable
+// populations (fault injection: a state-array bit flip), breaking the
+// active-lines vs staged-register agreement the core sanitizer checks.
+// It reports what was corrupted, or false when no line is resident yet.
+func (o *OSU) CorruptState(pick int) (string, bool) {
+	ln := o.pickLine(pick)
+	if ln == nil {
+		return "", false
+	}
+	old := ln.state
+	if ln.state == StateActive {
+		ln.state = StateClean
+	} else {
+		ln.state = StateActive
+	}
+	return fmt.Sprintf("line w%d %v state %v -> %v", ln.warp, ln.reg, old, ln.state), true
+}
+
 // CheckInvariants verifies structural sanity (tests): no duplicate tags,
 // per-bank occupancy within capacity, correct bank placement.
 func (o *OSU) CheckInvariants() error {

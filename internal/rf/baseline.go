@@ -27,9 +27,10 @@ func NewBaseline() *Baseline { return &Baseline{} }
 func (b *Baseline) Name() string { return "baseline" }
 
 // Attach implements sim.Provider.
-func (b *Baseline) Attach(sm *sim.SM) {
+func (b *Baseline) Attach(sm *sim.SM) error {
 	b.sm = sm
 	b.m = sim.NewProviderCounters(sm.Metrics)
+	return nil
 }
 
 // CanIssue implements sim.Provider: the full RF always has every register.

@@ -34,7 +34,7 @@ func NewRFH(orfEntries int) *RFH { return &RFH{ORFEntries: orfEntries} }
 func (h *RFH) Name() string { return "rfh" }
 
 // Attach implements sim.Provider.
-func (h *RFH) Attach(sm *sim.SM) {
+func (h *RFH) Attach(sm *sim.SM) error {
 	h.sm = sm
 	h.m = sim.NewProviderCounters(sm.Metrics)
 	h.lastDst = make([]isa.Reg, len(sm.Warps))
@@ -42,6 +42,7 @@ func (h *RFH) Attach(sm *sim.SM) {
 		h.lastDst[i] = isa.NoReg
 	}
 	h.orf = make([][]isa.Reg, len(sm.Warps))
+	return nil
 }
 
 // CanIssue implements sim.Provider: the hierarchy never blocks issue.

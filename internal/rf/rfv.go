@@ -51,7 +51,7 @@ func NewRFV(physRegs int) *RFV {
 func (v *RFV) Name() string { return "rfv" }
 
 // Attach implements sim.Provider.
-func (v *RFV) Attach(sm *sim.SM) {
+func (v *RFV) Attach(sm *sim.SM) error {
 	v.sm = sm
 	v.m = sim.NewProviderCounters(sm.Metrics)
 	v.lv = cfg.ComputeLiveness(sm.G)
@@ -62,6 +62,7 @@ func (v *RFV) Attach(sm *sim.SM) {
 		v.mapped[i] = make([]bool, sm.K.NumRegs)
 		v.spilled[i] = make([]bool, sm.K.NumRegs)
 	}
+	return nil
 }
 
 // CanIssue implements sim.Provider: RFV never blocks issue; pressure shows

@@ -15,8 +15,10 @@ import (
 type Provider interface {
 	// Name identifies the scheme in reports.
 	Name() string
-	// Attach binds the provider to the SM before simulation starts.
-	Attach(sm *SM)
+	// Attach binds the provider to the SM before simulation starts. A
+	// non-nil error (kernel mismatch, shard/scheduler disagreement)
+	// aborts construction instead of crashing mid-run.
+	Attach(sm *SM) error
 	// CanIssue reports whether warp w may issue its next instruction
 	// this cycle as far as register availability is concerned.
 	CanIssue(w *Warp) bool

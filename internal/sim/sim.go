@@ -16,9 +16,11 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/events"
 	"repro/internal/exec"
+	"repro/internal/faults"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/metrics"
+	"repro/internal/sanitizer"
 )
 
 // SchedKind selects the warp scheduling policy.
@@ -78,6 +80,11 @@ type Config struct {
 	WindowSize int
 	// MaxCycles aborts runaway simulations.
 	MaxCycles uint64
+	// WatchdogCycles trips the forward-progress watchdog when no warp
+	// issues for this many cycles while warps remain unfinished (0
+	// disables). It fires far sooner than MaxCycles and produces a full
+	// Diagnostic instead of a bare overrun error.
+	WatchdogCycles uint64
 }
 
 // DefaultConfig returns the Table 1 SM configuration.
@@ -97,6 +104,7 @@ func DefaultConfig() Config {
 		Mem:              mem.DefaultConfig(),
 		WindowSize:       100,
 		MaxCycles:        30_000_000,
+		WatchdogCycles:   1_000_000,
 	}
 }
 
@@ -191,6 +199,13 @@ type SM struct {
 	calendar  map[uint64][]func()
 	atBarrier []bool
 
+	// Sanitizer / fault-injection state (nil when disabled; the healthy
+	// path costs two nil checks and one compare per cycle).
+	san          *sanitizer.Sanitizer
+	flt          *faults.Injector
+	fault        *sanitizer.Diagnostic
+	lastProgress uint64
+
 	sfuNextIssue []uint64
 
 	// Working-set window tracking.
@@ -261,7 +276,9 @@ func NewWithHierarchy(cfgv Config, k *isa.Kernel, p Provider, mm *exec.Memory, h
 		sm.sched = newGTO(sm.groups)
 	}
 	sm.lsu = newLSU(sm, cfgv.LSUQueue)
-	p.Attach(sm)
+	if err := p.Attach(sm); err != nil {
+		return nil, err
+	}
 	return sm, nil
 }
 
@@ -306,14 +323,25 @@ func (sm *SM) after(delay int, fn func()) {
 	sm.calendar[c] = append(sm.calendar[c], fn)
 }
 
-// Run simulates to completion and returns the statistics.
+// Run simulates to completion and returns the statistics. Abnormal
+// terminations — a MaxCycles overrun, a watchdog trip, a sanitizer
+// violation, or a fault reported by the provider — return a
+// *sanitizer.Diagnostic error carrying the machine state at detection.
 func (sm *SM) Run() (*Stats, error) {
 	for !sm.Done() {
 		if sm.cycle >= sm.Cfg.MaxCycles {
-			return nil, fmt.Errorf("sim: kernel %q exceeded %d cycles (%s provider, %d insns retired)",
-				sm.K.Name, sm.Cfg.MaxCycles, sm.Provider.Name(), sm.Stats.DynInsns)
+			return nil, sm.diagnose(&sanitizer.Diagnostic{
+				Component: "sim/maxcycles",
+				Violation: fmt.Sprintf("kernel %q exceeded %d cycles (%d insns retired)",
+					sm.K.Name, sm.Cfg.MaxCycles, sm.Stats.DynInsns),
+				Cycle: sm.cycle,
+				Warp:  -1,
+			})
 		}
 		sm.StepOne()
+		if err := sm.CheckHealth(); err != nil {
+			return nil, err
+		}
 	}
 	return sm.Finalize(), nil
 }
@@ -407,6 +435,7 @@ func (sm *SM) ready(w *Warp) bool {
 func (sm *SM) issue(w *Warp) {
 	info := w.Exec.Step()
 	w.lastIssue = sm.cycle
+	sm.lastProgress = sm.cycle
 	sm.Stats.DynInsns++
 	sm.Stats.ActiveLanes += uint64(popcount32(info.Mask))
 	sm.trackWindow(w, info.Insn)

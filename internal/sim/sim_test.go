@@ -11,7 +11,7 @@ import (
 type nullProvider struct{ stats ProviderStats }
 
 func (nullProvider) Name() string                       { return "null" }
-func (*nullProvider) Attach(*SM)                        {}
+func (*nullProvider) Attach(*SM) error                  { return nil }
 func (*nullProvider) CanIssue(*Warp) bool               { return true }
 func (*nullProvider) OnIssue(*Warp, *exec.StepInfo) int { return 0 }
 func (*nullProvider) OnWriteback(*Warp, isa.Reg)        {}

@@ -95,6 +95,9 @@ func Run(smv *sim.SM, bucket int, mask events.Mask) (*Result, error) {
 			return nil, fmt.Errorf("trace: exceeded %d cycles", smv.Cfg.MaxCycles)
 		}
 		smv.StepOne()
+		if err := smv.CheckHealth(); err != nil {
+			return nil, err
+		}
 		rec.Drain(tr.apply)
 		for i := range smv.Warps {
 			counts[i][tr.classify(i)]++

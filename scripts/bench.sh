@@ -15,6 +15,37 @@ stamp="$(date -u +%Y%m%dT%H%M%SZ)"
 out="BENCH_${stamp}.json"
 prof="BENCH_${stamp}.cpu.pprof"
 sha="$(git rev-parse --short=12 HEAD 2>/dev/null || true)"
+prev="$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)"
 go run ./cmd/regless -experiment all -json -cpuprofile "$prof" \
 	-snapshot-sha "$sha" "$@" | tee "$out"
 echo "wrote $out and $prof" >&2
+
+# Throughput parity against the previous snapshot: the robustness
+# instrumentation (sanitizer, fault injector, watchdog) is disabled by
+# default, so its cost on this path must be nil-check noise. Warn loudly
+# when simcycles/s falls below 85% of the prior record (wall-clock noise
+# on shared machines makes a hard failure too flaky).
+if [ -n "$prev" ] && [ "$prev" != "$out" ]; then
+	awk -v prevfile="$prev" -v outfile="$out" '
+		function rate(f,   line, parts, v, r) {
+			while ((getline line < f) > 0)
+				if (line ~ /"simcycles_per_sec"/) {
+					split(line, parts, ":")
+					v = parts[2]
+					gsub(/[^0-9.eE+-]/, "", v)
+					r = v + 0
+				}
+			close(f)
+			return r
+		}
+		BEGIN {
+			p = rate(prevfile); n = rate(outfile)
+			if (p <= 0 || n <= 0) { print "bench: parity check skipped (missing rate)"; exit 0 }
+			ratio = n / p
+			printf "bench: %.3g simcycles/s vs %.3g in %s (ratio %.2f)\n", n, p, prevfile, ratio
+			if (ratio < 0.85) {
+				printf "bench: WARNING throughput fell below 85%% of %s\n", prevfile
+				exit 1
+			}
+		}' >&2 || echo "bench: throughput parity WARNING (see above)" >&2
+fi

@@ -20,3 +20,36 @@ go run ./cmd/regless -bench nw -scheme regless -warps 8 \
 go run ./scripts/tracecheck "$tracedir/trace.json"
 grep -q "stall attribution" "$tracedir/report.txt"
 ! grep -q "WARNING" "$tracedir/report.txt"
+
+# Fault-injection smoke suite (DESIGN.md §11): every class must be
+# tolerated (exit 0) or detected with a diagnostic naming a component
+# (exit 1 + bundle) — never a hang (the watchdog bounds the run) and
+# never a raw panic.
+go build -o "$tracedir/regless" ./cmd/regless
+for class in mem-delay mem-drop osu-tag osu-state compress-pattern meta-bank meta-erase; do
+	rc=0
+	"$tracedir/regless" -bench nw -scheme regless -warps 8 \
+		-faults "${class}@200; seed=3" -sanitize -watchdog 20000 \
+		-diag-out "$tracedir/diag-${class}.json" \
+		> "$tracedir/out-${class}.txt" 2> "$tracedir/err-${class}.txt" || rc=$?
+	! grep -q "panic:" "$tracedir/err-${class}.txt"
+	case "$rc" in
+	0) ;; # tolerated
+	1)
+		grep -q "^component  " "$tracedir/err-${class}.txt"
+		grep -q '"component"' "$tracedir/diag-${class}.json"
+		;;
+	*)
+		echo "fault smoke: $class exited $rc" >&2
+		exit 1
+		;;
+	esac
+done
+# A pinned detection: a corrupted OSU tag must be caught by the OSU
+# partition invariant, not merely time out.
+rc=0
+"$tracedir/regless" -bench nw -scheme regless -warps 8 \
+	-faults "osu-tag@200; seed=3" -sanitize -watchdog 20000 \
+	2> "$tracedir/err-pinned.txt" > /dev/null || rc=$?
+test "$rc" = 1
+grep -q "component  osu/" "$tracedir/err-pinned.txt"
