@@ -179,6 +179,56 @@ func TestRobustnessFlagsExitWithUsage(t *testing.T) {
 	}
 }
 
+// TestNoFastForwardFlag: -no-fastforward must be accepted and produce
+// byte-identical stats output to the default fast-forwarding run.
+func TestNoFastForwardFlag(t *testing.T) {
+	on, _, code := runMain(t, "-bench", "nw", "-scheme", "regless", "-warps", "8")
+	if code != 0 {
+		t.Fatalf("fast-forward run: exit %d", code)
+	}
+	off, stderr, code := runMain(t, "-no-fastforward", "-bench", "nw", "-scheme", "regless", "-warps", "8")
+	if code != 0 {
+		t.Fatalf("-no-fastforward run: exit %d, stderr:\n%s", code, stderr)
+	}
+	if on != off {
+		t.Fatalf("-no-fastforward changed results\nwith ff:\n%s\nwithout:\n%s", on, off)
+	}
+}
+
+// TestSnapshotFFCounters: the -json snapshot carries the fast-forward
+// counters — nonzero by default, zero under -no-fastforward — while the
+// simulated cycle total stays identical.
+func TestSnapshotFFCounters(t *testing.T) {
+	type snap struct {
+		SimCycles uint64 `json:"sim_cycles"`
+		FFSkipped uint64 `json:"ff_skipped_cycles"`
+		FFJumps   uint64 `json:"ff_jumps"`
+	}
+	run := func(extra ...string) snap {
+		args := append([]string{"-experiment", "fig2", "-benchmarks", "nw", "-warps", "8", "-json"}, extra...)
+		stdout, stderr, code := runMain(t, args...)
+		if code != 0 {
+			t.Fatalf("%v: exit %d, stderr:\n%s", args, code, stderr)
+		}
+		var s snap
+		if err := json.Unmarshal([]byte(stdout), &s); err != nil {
+			t.Fatalf("snapshot is not JSON: %v\n%s", err, stdout)
+		}
+		return s
+	}
+	ff := run()
+	stepped := run("-no-fastforward")
+	if ff.SimCycles == 0 || ff.SimCycles != stepped.SimCycles {
+		t.Fatalf("sim_cycles diverged: ff=%d stepped=%d", ff.SimCycles, stepped.SimCycles)
+	}
+	if ff.FFSkipped == 0 || ff.FFJumps == 0 {
+		t.Fatalf("fast-forward never engaged: %+v", ff)
+	}
+	if stepped.FFSkipped != 0 || stepped.FFJumps != 0 {
+		t.Fatalf("-no-fastforward still skipped cycles: %+v", stepped)
+	}
+}
+
 // TestDiagnosticBundleEndToEnd drives the full crash path through the
 // real binary: a detected fault exits 1, renders the bundle on stderr,
 // and serializes it as JSON to -diag-out.

@@ -70,6 +70,7 @@ func main() {
 		watchdog   = flag.Uint64("watchdog", 1_000_000, "forward-progress watchdog threshold in cycles (0 disables)")
 		faultSpec  = flag.String("faults", "", "fault-injection spec, e.g. 'mem-drop@5000; seed=3' (DESIGN.md §11)")
 		sanitize   = flag.Bool("sanitize", false, "run the cycle-level invariant sanitizer every cycle")
+		noFF       = flag.Bool("no-fastforward", false, "step every cycle instead of skipping provably idle spans (differential validation; results are identical)")
 		diagOut    = flag.String("diag-out", "", "write the diagnostic bundle as JSON to this file on abnormal termination")
 	)
 	flag.Parse()
@@ -93,6 +94,7 @@ func main() {
 	opts.MaxCycles = *maxCycles
 	opts.Watchdog = *watchdog
 	opts.Sanitize = *sanitize
+	opts.NoFastForward = *noFF
 	if *faultSpec != "" {
 		plan, err := faults.Parse(*faultSpec)
 		check(err) // validateFlags already vetted the spec
@@ -147,12 +149,13 @@ func main() {
 			bucket: *bucket, csv: *csvOut, timeline: *timeline,
 			traceFile: *traceOut, report: *traceRep,
 			setup: experiments.SimSetup{
-				Capacity:  *capacity,
-				Warps:     *warps,
-				MaxCycles: *maxCycles,
-				Watchdog:  *watchdog,
-				Sanitize:  *sanitize,
-				Faults:    opts.Faults,
+				Capacity:      *capacity,
+				Warps:         *warps,
+				MaxCycles:     *maxCycles,
+				Watchdog:      *watchdog,
+				Sanitize:      *sanitize,
+				Faults:        opts.Faults,
+				NoFastForward: *noFF,
 			},
 		})
 	case *bench != "":
@@ -229,6 +232,8 @@ type benchSnapshot struct {
 	Tables        int     `json:"tables"`
 	Runs          int     `json:"runs"`
 	SimCycles     uint64  `json:"sim_cycles"`
+	FFSkipped     uint64  `json:"ff_skipped_cycles"`
+	FFJumps       uint64  `json:"ff_jumps"`
 	WallSeconds   float64 `json:"wall_seconds"`
 	SimCyclesPerS float64 `json:"simcycles_per_sec"`
 	TablesPerS    float64 `json:"tables_per_sec"`
@@ -236,9 +241,11 @@ type benchSnapshot struct {
 
 func emitSnapshot(s *experiments.Suite, out io.Writer, experiment, gitSHA string, tables int, wall time.Duration) {
 	runs := s.CachedRuns()
-	var cycles uint64
+	var cycles, ffSkipped, ffJumps uint64
 	for _, r := range runs {
 		cycles += r.Stats.Cycles
+		ffSkipped += r.Stats.FFSkippedCycles
+		ffJumps += r.Stats.FFJumps
 	}
 	snap := benchSnapshot{
 		Experiment:    experiment,
@@ -250,6 +257,8 @@ func emitSnapshot(s *experiments.Suite, out io.Writer, experiment, gitSHA string
 		Tables:        tables,
 		Runs:          len(runs),
 		SimCycles:     cycles,
+		FFSkipped:     ffSkipped,
+		FFJumps:       ffJumps,
 		WallSeconds:   wall.Seconds(),
 		SimCyclesPerS: float64(cycles) / wall.Seconds(),
 		TablesPerS:    float64(tables) / wall.Seconds(),

@@ -46,25 +46,27 @@ func (p *Provider) OnIssue(w *sim.Warp, info *exec.StepInfo) int {
 	if in.Op.HasDst() && in.Dst.Valid() {
 		p.m.StructWrites.Inc()
 		sh.osu.CountWrite()
-		if !ws.staged[in.Dst] {
+		if !ws.staged.has(in.Dst) {
 			// Interior register's first write allocates its line.
 			p.install(sh, ws, in.Dst, true)
 		}
-		ws.dirty[in.Dst] = true
+		ws.dirty.set(in.Dst)
 	}
 
 	// Last-use annotations at this instruction. Flags naming the
 	// destination ride with the write and apply at writeback (§5.2.2).
 	for _, reg := range region.EraseAt[gi] {
 		if in.Op.HasDst() && reg == in.Dst {
-			ws.deferred[reg] = true
+			ws.deferred.set(reg)
+			ws.deferErase.set(reg)
 		} else {
 			p.applyErase(sh, ws, reg)
 		}
 	}
 	for _, reg := range region.EvictAt[gi] {
 		if in.Op.HasDst() && reg == in.Dst {
-			ws.deferred[reg] = false
+			ws.deferred.set(reg)
+			ws.deferErase.clear(reg)
 		} else {
 			p.applyEvict(sh, ws, reg)
 		}
@@ -97,7 +99,7 @@ func (p *Provider) warpID(ws *warpState) int { return ws.local*p.cfg.Shards + ws
 // applyErase frees a dead register's line immediately.
 func (p *Provider) applyErase(sh *shard, ws *warpState, reg isa.Reg) {
 	warp := p.warpID(ws)
-	if !ws.staged[reg] {
+	if !ws.staged.has(reg) {
 		return
 	}
 	sh.osu.Erase(warp, reg)
@@ -107,17 +109,17 @@ func (p *Provider) applyErase(sh *shard, ws *warpState, reg isa.Reg) {
 // applyEvict demotes a register's line to the evictable population.
 func (p *Provider) applyEvict(sh *shard, ws *warpState, reg isa.Reg) {
 	warp := p.warpID(ws)
-	if !ws.staged[reg] {
+	if !ws.staged.has(reg) {
 		return
 	}
-	sh.osu.MarkEvictable(warp, reg, ws.dirty[reg])
+	sh.osu.MarkEvictable(warp, reg, ws.dirty.has(reg))
 	p.unstage(sh, ws, reg)
 }
 
 func (p *Provider) unstage(sh *shard, ws *warpState, reg isa.Reg) {
 	warp := p.warpID(ws)
-	delete(ws.staged, reg)
-	delete(ws.dirty, reg)
+	ws.staged.clear(reg)
+	ws.dirty.clear(reg)
 	b := (warp + int(reg)) % p.cfg.Banks
 	ws.activePerBank[b]--
 	if sh.cm.StateOf(ws.local) == cm.Draining {
@@ -126,13 +128,13 @@ func (p *Provider) unstage(sh *shard, ws *warpState, reg isa.Reg) {
 }
 
 func (p *Provider) finishDrain(sh *shard, ws *warpState) {
-	if len(ws.staged) != 0 {
+	if ws.staged.len() != 0 {
 		// Staged-register count disagrees with the region's annotations
 		// (a leaked line). Report and leave the warp draining; the run
 		// aborts with a Diagnostic at the end of this cycle.
 		p.sm.ReportFault(fmt.Sprintf("core/s%d/drain", ws.shard),
 			fmt.Sprintf("warp %d finished region %d with %d staged registers",
-				p.warpID(ws), ws.regionID, len(ws.staged)), p.warpID(ws))
+				p.warpID(ws), ws.regionID, ws.staged.len()), p.warpID(ws))
 		return
 	}
 	cycles := sh.cm.FinishDrain(ws.local, p.sm.Cycle())
@@ -149,9 +151,8 @@ func (p *Provider) OnWriteback(w *sim.Warp, reg isa.Reg) {
 	if sh.cm.StateOf(ws.local) == cm.Finished {
 		return
 	}
-	if erase, ok := ws.deferred[reg]; ok {
-		delete(ws.deferred, reg)
-		if erase {
+	if ws.deferred.clear(reg) {
+		if ws.deferErase.clear(reg) {
 			p.applyErase(sh, ws, reg)
 		} else {
 			p.applyEvict(sh, ws, reg)
@@ -176,9 +177,10 @@ func (p *Provider) OnWarpFinish(w *sim.Warp) {
 		}
 	}
 	sh.evictQ = kept
-	ws.staged = map[isa.Reg]bool{}
-	ws.dirty = map[isa.Reg]bool{}
-	ws.deferred = map[isa.Reg]bool{}
+	ws.staged.reset()
+	ws.dirty.reset()
+	ws.deferred.reset()
+	ws.deferErase.reset()
 	for b := range ws.activePerBank {
 		ws.activePerBank[b] = 0
 	}

@@ -129,12 +129,13 @@ type warpState struct {
 	local    int
 	regionID int
 	// staged marks registers currently held active for the region.
-	staged map[isa.Reg]bool
+	staged regSet
 	// dirty marks staged registers written since staging.
-	dirty map[isa.Reg]bool
+	dirty regSet
 	// deferred last-use flags applied at writeback (flag was on the
-	// write itself, §5.2.2): value is true for erase, false for evict.
-	deferred map[isa.Reg]bool
+	// write itself, §5.2.2); deferErase distinguishes erase from evict.
+	deferred   regSet
+	deferErase regSet
 	// activePerBank counts this warp's active OSU lines per bank.
 	activePerBank []int
 }
@@ -158,6 +159,11 @@ type Provider struct {
 	regionActivations []uint64
 
 	rrShard int // round-robin start for L1 port arbitration
+
+	// usageScratch is the bank-rotated usage vector tryActivate and
+	// TickIdle rebuild each attempt; the CM copies values out, so one
+	// reusable buffer replaces a per-cycle allocation.
+	usageScratch []int
 }
 
 // compileCache memoizes the RegLess compiler output per (kernel, region
@@ -284,6 +290,7 @@ func (p *Provider) Attach(smv *sim.SM) error {
 	}
 	p.sm = smv
 	p.m = sim.NewProviderCounters(smv.Metrics)
+	p.usageScratch = make([]int, p.cfg.Banks)
 	warpsPerShard := smv.Cfg.Warps / p.cfg.Shards
 	p.shards = make([]*shard, p.cfg.Shards)
 	for s := range p.shards {
@@ -320,9 +327,10 @@ func (p *Provider) Attach(smv *sim.SM) error {
 			shard:         w % p.cfg.Shards,
 			local:         w / p.cfg.Shards,
 			regionID:      -1,
-			staged:        map[isa.Reg]bool{},
-			dirty:         map[isa.Reg]bool{},
-			deferred:      map[isa.Reg]bool{},
+			staged:        newRegSet(smv.K.NumRegs),
+			dirty:         newRegSet(smv.K.NumRegs),
+			deferred:      newRegSet(smv.K.NumRegs),
+			deferErase:    newRegSet(smv.K.NumRegs),
 			activePerBank: make([]int, p.cfg.Banks),
 		}
 	}

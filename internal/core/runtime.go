@@ -240,9 +240,9 @@ func (p *Provider) install(sh *shard, ws *warpState, reg isa.Reg, dirty bool) {
 
 func (p *Provider) stage(ws *warpState, reg isa.Reg, dirty bool) {
 	warp := ws.local*p.cfg.Shards + ws.shard
-	ws.staged[reg] = true
+	ws.staged.set(reg)
 	if dirty {
-		ws.dirty[reg] = true
+		ws.dirty.set(reg)
 	}
 	ws.activePerBank[(warp+int(reg))%p.cfg.Banks]++
 }
@@ -284,7 +284,10 @@ func (p *Provider) tryActivate(s int, sh *shard) {
 	if w.Finished() {
 		// Should not happen (finished warps leave the stack), but be
 		// defensive: retire it.
-		if _, err := sh.cm.ActivateTop(0, make([]int, p.cfg.Banks), 0, p.sm.Cycle()); err == nil {
+		for i := range p.usageScratch {
+			p.usageScratch[i] = 0
+		}
+		if _, err := sh.cm.ActivateTop(0, p.usageScratch, 0, p.sm.Cycle()); err == nil {
 			sh.cm.Finish(local)
 		}
 		return
@@ -296,10 +299,7 @@ func (p *Provider) tryActivate(s int, sh *shard) {
 		return
 	}
 	region := p.comp.RegionAt(w.NextGI())
-	usage := make([]int, p.cfg.Banks)
-	for i, u := range region.BankUsage {
-		usage[(warp+i)%p.cfg.Banks] = u
-	}
+	usage := p.rotatedUsage(warp, region.BankUsage)
 	if !sh.cm.Fits(usage) {
 		return
 	}
@@ -320,3 +320,55 @@ func (p *Provider) tryActivate(s int, sh *shard) {
 		sh.invalQ = append(sh.invalQ, preloadReq{warp: warp, reg: reg})
 	}
 }
+
+// rotatedUsage rebuilds the bank-rotated usage vector for warp into the
+// provider scratch buffer (the CM copies values out of it).
+func (p *Provider) rotatedUsage(warp int, bankUsage [8]int) []int {
+	usage := p.usageScratch
+	for i := range usage {
+		usage[i] = 0
+	}
+	for i, u := range bankUsage {
+		usage[(warp+i)%p.cfg.Banks] = u
+	}
+	return usage
+}
+
+// TickIdle implements sim.TickIdler: with the rest of the machine frozen,
+// Tick is a provable no-op exactly when every queue is empty and no
+// shard's stack top could act — the top warp is absent, or it is alive,
+// not at a barrier (DeferTop would rotate the stack), and its next region
+// does not fit (the one pure outcome of tryActivate). Fault application
+// is not considered here: the SM disables fast-forward entirely when an
+// injector is armed.
+func (p *Provider) TickIdle() bool {
+	for s, sh := range p.shards {
+		if len(sh.invalQ) > 0 || len(sh.evictQ) > 0 || len(sh.l1ops) > 0 {
+			return false
+		}
+		for _, q := range sh.preloadQ {
+			if len(q) > 0 {
+				return false
+			}
+		}
+		local := sh.cm.Top()
+		if local < 0 {
+			continue
+		}
+		warp := local*p.cfg.Shards + s
+		w := p.sm.Warps[warp]
+		if w.Finished() || w.AtBarrier() {
+			return false
+		}
+		region := p.comp.RegionAt(w.NextGI())
+		if sh.cm.Fits(p.rotatedUsage(warp, region.BankUsage)) {
+			return false
+		}
+	}
+	return true
+}
+
+// ReplicateStalls implements sim.StallReplicator for the cycle-skip
+// fast-forward: bulk-account the CanIssue refusals a frozen span would
+// have charged.
+func (p *Provider) ReplicateStalls(n uint64) { p.m.StallCycles.Add(n) }

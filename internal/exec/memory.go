@@ -10,12 +10,72 @@
 // induction, not synthesized statistics.
 package exec
 
+import "math/bits"
+
+// The functional memory is paged: 64 KiB pages held in a map keyed by
+// the high address bits, with the last-touched page cached so the
+// streaming access patterns the kernels produce (unit-stride rows,
+// per-warp tiles) hit a two-compare fast path instead of a map lookup
+// per lane. Global pages carry a written bitmap because unwritten words
+// read through the init generator; shared pages don't — their words are
+// zero-initialized, which a zeroed page already encodes.
+const (
+	pageShift = 16                    // 64 KiB of address space per page
+	pageWords = 1 << (pageShift - 2)  // 4-byte words per page
+	pageMask  = uint32(pageWords - 1) // word-index mask within a page
+)
+
+type page struct {
+	vals    [pageWords]uint32
+	written [pageWords / 64]uint64
+}
+
+// pagedMem is one paged address space with a one-entry page cache.
+type pagedMem struct {
+	pages   map[uint32]*page
+	lastKey uint32
+	lastPg  *page
+}
+
+// lookup returns the page containing word address a, or nil if no store
+// has touched it.
+func (p *pagedMem) lookup(a uint32) *page {
+	key := a >> pageShift
+	if pg := p.lastPg; pg != nil && p.lastKey == key {
+		return pg
+	}
+	pg := p.pages[key]
+	if pg != nil {
+		p.lastKey, p.lastPg = key, pg
+	}
+	return pg
+}
+
+// ensure returns the page containing word address a, allocating it on
+// first store.
+func (p *pagedMem) ensure(a uint32) *page {
+	key := a >> pageShift
+	if pg := p.lastPg; pg != nil && p.lastKey == key {
+		return pg
+	}
+	if p.pages == nil {
+		p.pages = make(map[uint32]*page)
+	}
+	pg := p.pages[key]
+	if pg == nil {
+		pg = new(page)
+		p.pages[key] = pg
+	}
+	p.lastKey, p.lastPg = key, pg
+	return pg
+}
+
 // Memory is the functional (value-level) memory: a global space plus one
 // shared-memory space per CTA. Uninitialized global words read through an
 // init generator so loads always return deterministic values.
 type Memory struct {
-	global map[uint32]uint32
-	shared map[int]map[uint32]uint32
+	global pagedMem
+	shared []pagedMem // indexed by CTA
 	init   func(addr uint32) uint32
 }
 
@@ -26,11 +86,7 @@ func NewMemory(init func(addr uint32) uint32) *Memory {
 	if init == nil {
 		init = func(addr uint32) uint32 { return Mix(addr) }
 	}
-	return &Memory{
-		global: make(map[uint32]uint32),
-		shared: make(map[int]map[uint32]uint32),
-		init:   init,
-	}
+	return &Memory{init: init}
 }
 
 // Mix is a deterministic 32-bit hash used for SFU results and default
@@ -49,42 +105,59 @@ func wordAddr(addr uint32) uint32 { return addr &^ 3 }
 // LoadGlobal reads the 32-bit word containing addr.
 func (m *Memory) LoadGlobal(addr uint32) uint32 {
 	a := wordAddr(addr)
-	if v, ok := m.global[a]; ok {
-		return v
+	if pg := m.global.lookup(a); pg != nil {
+		idx := (a >> 2) & pageMask
+		if pg.written[idx>>6]&(1<<(idx&63)) != 0 {
+			return pg.vals[idx]
+		}
 	}
 	return m.init(a)
 }
 
 // StoreGlobal writes the 32-bit word containing addr.
 func (m *Memory) StoreGlobal(addr, val uint32) {
-	m.global[wordAddr(addr)] = val
+	a := wordAddr(addr)
+	pg := m.global.ensure(a)
+	idx := (a >> 2) & pageMask
+	pg.vals[idx] = val
+	pg.written[idx>>6] |= 1 << (idx & 63)
 }
 
 // LoadShared reads from cta's shared memory (zero-initialized).
 func (m *Memory) LoadShared(cta int, addr uint32) uint32 {
-	s := m.shared[cta]
-	if s == nil {
+	if cta >= len(m.shared) {
 		return 0
 	}
-	return s[wordAddr(addr)]
+	a := wordAddr(addr)
+	pg := m.shared[cta].lookup(a)
+	if pg == nil {
+		return 0
+	}
+	return pg.vals[(a>>2)&pageMask]
 }
 
 // StoreShared writes to cta's shared memory.
 func (m *Memory) StoreShared(cta int, addr, val uint32) {
-	s := m.shared[cta]
-	if s == nil {
-		s = make(map[uint32]uint32)
-		m.shared[cta] = s
+	for cta >= len(m.shared) {
+		m.shared = append(m.shared, pagedMem{})
 	}
-	s[wordAddr(addr)] = val
+	a := wordAddr(addr)
+	m.shared[cta].ensure(a).vals[(a>>2)&pageMask] = val
 }
 
 // GlobalStores returns a copy of every explicitly written global word —
 // the kernel's observable output, used by equivalence tests.
 func (m *Memory) GlobalStores() map[uint32]uint32 {
-	out := make(map[uint32]uint32, len(m.global))
-	for k, v := range m.global {
-		out[k] = v
+	out := make(map[uint32]uint32)
+	for key, pg := range m.global.pages {
+		base := key << pageShift
+		for w, mask := range pg.written {
+			for mask != 0 {
+				i := w*64 + bits.TrailingZeros64(mask)
+				out[base+uint32(i)<<2] = pg.vals[i]
+				mask &= mask - 1
+			}
+		}
 	}
 	return out
 }

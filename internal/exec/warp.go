@@ -106,75 +106,180 @@ func (w *Warp) Step() StepInfo {
 	info := StepInfo{PC: pc, Insn: in, Mask: mask}
 	w.stepped++
 
+	// Arithmetic cases carry their own lane loops rather than sharing a
+	// closure-taking helper: the old binop/triop shape cost two indirect
+	// calls per lane (helper -> writeDst -> op), which dominated the
+	// functional step. A full-mask loop with the op inline vectorizes to
+	// straight-line array code.
 	switch in.Op {
 	case isa.OpNOP:
 		w.advance()
 	case isa.OpMOVI:
-		w.writeDst(in.Dst, mask, func(lane int) uint32 { return in.Imm })
+		d := &w.Regs[in.Dst]
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if mask&(1<<uint(lane)) != 0 {
+				d[lane] = in.Imm
+			}
+		}
 		w.advance()
 	case isa.OpTID:
-		w.writeDst(in.Dst, mask, func(lane int) uint32 {
-			return uint32(w.ID*isa.WarpWidth + lane)
-		})
+		d := &w.Regs[in.Dst]
+		base := uint32(w.ID * isa.WarpWidth)
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if mask&(1<<uint(lane)) != 0 {
+				d[lane] = base + uint32(lane)
+			}
+		}
 		w.advance()
 	case isa.OpLANE:
-		w.writeDst(in.Dst, mask, func(lane int) uint32 { return uint32(lane) })
+		d := &w.Regs[in.Dst]
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if mask&(1<<uint(lane)) != 0 {
+				d[lane] = uint32(lane)
+			}
+		}
 		w.advance()
 	case isa.OpWID:
-		w.writeDst(in.Dst, mask, func(lane int) uint32 { return uint32(w.ID) })
+		d := &w.Regs[in.Dst]
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if mask&(1<<uint(lane)) != 0 {
+				d[lane] = uint32(w.ID)
+			}
+		}
 		w.advance()
-	case isa.OpIADD:
-		w.binop(in, mask, func(a, b uint32) uint32 { return a + b })
+	case isa.OpIADD, isa.OpFADD:
+		a, b, d := &w.Regs[in.Src[0]], &w.Regs[in.Src[1]], &w.Regs[in.Dst]
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if mask&(1<<uint(lane)) != 0 {
+				d[lane] = a[lane] + b[lane]
+			}
+		}
+		w.advance()
 	case isa.OpISUB:
-		w.binop(in, mask, func(a, b uint32) uint32 { return a - b })
+		a, b, d := &w.Regs[in.Src[0]], &w.Regs[in.Src[1]], &w.Regs[in.Dst]
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if mask&(1<<uint(lane)) != 0 {
+				d[lane] = a[lane] - b[lane]
+			}
+		}
+		w.advance()
 	case isa.OpIADDI:
-		w.immop(in, mask, func(a, imm uint32) uint32 { return a + imm })
-	case isa.OpIMUL:
-		w.binop(in, mask, func(a, b uint32) uint32 { return a * b })
+		a, d, imm := &w.Regs[in.Src[0]], &w.Regs[in.Dst], in.Imm
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if mask&(1<<uint(lane)) != 0 {
+				d[lane] = a[lane] + imm
+			}
+		}
+		w.advance()
+	case isa.OpIMUL, isa.OpFMUL:
+		a, b, d := &w.Regs[in.Src[0]], &w.Regs[in.Src[1]], &w.Regs[in.Dst]
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if mask&(1<<uint(lane)) != 0 {
+				d[lane] = a[lane] * b[lane]
+			}
+		}
+		w.advance()
 	case isa.OpIMULI:
-		w.immop(in, mask, func(a, imm uint32) uint32 { return a * imm })
-	case isa.OpIMAD:
-		w.triop(in, mask, func(a, b, c uint32) uint32 { return a*b + c })
+		a, d, imm := &w.Regs[in.Src[0]], &w.Regs[in.Dst], in.Imm
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if mask&(1<<uint(lane)) != 0 {
+				d[lane] = a[lane] * imm
+			}
+		}
+		w.advance()
+	case isa.OpIMAD, isa.OpFFMA:
+		a, b, c := &w.Regs[in.Src[0]], &w.Regs[in.Src[1]], &w.Regs[in.Src[2]]
+		d := &w.Regs[in.Dst]
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if mask&(1<<uint(lane)) != 0 {
+				d[lane] = a[lane]*b[lane] + c[lane]
+			}
+		}
+		w.advance()
 	case isa.OpAND:
-		w.binop(in, mask, func(a, b uint32) uint32 { return a & b })
+		a, b, d := &w.Regs[in.Src[0]], &w.Regs[in.Src[1]], &w.Regs[in.Dst]
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if mask&(1<<uint(lane)) != 0 {
+				d[lane] = a[lane] & b[lane]
+			}
+		}
+		w.advance()
 	case isa.OpOR:
-		w.binop(in, mask, func(a, b uint32) uint32 { return a | b })
+		a, b, d := &w.Regs[in.Src[0]], &w.Regs[in.Src[1]], &w.Regs[in.Dst]
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if mask&(1<<uint(lane)) != 0 {
+				d[lane] = a[lane] | b[lane]
+			}
+		}
+		w.advance()
 	case isa.OpXOR:
-		w.binop(in, mask, func(a, b uint32) uint32 { return a ^ b })
+		a, b, d := &w.Regs[in.Src[0]], &w.Regs[in.Src[1]], &w.Regs[in.Dst]
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if mask&(1<<uint(lane)) != 0 {
+				d[lane] = a[lane] ^ b[lane]
+			}
+		}
+		w.advance()
 	case isa.OpSHLI:
-		w.immop(in, mask, func(a, imm uint32) uint32 { return a << (imm & 31) })
+		a, d, sh := &w.Regs[in.Src[0]], &w.Regs[in.Dst], in.Imm&31
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if mask&(1<<uint(lane)) != 0 {
+				d[lane] = a[lane] << sh
+			}
+		}
+		w.advance()
 	case isa.OpSHRI:
-		w.immop(in, mask, func(a, imm uint32) uint32 { return a >> (imm & 31) })
+		a, d, sh := &w.Regs[in.Src[0]], &w.Regs[in.Dst], in.Imm&31
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if mask&(1<<uint(lane)) != 0 {
+				d[lane] = a[lane] >> sh
+			}
+		}
+		w.advance()
 	case isa.OpMIN:
-		w.binop(in, mask, func(a, b uint32) uint32 {
-			if a < b {
-				return a
+		a, b, d := &w.Regs[in.Src[0]], &w.Regs[in.Src[1]], &w.Regs[in.Dst]
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if mask&(1<<uint(lane)) != 0 {
+				v := a[lane]
+				if b[lane] < v {
+					v = b[lane]
+				}
+				d[lane] = v
 			}
-			return b
-		})
+		}
+		w.advance()
 	case isa.OpMAX:
-		w.binop(in, mask, func(a, b uint32) uint32 {
-			if a > b {
-				return a
+		a, b, d := &w.Regs[in.Src[0]], &w.Regs[in.Src[1]], &w.Regs[in.Dst]
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if mask&(1<<uint(lane)) != 0 {
+				v := a[lane]
+				if b[lane] > v {
+					v = b[lane]
+				}
+				d[lane] = v
 			}
-			return b
-		})
+		}
+		w.advance()
 	case isa.OpSELP:
-		w.triop(in, mask, func(a, b, c uint32) uint32 {
-			if c != 0 {
-				return a
+		a, b, c := &w.Regs[in.Src[0]], &w.Regs[in.Src[1]], &w.Regs[in.Src[2]]
+		d := &w.Regs[in.Dst]
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if mask&(1<<uint(lane)) != 0 {
+				if c[lane] != 0 {
+					d[lane] = a[lane]
+				} else {
+					d[lane] = b[lane]
+				}
 			}
-			return b
-		})
-	case isa.OpFADD:
-		w.binop(in, mask, func(a, b uint32) uint32 { return a + b })
-	case isa.OpFMUL:
-		w.binop(in, mask, func(a, b uint32) uint32 { return a * b })
-	case isa.OpFFMA:
-		w.triop(in, mask, func(a, b, c uint32) uint32 { return a*b + c })
+		}
+		w.advance()
 	case isa.OpSFU:
-		src := &w.Regs[in.Src[0]]
-		w.writeDst(in.Dst, mask, func(lane int) uint32 { return Mix(src[lane]) })
+		s, d := &w.Regs[in.Src[0]], &w.Regs[in.Dst]
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if mask&(1<<uint(lane)) != 0 {
+				d[lane] = Mix(s[lane])
+			}
+		}
 		w.advance()
 	case isa.OpLDG, isa.OpLDS:
 		addrs := &w.Regs[in.Src[0]]
@@ -239,36 +344,6 @@ func (w *Warp) Step() StepInfo {
 		panic(fmt.Sprintf("exec: unhandled opcode %v", in.Op))
 	}
 	return info
-}
-
-func (w *Warp) writeDst(dst isa.Reg, mask uint32, f func(lane int) uint32) {
-	regs := &w.Regs[dst]
-	for lane := 0; lane < isa.WarpWidth; lane++ {
-		if mask&(1<<uint(lane)) != 0 {
-			regs[lane] = f(lane)
-		}
-	}
-}
-
-func (w *Warp) binop(in *isa.Instruction, mask uint32, f func(a, b uint32) uint32) {
-	a := &w.Regs[in.Src[0]]
-	b := &w.Regs[in.Src[1]]
-	w.writeDst(in.Dst, mask, func(lane int) uint32 { return f(a[lane], b[lane]) })
-	w.advance()
-}
-
-func (w *Warp) immop(in *isa.Instruction, mask uint32, f func(a, imm uint32) uint32) {
-	a := &w.Regs[in.Src[0]]
-	w.writeDst(in.Dst, mask, func(lane int) uint32 { return f(a[lane], in.Imm) })
-	w.advance()
-}
-
-func (w *Warp) triop(in *isa.Instruction, mask uint32, f func(a, b, c uint32) uint32) {
-	a := &w.Regs[in.Src[0]]
-	b := &w.Regs[in.Src[1]]
-	c := &w.Regs[in.Src[2]]
-	w.writeDst(in.Dst, mask, func(lane int) uint32 { return f(a[lane], b[lane], c[lane]) })
-	w.advance()
 }
 
 // advance moves to the next instruction, following fallthrough at block

@@ -86,6 +86,11 @@ type Options struct {
 	// Faults is a fault-injection plan applied to every simulation (each
 	// run gets its own injector, so corruption replays identically).
 	Faults *faults.Plan
+
+	// NoFastForward steps every cycle instead of skipping provably
+	// frozen spans (differential validation / stepped-path profiling;
+	// results are identical either way).
+	NoFastForward bool
 }
 
 // Default returns the full-scale options (Table 1's 64 warps per SM).
@@ -347,12 +352,13 @@ func (s *Suite) CachedRuns() []*Run {
 
 func (s *Suite) simulate(bench string, scheme Scheme, capacity int) (*Run, error) {
 	smv, rp, err := BuildSM(bench, scheme, SimSetup{
-		Capacity:  capacity,
-		Warps:     s.Opts.Warps,
-		MaxCycles: s.Opts.MaxCycles,
-		Watchdog:  s.Opts.Watchdog,
-		Sanitize:  s.Opts.Sanitize,
-		Faults:    s.Opts.Faults,
+		Capacity:      capacity,
+		Warps:         s.Opts.Warps,
+		MaxCycles:     s.Opts.MaxCycles,
+		Watchdog:      s.Opts.Watchdog,
+		Sanitize:      s.Opts.Sanitize,
+		Faults:        s.Opts.Faults,
+		NoFastForward: s.Opts.NoFastForward,
 	})
 	if err != nil {
 		return nil, err
@@ -393,6 +399,8 @@ type SimSetup struct {
 	// Memory, when non-nil, backs the run's functional state (tests
 	// retain it to compare final stores against the exec reference).
 	Memory *exec.Memory
+	// NoFastForward disables the cycle-skip fast-forward.
+	NoFastForward bool
 }
 
 // BuildSM constructs a ready-to-run SM for (bench, scheme): the shared
@@ -412,6 +420,7 @@ func BuildSM(bench string, scheme Scheme, su SimSetup) (*sim.SM, *core.Provider,
 	if su.Watchdog > 0 {
 		simCfg.WatchdogCycles = su.Watchdog
 	}
+	simCfg.NoFastForward = su.NoFastForward
 
 	var provider sim.Provider
 	var rp *core.Provider

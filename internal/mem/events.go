@@ -1,11 +1,12 @@
 package mem
 
-import "container/heap"
-
 // eventQueue is a min-heap of pending completions ordered by cycle.
-// Events scheduled for the same cycle fire in insertion order.
+// Events scheduled for the same cycle fire in insertion order (the seq
+// tiebreak). Hand-rolled rather than container/heap so the per-event
+// push/pop stays monomorphic in the simulation hot loop, and so the
+// cycle-skip fast-forward can peek the earliest completion.
 type eventQueue struct {
-	h   eventHeap
+	h   []heapItem
 	seq uint64
 }
 
@@ -14,22 +15,25 @@ type heapItem struct {
 	seq uint64
 }
 
-type eventHeap []heapItem
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].cycle != h[j].cycle {
-		return h[i].cycle < h[j].cycle
+func (q *eventQueue) before(a, b heapItem) bool {
+	if a.cycle != b.cycle {
+		return a.cycle < b.cycle
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(heapItem)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
 
 func (q *eventQueue) push(e event) {
 	q.seq++
-	heap.Push(&q.h, heapItem{event: e, seq: q.seq})
+	q.h = append(q.h, heapItem{event: e, seq: q.seq})
+	i := len(q.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.before(q.h[i], q.h[parent]) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
 }
 
 // popDue removes and returns the next event due at or before now.
@@ -37,8 +41,36 @@ func (q *eventQueue) popDue(now uint64) (func(), bool) {
 	if len(q.h) == 0 || q.h[0].cycle > now {
 		return nil, false
 	}
-	it := heap.Pop(&q.h).(heapItem)
-	return it.fn, true
+	fn := q.h[0].fn
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h[n] = heapItem{} // release the fn for GC
+	q.h = q.h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.before(q.h[l], q.h[min]) {
+			min = l
+		}
+		if r < n && q.before(q.h[r], q.h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q.h[i], q.h[min] = q.h[min], q.h[i]
+		i = min
+	}
+	return fn, true
+}
+
+// nextCycle peeks the earliest scheduled completion (ok=false when empty).
+func (q *eventQueue) nextCycle() (uint64, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].cycle, true
 }
 
 func (q *eventQueue) len() int { return len(q.h) }

@@ -298,6 +298,38 @@ func (h *Hierarchy) after(delay int, fn func()) {
 	h.events.push(event{cycle: h.now + uint64(delay), fn: fn})
 }
 
+// NextWake returns the earliest future cycle at which the hierarchy can
+// change observable state on its own: the next scheduled completion, plus
+// — when the caller has a data access waiting to retry (dataWaiting) —
+// the cycle the injection port frees. ok=false means no self-driven
+// activity is pending. Used by the SM's cycle-skip fast-forward.
+func (h *Hierarchy) NextWake(dataWaiting bool) (uint64, bool) {
+	wake, ok := h.events.nextCycle()
+	if dataWaiting && h.dataInFlight < h.cfg.DataQueueDepth {
+		// The port frees at dataNextFree; a retry then succeeds (queue
+		// depth permitting). If the port is already free the retry
+		// succeeds next cycle.
+		t := h.dataNextFree
+		if t <= h.now {
+			t = h.now + 1
+		}
+		if !ok || t < wake {
+			wake, ok = t, true
+		}
+	}
+	return wake, ok
+}
+
+// FastForwardTo jumps the hierarchy clock to cycle without ticking the
+// intermediate cycles. The caller guarantees no event is due at or before
+// cycle (the fast-forward wake computation stops short of the earliest
+// completion), so skipped cycles are provably inert.
+func (h *Hierarchy) FastForwardTo(cycle uint64) {
+	if cycle > h.now {
+		h.now = cycle
+	}
+}
+
 func align(addr uint32) uint32 { return addr &^ (LineSize - 1) }
 
 func (h *Hierarchy) countL1(write bool) {

@@ -76,3 +76,9 @@ func (b *Baseline) Drained() bool { return true }
 
 // Stats implements sim.Provider.
 func (b *Baseline) Stats() *sim.ProviderStats { return b.m.Stats() }
+
+// HotHints implements sim.HintedProvider: the full RF never gates issue
+// and has no per-cycle machinery or writeback work.
+func (b *Baseline) HotHints() sim.HotPathHints {
+	return sim.HotPathHints{AlwaysIssuable: true, PassiveTick: true, PassiveWriteback: true}
+}

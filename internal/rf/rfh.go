@@ -124,3 +124,9 @@ func (h *RFH) Drained() bool { return true }
 
 // Stats implements sim.Provider.
 func (h *RFH) Stats() *sim.ProviderStats { return h.m.Stats() }
+
+// HotHints implements sim.HintedProvider: RFH never gates issue and has
+// no per-cycle machinery or writeback work.
+func (h *RFH) HotHints() sim.HotPathHints {
+	return sim.HotPathHints{AlwaysIssuable: true, PassiveTick: true, PassiveWriteback: true}
+}

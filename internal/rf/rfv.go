@@ -179,3 +179,10 @@ func (v *RFV) LiveMapped() int { return v.physRegs - v.free }
 
 // Spills returns the victimization count (tests and experiments).
 func (v *RFV) Spills() uint64 { return v.spills }
+
+// HotHints implements sim.HintedProvider: RFV never gates issue (pressure
+// shows up as OnIssue penalties) and has no per-cycle machinery or
+// writeback work.
+func (v *RFV) HotHints() sim.HotPathHints {
+	return sim.HotPathHints{AlwaysIssuable: true, PassiveTick: true, PassiveWriteback: true}
+}

@@ -65,23 +65,23 @@ func classifyScan(sm *SM, warps []*Warp) (events.StallReason, int) {
 // classifyWarp mirrors ready()'s hazard checks without its counter side
 // effects: the first failing check, in issue order, is the warp's reason.
 func (sm *SM) classifyWarp(w *Warp) events.StallReason {
-	if w.finished {
+	id := w.ID
+	if sm.wFlags[id]&warpFinished != 0 {
 		return events.StallIdle
 	}
-	if w.atBarrier {
+	if sm.wFlags[id]&warpAtBarrier != 0 {
 		return events.StallBarrier
 	}
-	if w.stallUntil > sm.cycle {
+	if sm.wStallUntil[id] > sm.cycle {
 		return events.StallConflict
 	}
-	in := w.Exec.Insn()
-	if !w.scoreboardReady(in) {
+	if !sm.sbReady(id) {
 		if w.pendingMem > 0 {
 			return events.StallMemory
 		}
 		return events.StallScoreboard
 	}
-	switch in.Op.ClassOf() {
+	switch sm.wClass[id] {
 	case isa.ClassMemGlobal:
 		if !sm.lsu.hasRoom() {
 			return events.StallLSU

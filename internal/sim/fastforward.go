@@ -1,0 +1,193 @@
+package sim
+
+import "repro/internal/events"
+
+// Cycle-skip fast-forward: when a stepped cycle issues nothing and every
+// component is provably frozen, the SM jumps straight to the cycle before
+// the earliest wakeup instead of stepping the inert span cycle by cycle.
+//
+// Soundness argument. A cycle's observable work comes from (a) due timing
+// events — the SM wheel (writebacks, provider callbacks) and the memory
+// hierarchy's event heap, (b) the LSU injecting lines, (c) the provider's
+// Tick machinery, and (d) the issue scan. After a zero-issue cycle the
+// scan's outcome is a pure function of state that only (a)-(c) can change:
+// barrier releases and window tracking need an issue, GTO and LRR mutate
+// their structures only on a successful pick, and per-warp stall timers
+// are compared against the clock. The two-level scheduler is the
+// exception — its demote/promote pass can rotate pending order on
+// zero-issue cycles (barrier-stalled warps churn through the active set)
+// — so each group's scheduler must additionally report frozen() before a
+// skip. So the machine stays frozen until the earliest of:
+// the next wheel event, the next memory event (or data-port retry slot
+// when the LSU is waiting), the first warp stall timer to expire, and the
+// first SFU issue interval to expire. The skip stops one cycle short of
+// that minimum and the next stepped cycle performs the wakeup normally.
+//
+// The skipped cycles still happened architecturally: every per-cycle
+// counter the stepped span would have bumped is replicated (the frozen
+// scan repeats the same scoreboard/provider rejections every cycle — the
+// step captured them in scanSB/scanProv), metrics windows are closed at
+// every WindowSize boundary the skip crosses, the LSU's one rejected
+// injection per cycle is charged, attributed stall events are replayed
+// per cycle when a recorder listens, and the watchdog trip cycle caps the
+// jump so a hung machine diagnoses at the same cycle it would have when
+// stepped. A byte-identical run, minus the time.
+
+// noWake is the "no wakeup source" sentinel for the target computation.
+const noWake = ^uint64(0)
+
+// TryFastForward attempts a cycle skip after a step. It returns the
+// number of cycles skipped (0 when any gate fails or the machine wakes
+// next cycle anyway). Call it between StepOne and the next cycle's step;
+// Run and trace.Run do.
+func (sm *SM) TryFastForward() uint64 {
+	// Gates: the feature is on, no fault injector is armed (faults fire
+	// on wall-clock cycles inside provider ticks), this cycle issued
+	// nothing (an issue moves architectural state: windows, barriers,
+	// scheduler structures), and the provider is provably idle — either
+	// hint-passive or reporting TickIdle on its current state.
+	if sm.Cfg.NoFastForward || sm.flt != nil || sm.lastProgress == sm.cycle {
+		return 0
+	}
+	if !sm.passiveTick {
+		ti, ok := sm.Provider.(TickIdler)
+		if !ok || !ti.TickIdle() {
+			return 0
+		}
+	}
+	if sm.Done() {
+		return 0
+	}
+	// Every group's scheduler must be mutation-free on failed picks for
+	// the span (two-level demote/promote churns on zero-issue cycles).
+	for g := 0; g < sm.Cfg.Schedulers; g++ {
+		if !sm.sched.frozen(g, sm) {
+			return 0
+		}
+	}
+
+	target := sm.wakeTarget()
+	if target == noWake || target <= sm.cycle+1 {
+		return 0
+	}
+	n := target - 1 - sm.cycle
+	sm.replicateSkip(target - 1)
+	sm.Stats.FFSkippedCycles += n
+	sm.Stats.FFJumps++
+	return n
+}
+
+// wakeTarget computes the earliest future cycle at which the frozen
+// machine can change state, capped by the watchdog trip cycle and the
+// MaxCycles abort so abnormal terminations keep their stepped-run cycle
+// numbers. Sources may be conservative (an early wakeup just steps one
+// inert cycle and fast-forwards again); missing one would be unsound.
+func (sm *SM) wakeTarget() uint64 {
+	target := noWake
+	if t, ok := sm.wheel.nextCycle(); ok && t < target {
+		target = t
+	}
+	if t, ok := sm.Mem.NextWake(!sm.lsu.empty()); ok && t < target {
+		target = t
+	}
+	// Warp stall timers: only live, non-barrier warps can wake this way
+	// (a barrier release needs another warp's issue, which needs one of
+	// the other wakeup sources first).
+	for id := range sm.wFlags {
+		if sm.wFlags[id] == 0 {
+			if t := sm.wStallUntil[id]; t > sm.cycle && t < target {
+				target = t
+			}
+		}
+	}
+	for _, t := range sm.sfuNextIssue {
+		if t > sm.cycle && t < target {
+			target = t
+		}
+	}
+	if wd := sm.Cfg.WatchdogCycles; wd > 0 && !sm.allDone() {
+		if trip := sm.lastProgress + wd + 1; trip < target {
+			target = trip
+		}
+	}
+	if mc := sm.Cfg.MaxCycles; mc > 0 && target > mc {
+		target = mc
+	}
+	return target
+}
+
+// replicateSkip advances sm.cycle to end, replaying everything the
+// stepped span would have recorded: per-group no-issue and rejection
+// counters (the frozen scan tallies times the span length), provider
+// stall accounting, the LSU's one rejected data injection per cycle,
+// metrics-window closes at every boundary crossed, and per-cycle stall
+// attribution events when a recorder listens.
+func (sm *SM) replicateSkip(end uint64) {
+	var sumProv uint64
+	for g := 0; g < sm.Cfg.Schedulers; g++ {
+		sumProv += uint64(sm.scanProv[g])
+	}
+	lsuWaiting := !sm.lsu.empty()
+
+	recSched := sm.Rec.Enabled(events.MaskSched)
+	if recSched {
+		if sm.ffReason == nil {
+			sm.ffReason = make([]events.StallReason, sm.Cfg.Schedulers)
+			sm.ffCulprit = make([]int, sm.Cfg.Schedulers)
+		}
+		// The attribution is a pure function of the frozen state:
+		// compute it once (sm.cycle still on the stepped cycle) and
+		// replay it for every skipped cycle.
+		for g := 0; g < sm.Cfg.Schedulers; g++ {
+			sm.ffReason[g], sm.ffCulprit[g] = sm.stallReason(g)
+		}
+	}
+
+	ws := uint64(0)
+	if sm.Cfg.WindowSize > 0 {
+		ws = uint64(sm.Cfg.WindowSize)
+	}
+	for sm.cycle < end {
+		next := end
+		if ws > 0 {
+			if b := sm.cycle + ws - sm.cycle%ws; b < next {
+				next = b
+			}
+		}
+		seg := next - sm.cycle
+		for g := 0; g < sm.Cfg.Schedulers; g++ {
+			sm.mNoIssue[g].Add(seg)
+			if c := uint64(sm.scanSB[g]); c > 0 {
+				sm.mScoreboard[g].Add(seg * c)
+			}
+			if c := uint64(sm.scanProv[g]); c > 0 {
+				sm.mProviderStall[g].Add(seg * c)
+			}
+		}
+		if sumProv > 0 {
+			sm.Stats.IssueStalls += seg * sumProv
+			if sr, ok := sm.Provider.(StallReplicator); ok {
+				sr.ReplicateStalls(seg * sumProv)
+			}
+		}
+		if lsuWaiting {
+			// Each stepped cycle would have retried queue-head injection
+			// exactly once and been rejected (the wake target stops short
+			// of the cycle the port or queue frees).
+			sm.Mem.Stats.DataRejects += seg
+		}
+		if recSched {
+			for c := sm.cycle + 1; c <= next; c++ {
+				sm.Rec.SetCycle(c)
+				for g := 0; g < sm.Cfg.Schedulers; g++ {
+					sm.Rec.Stall(g, sm.ffReason[g], sm.ffCulprit[g])
+				}
+			}
+		}
+		sm.cycle = next
+		if ws > 0 && next%ws == 0 {
+			sm.closeWindow()
+		}
+	}
+	sm.Mem.FastForwardTo(end)
+}

@@ -9,19 +9,31 @@ import (
 // whose line requests drain into the bypassing L2 path as the interconnect
 // accepts them. One memory instruction is accepted per issue (the SM's
 // single LSU port); its lines may take several cycles to inject.
+//
+// Ops are pooled and their line list is an inline array (a warp has at
+// most WarpWidth lanes, so at most WarpWidth distinct lines), so the
+// steady state performs no allocation per memory instruction — the fresh
+// []uint32 per coalesce call the profiles surfaced is gone.
 type lsu struct {
 	sm    *SM
 	queue []*memOp
 	cap   int
+	free  *memOp
 }
 
 type memOp struct {
 	w         *Warp
 	dst       isa.Reg // NoReg for stores
 	write     bool
-	lines     []uint32
+	lines     [isa.WarpWidth]uint32
+	nLines    int
 	submitted int
 	remaining int
+	// done is the completion callback handed to the memory system; bound
+	// to the op once at first allocation so pooled reuse allocates no
+	// closures.
+	done func(mem.Source)
+	next *memOp // pool free list
 }
 
 func newLSU(sm *SM, capacity int) *lsu {
@@ -32,12 +44,40 @@ func (l *lsu) hasRoom() bool { return len(l.queue) < l.cap }
 
 func (l *lsu) empty() bool { return len(l.queue) == 0 }
 
-// submit enqueues a coalesced memory instruction. Lines must be non-empty
-// unless every lane was inactive (then the op completes immediately).
-func (l *lsu) submit(w *Warp, dst isa.Reg, lines []uint32, write bool) {
-	op := &memOp{w: w, dst: dst, write: write, lines: lines, remaining: len(lines)}
-	if len(lines) == 0 {
+func (l *lsu) alloc() *memOp {
+	op := l.free
+	if op == nil {
+		op = &memOp{}
+		op.done = func(mem.Source) {
+			op.remaining--
+			if op.remaining == 0 {
+				l.finish(op)
+				l.release(op)
+			}
+		}
+		return op
+	}
+	l.free = op.next
+	return op
+}
+
+func (l *lsu) release(op *memOp) {
+	op.w = nil
+	op.next = l.free
+	l.free = op
+}
+
+// submit coalesces one memory instruction's lane addresses and enqueues
+// it. With no active lanes the op completes immediately.
+func (l *lsu) submit(w *Warp, dst isa.Reg, addrs []uint32, write bool) {
+	op := l.alloc()
+	op.w, op.dst, op.write = w, dst, write
+	op.nLines = coalesceInto(&op.lines, addrs)
+	op.submitted, op.remaining = 0, op.nLines
+	l.sm.Stats.MemLines += uint64(op.nLines)
+	if op.nLines == 0 {
 		l.finish(op)
+		l.release(op)
 		return
 	}
 	l.queue = append(l.queue, op)
@@ -48,15 +88,8 @@ func (l *lsu) submit(w *Warp, dst isa.Reg, lines []uint32, write bool) {
 func (l *lsu) tick() {
 	for len(l.queue) > 0 {
 		op := l.queue[0]
-		for op.submitted < len(op.lines) {
-			line := op.lines[op.submitted]
-			accepted := l.sm.Mem.DataAccess(line, op.write, func(mem.Source) {
-				op.remaining--
-				if op.remaining == 0 {
-					l.finish(op)
-				}
-			})
-			if !accepted {
+		for op.submitted < op.nLines {
+			if !l.sm.Mem.DataAccess(op.lines[op.submitted], op.write, op.done) {
 				return
 			}
 			op.submitted++
@@ -70,4 +103,25 @@ func (l *lsu) finish(op *memOp) {
 	if !op.write && op.dst.Valid() {
 		op.w.completePending(op.dst, true)
 	}
+}
+
+// coalesceInto groups per-lane byte addresses into distinct 128 B lines,
+// writing them into the caller's inline buffer; returns the line count.
+func coalesceInto(lines *[isa.WarpWidth]uint32, addrs []uint32) int {
+	n := 0
+	for _, a := range addrs {
+		ln := a &^ (mem.LineSize - 1)
+		found := false
+		for i := 0; i < n; i++ {
+			if lines[i] == ln {
+				found = true
+				break
+			}
+		}
+		if !found {
+			lines[n] = ln
+			n++
+		}
+	}
+	return n
 }

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// coalesceAlloc is the retired implementation kept as the benchmark
+// baseline: it grew a fresh []uint32 per memory instruction — one
+// allocation (often several, through append growth) on every global
+// load/store the SM issued.
+func coalesceAlloc(addrs []uint32) []uint32 {
+	var lines []uint32
+	for _, a := range addrs {
+		l := a &^ (mem.LineSize - 1)
+		found := false
+		for _, x := range lines {
+			if x == l {
+				found = true
+				break
+			}
+		}
+		if !found {
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}
+
+// benchAddrs returns the three lane-address shapes that dominate the
+// suite: fully coalesced (one line), strided (a line per lane), and a
+// mixed pattern (a few lines, repeated hits).
+func benchAddrs() map[string][]uint32 {
+	coalesced := make([]uint32, isa.WarpWidth)
+	strided := make([]uint32, isa.WarpWidth)
+	mixed := make([]uint32, isa.WarpWidth)
+	for i := range coalesced {
+		coalesced[i] = 0x100000 + uint32(i)*4
+		strided[i] = 0x100000 + uint32(i)*mem.LineSize
+		mixed[i] = 0x100000 + uint32(i%4)*mem.LineSize + uint32(i)*4
+	}
+	return map[string][]uint32{"coalesced": coalesced, "strided": strided, "mixed": mixed}
+}
+
+// BenchmarkCoalesce measures the scratch-buffer path the LSU uses now:
+// zero allocations per memory instruction.
+func BenchmarkCoalesce(b *testing.B) {
+	for name, addrs := range benchAddrs() {
+		b.Run(name, func(b *testing.B) {
+			var lines [isa.WarpWidth]uint32
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if coalesceInto(&lines, addrs) == 0 {
+					b.Fatal("no lines")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCoalesceAlloc measures the retired allocating implementation
+// for before/after comparison.
+func BenchmarkCoalesceAlloc(b *testing.B) {
+	for name, addrs := range benchAddrs() {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(coalesceAlloc(addrs)) == 0 {
+					b.Fatal("no lines")
+				}
+			}
+		})
+	}
+}
+
+// TestCoalesceMatchesRetiredImplementation pins the scratch-buffer path
+// to the allocating one it replaced, shape by shape.
+func TestCoalesceMatchesRetiredImplementation(t *testing.T) {
+	for name, addrs := range benchAddrs() {
+		var lines [isa.WarpWidth]uint32
+		n := coalesceInto(&lines, addrs)
+		want := coalesceAlloc(addrs)
+		if n != len(want) {
+			t.Fatalf("%s: %d lines, want %d", name, n, len(want))
+		}
+		for i := range want {
+			if lines[i] != want[i] {
+				t.Fatalf("%s: line %d = %#x, want %#x", name, i, lines[i], want[i])
+			}
+		}
+	}
+}

@@ -101,3 +101,46 @@ type ProviderStats struct {
 func (s *ProviderStats) Preloads() uint64 {
 	return s.PreloadFromOSU + s.PreloadFromCompressor + s.PreloadFromL1 + s.PreloadFromL2DRAM
 }
+
+// HotPathHints devirtualizes the per-cycle provider dispatch: the provider
+// set is closed (baseline/RFV/RFH/RegLess), and the three RF-style
+// providers have an unconditional CanIssue and no-op Tick/OnWriteback — so
+// the SM skips those interface calls entirely on its hot path instead of
+// paying a dynamic dispatch per warp per cycle. Hints are capability
+// declarations, not tuning knobs: set a field only when the corresponding
+// method is a provable no-op for the provider's whole lifetime.
+type HotPathHints struct {
+	// AlwaysIssuable: CanIssue returns true unconditionally (no gating,
+	// no counter side effects).
+	AlwaysIssuable bool
+	// PassiveTick: Tick is a no-op (no internal machinery to advance).
+	PassiveTick bool
+	// PassiveWriteback: OnWriteback is a no-op.
+	PassiveWriteback bool
+}
+
+// HintedProvider is an optional Provider refinement publishing hot-path
+// hints; providers that do not implement it get the all-false (fully
+// virtual) treatment.
+type HintedProvider interface {
+	HotHints() HotPathHints
+}
+
+// TickIdler is an optional Provider refinement for the cycle-skip
+// fast-forward: TickIdle reports that, with the rest of the machine
+// frozen, the provider's Tick is a provable no-op — no queued work, no
+// activation that could succeed — so skipping its Tick calls cannot
+// change behavior. Providers with PassiveTick are idle by construction
+// and need not implement this.
+type TickIdler interface {
+	TickIdle() bool
+}
+
+// StallReplicator is an optional Provider refinement for the cycle-skip
+// fast-forward: the SM bulk-replays the provider-refusal stall cycles a
+// skipped span would have accumulated (CanIssue refusals count
+// Stats().StallCycles per probe, and a frozen span repeats the same
+// probes every cycle).
+type StallReplicator interface {
+	ReplicateStalls(n uint64)
+}

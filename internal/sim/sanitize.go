@@ -98,10 +98,7 @@ func (sm *SM) CheckHealth() error {
 // with the per-register counters and no warp is in an impossible state.
 func (sm *SM) checkWarps() error {
 	for _, w := range sm.Warps {
-		sum := 0
-		for _, p := range w.pending {
-			sum += int(p)
-		}
+		sum := sm.pendingCount(w.ID)
 		if sum != w.pendingTotal {
 			return fmt.Errorf("warp %d: scoreboard counters sum to %d but pending total is %d",
 				w.ID, sum, w.pendingTotal)
@@ -110,7 +107,7 @@ func (sm *SM) checkWarps() error {
 			return fmt.Errorf("warp %d: pending mem writes %d outside [0,%d]",
 				w.ID, w.pendingMem, w.pendingTotal)
 		}
-		if w.finished && w.atBarrier {
+		if w.Finished() && w.AtBarrier() {
 			return fmt.Errorf("warp %d: finished while waiting at a barrier", w.ID)
 		}
 	}
@@ -135,8 +132,8 @@ func (sm *SM) diagnose(d *sanitizer.Diagnostic) *sanitizer.Diagnostic {
 			ID:            w.ID,
 			Group:         w.Group,
 			Region:        -1,
-			Finished:      w.finished,
-			AtBarrier:     w.atBarrier,
+			Finished:      w.Finished(),
+			AtBarrier:     w.AtBarrier(),
 			PendingWrites: w.pendingTotal,
 			LastIssue:     w.lastIssue,
 		}
@@ -144,7 +141,7 @@ func (sm *SM) diagnose(d *sanitizer.Diagnostic) *sanitizer.Diagnostic {
 			wd.State, wd.Region = wr.WarpDiag(w.ID)
 		}
 		d.Warps = append(d.Warps, wd)
-		if !w.finished {
+		if !w.Finished() {
 			counts[sm.classifyWarp(w)]++
 		}
 	}

@@ -3,34 +3,52 @@ package sim
 // scheduler picks the warp a scheduler group issues from each cycle.
 // candidates exposes the warps pick actually considered this cycle so
 // stall attribution classifies the same set (the two-level scheduler
-// restricts issue to its active set).
+// restricts issue to its active set). frozen reports that a failed pick
+// on a machine whose warp state cannot change mutates no scheduler
+// state — the cycle-skip fast-forward may only jump a group whose
+// scheduler is frozen, or the post-skip pick order diverges from a
+// stepped run's.
+//
+// The hot pick scans walk packed warp-ID slices (SM.groupIDs) rather
+// than Warp pointers: a ready test against a blocked warp touches only
+// the SM's SoA arrays, so a fully stalled group costs a handful of
+// contiguous loads instead of a pointer chase per candidate.
 type scheduler interface {
 	pick(group int, sm *SM) *Warp
 	candidates(group int) []*Warp
+	frozen(group int, sm *SM) bool
 }
 
 // gto is greedy-then-oldest: keep issuing from the current warp until it
 // stalls, then switch to the oldest ready warp (smallest ID — all warps
 // launch together).
 type gto struct {
-	current []*Warp // per group
+	current []int32 // per group; -1 when unset
+	ids     [][]int32
 	groups  [][]*Warp
 }
 
-func newGTO(groups [][]*Warp) *gto {
-	return &gto{current: make([]*Warp, len(groups)), groups: groups}
+func newGTO(sm *SM) *gto {
+	cur := make([]int32, len(sm.groups))
+	for i := range cur {
+		cur[i] = -1
+	}
+	return &gto{current: cur, ids: sm.groupIDs, groups: sm.groups}
 }
 
 func (s *gto) candidates(g int) []*Warp { return s.groups[g] }
 
+// frozen: a failed GTO pick leaves current untouched.
+func (s *gto) frozen(int, *SM) bool { return true }
+
 func (s *gto) pick(g int, sm *SM) *Warp {
-	if cur := s.current[g]; cur != nil && sm.ready(cur) {
-		return cur
+	if cur := s.current[g]; cur >= 0 && sm.ready(g, cur) {
+		return sm.Warps[cur]
 	}
-	for _, w := range s.groups[g] {
-		if sm.ready(w) {
-			s.current[g] = w
-			return w
+	for _, id := range s.ids[g] {
+		if sm.ready(g, id) {
+			s.current[g] = id
+			return sm.Warps[id]
 		}
 	}
 	return nil
@@ -67,29 +85,53 @@ func newTwoLevel(groups [][]*Warp, size int) *twoLevel {
 // cycle, so demotions and promotions have already settled.
 func (s *twoLevel) candidates(g int) []*Warp { return s.active[g] }
 
+// frozen reports that the next pick will not demote or promote anything.
+// Not guaranteed even on a fully stalled machine: promote admits warps
+// that are at a barrier (it only filters memory blocking), and pick
+// demotes them again next cycle, so barrier-heavy groups rotate pending
+// order every cycle without issuing. All inputs (finished, barrier,
+// scoreboard) are fixed while no warp issues and no event fires, so one
+// check covers the whole prospective skip span.
+func (s *twoLevel) frozen(g int, sm *SM) bool {
+	act := s.active[g]
+	for _, w := range act {
+		if sm.wFlags[w.ID] != 0 || w.MemoryBlocked() {
+			return false // a demotion is due next pick
+		}
+	}
+	if len(act) < s.size {
+		for _, w := range s.pending[g] {
+			if w.Finished() || !w.MemoryBlocked() {
+				return false // promote would remove or pop this warp
+			}
+		}
+	}
+	return true
+}
+
 func (s *twoLevel) pick(g int, sm *SM) *Warp {
 	// Demote active warps that are finished or stalled on long-latency
 	// events (memory, barriers); promotable pending warps replace them.
 	act := s.active[g]
 	for i := 0; i < len(act); i++ {
 		w := act[i]
-		if !w.finished && !w.MemoryBlocked() && !w.atBarrier {
+		if sm.wFlags[w.ID] == 0 && !w.MemoryBlocked() {
 			continue
 		}
 		if next := s.promote(g); next != nil {
 			if lat := uint64(sm.Cfg.PromoteLatency); lat > 0 {
-				if t := sm.Cycle() + lat; t > next.stallUntil {
-					next.stallUntil = t
+				if t := sm.Cycle() + lat; t > sm.wStallUntil[next.ID] {
+					sm.wStallUntil[next.ID] = t
 				}
 			}
 			act[i] = next
-			if !w.finished {
+			if !w.Finished() {
 				s.pending[g] = append(s.pending[g], w)
 			}
 		} else {
 			// Nothing promotable now: drop the slot (it is refilled
 			// below once a pending warp unblocks).
-			if !w.finished {
+			if !w.Finished() {
 				s.pending[g] = append(s.pending[g], w)
 			}
 			act = append(act[:i], act[i+1:]...)
@@ -104,31 +146,35 @@ func (s *twoLevel) pick(g int, sm *SM) *Warp {
 			break
 		}
 		if lat := uint64(sm.Cfg.PromoteLatency); lat > 0 {
-			if t := sm.Cycle() + lat; t > next.stallUntil {
-				next.stallUntil = t
+			if t := sm.Cycle() + lat; t > sm.wStallUntil[next.ID] {
+				sm.wStallUntil[next.ID] = t
 			}
 		}
 		act = append(act, next)
 	}
 	s.active[g] = act
 	for _, w := range act {
-		if sm.ready(w) {
+		if sm.ready(g, int32(w.ID)) {
 			return w
 		}
 	}
 	return nil
 }
 
-// promote pops the first pending warp that can make progress.
+// promote pops the first pending warp that can make progress. Removal is
+// in place (order-preserving copy-down) — the full-slice-expression append
+// it replaced allocated a fresh backing array per promotion.
 func (s *twoLevel) promote(g int) *Warp {
 	pend := s.pending[g]
 	for i, w := range pend {
-		if w.finished {
-			s.pending[g] = append(pend[:i:i], pend[i+1:]...)
+		if w.Finished() {
+			copy(pend[i:], pend[i+1:])
+			s.pending[g] = pend[:len(pend)-1]
 			return s.promote(g)
 		}
 		if !w.MemoryBlocked() {
-			s.pending[g] = append(pend[:i:i], pend[i+1:]...)
+			copy(pend[i:], pend[i+1:])
+			s.pending[g] = pend[:len(pend)-1]
 			return w
 		}
 	}
@@ -139,23 +185,27 @@ func (s *twoLevel) promote(g int) *Warp {
 // issuer, giving every ready warp an equal share of issue slots.
 type lrr struct {
 	next   []int
+	ids    [][]int32
 	groups [][]*Warp
 }
 
-func newLRR(groups [][]*Warp) *lrr {
-	return &lrr{next: make([]int, len(groups)), groups: groups}
+func newLRR(sm *SM) *lrr {
+	return &lrr{next: make([]int, len(sm.groups)), ids: sm.groupIDs, groups: sm.groups}
 }
 
 func (s *lrr) candidates(g int) []*Warp { return s.groups[g] }
 
+// frozen: a failed LRR pick leaves next untouched.
+func (s *lrr) frozen(int, *SM) bool { return true }
+
 func (s *lrr) pick(g int, sm *SM) *Warp {
-	grp := s.groups[g]
-	n := len(grp)
+	ids := s.ids[g]
+	n := len(ids)
 	for i := 0; i < n; i++ {
-		w := grp[(s.next[g]+i)%n]
-		if sm.ready(w) {
+		id := ids[(s.next[g]+i)%n]
+		if sm.ready(g, id) {
 			s.next[g] = (s.next[g] + i + 1) % n
-			return w
+			return sm.Warps[id]
 		}
 	}
 	return nil

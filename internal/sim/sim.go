@@ -12,6 +12,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/cfg"
 	"repro/internal/events"
@@ -85,6 +86,12 @@ type Config struct {
 	// disables). It fires far sooner than MaxCycles and produces a full
 	// Diagnostic instead of a bare overrun error.
 	WatchdogCycles uint64
+
+	// NoFastForward disables the cycle-skip fast-forward (fastforward.go),
+	// stepping every cycle even when the machine is provably frozen. The
+	// results are identical either way; the switch exists for differential
+	// validation and for profiling the stepped path.
+	NoFastForward bool
 }
 
 // DefaultConfig returns the Table 1 SM configuration.
@@ -131,6 +138,13 @@ type Stats struct {
 	// BackingSeries samples the provider's backing-store accesses per
 	// window over time (Figure 3).
 	BackingSeries []uint64
+
+	// FFSkippedCycles counts cycles covered by fast-forward jumps and
+	// FFJumps the jumps themselves (fastforward.go). Deliberately not
+	// bound into the metrics registry: a fast-forwarded run must export
+	// byte-identical window snapshots to a stepped one.
+	FFSkippedCycles uint64
+	FFJumps         uint64
 }
 
 // IPC returns retired instructions per cycle.
@@ -148,14 +162,6 @@ func (s *Stats) SIMTEfficiency() float64 {
 		return 0
 	}
 	return float64(s.ActiveLanes) / float64(s.DynInsns*isa.WarpWidth)
-}
-
-func popcount32(m uint32) int {
-	n := 0
-	for ; m != 0; m &= m - 1 {
-		n++
-	}
-	return n
 }
 
 // SM is one streaming multiprocessor.
@@ -185,8 +191,21 @@ type SM struct {
 	prober IssueProber
 
 	groups [][]*Warp
-	sched  scheduler
-	lsu    *lsu
+	// groupIDs mirrors groups as packed warp IDs: the per-cycle pick scan
+	// walks these instead of chasing Warp pointers (a ready test touches
+	// only the SoA arrays, indexed by ID).
+	groupIDs [][]int32
+	sched    scheduler
+	lsu      *lsu
+
+	// Devirtualized hot-path dispatch, resolved once at construction:
+	// pickFn is the concrete scheduler's pick (no itab lookup per group
+	// per cycle) and the hint flags elide provider calls that are
+	// provable no-ops (HotPathHints).
+	pickFn         func(int, *SM) *Warp
+	alwaysIssuable bool
+	passiveTick    bool
+	passiveWB      bool
 
 	// Per-scheduler-group issue accounting (cycles with an issue, cycles
 	// without, scoreboard rejections, provider staging rejections).
@@ -195,9 +214,40 @@ type SM struct {
 	mScoreboard    []metrics.Counter
 	mProviderStall []metrics.Counter
 
-	cycle     uint64
-	calendar  map[uint64][]func()
-	atBarrier []bool
+	cycle uint64
+	wheel eventWheel
+
+	// Struct-of-arrays warp hot state, indexed by warp ID (see Warp).
+	// wPending and wNeed are maskWords 64-bit words per warp; wInsn and
+	// wClass cache the decoded next instruction so the ready-scan never
+	// re-derives it.
+	wFlags      []uint8
+	wStallUntil []uint64
+	wClass      []isa.Class
+	wInsn       []*isa.Instruction
+	wPending    []uint64
+	wNeed       []uint64
+	maskWords   int
+
+	// Per-cycle ready-scan tallies (zeroed each step): how many
+	// scoreboard and provider rejections each group's pick scan charged
+	// this cycle. The cycle-skip fast-forward replays these for skipped
+	// cycles so counters stay byte-identical with a stepped run.
+	scanSB   []uint32
+	scanProv []uint32
+
+	// CTA barrier accounting: warps waiting / alive per CTA, plus the
+	// CTAs whose counters changed this cycle (barrier release is only
+	// re-evaluated for those, replacing the per-cycle full scan).
+	ctaAt       []int32
+	ctaLive     []int32
+	ctaDirty    []int32
+	ctaDirtyFlg []bool
+
+	// Fast-forward stall-replay scratch (allocated on first use; only a
+	// recorder-attached run needs it).
+	ffReason  []events.StallReason
+	ffCulprit []int
 
 	// Sanitizer / fault-injection state (nil when disabled; the healthy
 	// path costs two nil checks and one compare per cycle).
@@ -208,11 +258,14 @@ type SM struct {
 
 	sfuNextIssue []uint64
 
-	// Working-set window tracking.
-	windowRegs    map[uint32]struct{}
-	windowSum     float64
-	windowCount   uint64
-	lastBackingCt uint64
+	// Working-set window tracking: a per-warp register bitmask (maskWords
+	// words per warp) plus a running distinct count — the same
+	// (warp, register) set the map it replaced held, without the hashing.
+	windowMask     []uint64
+	windowDistinct int
+	windowSum      float64
+	windowCount    uint64
+	lastBackingCt  uint64
 }
 
 // New builds an SM running kernel k under the given provider. The memory
@@ -248,36 +301,62 @@ func NewWithHierarchy(cfgv Config, k *isa.Kernel, p Provider, mm *exec.Memory, h
 		Mem:          hier,
 		Provider:     p,
 		Metrics:      metrics.NewRegistry(),
-		calendar:     map[uint64][]func(){},
-		windowRegs:   map[uint32]struct{}{},
-		atBarrier:    make([]bool, cfgv.Warps),
 		sfuNextIssue: make([]uint64, cfgv.Schedulers),
 	}
+	sm.maskWords = (k.NumRegs + 63) / 64
+	if sm.maskWords < 1 {
+		sm.maskWords = 1
+	}
+	sm.wFlags = make([]uint8, cfgv.Warps)
+	sm.wStallUntil = make([]uint64, cfgv.Warps)
+	sm.wClass = make([]isa.Class, cfgv.Warps)
+	sm.wInsn = make([]*isa.Instruction, cfgv.Warps)
+	sm.wPending = make([]uint64, cfgv.Warps*sm.maskWords)
+	sm.wNeed = make([]uint64, cfgv.Warps*sm.maskWords)
+	sm.windowMask = make([]uint64, cfgv.Warps*sm.maskWords)
+	sm.scanSB = make([]uint32, cfgv.Schedulers)
+	sm.scanProv = make([]uint32, cfgv.Schedulers)
+	numCTAs := (cfgv.Warps + k.WarpsPerCTA - 1) / k.WarpsPerCTA
+	sm.ctaAt = make([]int32, numCTAs)
+	sm.ctaLive = make([]int32, numCTAs)
+	sm.ctaDirtyFlg = make([]bool, numCTAs)
 	sm.registerMetrics()
 	sm.groups = make([][]*Warp, cfgv.Schedulers)
+	sm.groupIDs = make([][]int32, cfgv.Schedulers)
 	for i := 0; i < cfgv.Warps; i++ {
 		gid := cfgv.WarpIDBase + i
 		w := &Warp{
-			ID:      i,
-			Group:   i % cfgv.Schedulers,
-			Exec:    exec.NewWarp(k, g, gid, gid/k.WarpsPerCTA, mm),
-			sm:      sm,
-			pending: make([]uint8, k.NumRegs),
+			ID:    i,
+			Group: i % cfgv.Schedulers,
+			Exec:  exec.NewWarp(k, g, gid, gid/k.WarpsPerCTA, mm),
+			sm:    sm,
 		}
 		sm.Warps = append(sm.Warps, w)
 		sm.groups[w.Group] = append(sm.groups[w.Group], w)
+		sm.groupIDs[w.Group] = append(sm.groupIDs[w.Group], int32(w.ID))
+		sm.ctaLive[i/k.WarpsPerCTA]++
+		sm.refreshInsn(w)
 	}
 	switch cfgv.Sched {
 	case SchedTwoLevel:
-		sm.sched = newTwoLevel(sm.groups, cfgv.ActiveSet)
+		s := newTwoLevel(sm.groups, cfgv.ActiveSet)
+		sm.sched, sm.pickFn = s, s.pick
 	case SchedLRR:
-		sm.sched = newLRR(sm.groups)
+		s := newLRR(sm)
+		sm.sched, sm.pickFn = s, s.pick
 	default:
-		sm.sched = newGTO(sm.groups)
+		s := newGTO(sm)
+		sm.sched, sm.pickFn = s, s.pick
 	}
 	sm.lsu = newLSU(sm, cfgv.LSUQueue)
 	if err := p.Attach(sm); err != nil {
 		return nil, err
+	}
+	if hp, ok := p.(HintedProvider); ok {
+		h := hp.HotHints()
+		sm.alwaysIssuable = h.AlwaysIssuable
+		sm.passiveTick = h.PassiveTick
+		sm.passiveWB = h.PassiveWriteback
 	}
 	return sm, nil
 }
@@ -319,8 +398,7 @@ func (sm *SM) After(delay int, fn func()) { sm.after(delay, fn) }
 
 // after schedules fn at cycle now+delay.
 func (sm *SM) after(delay int, fn func()) {
-	c := sm.cycle + uint64(delay)
-	sm.calendar[c] = append(sm.calendar[c], fn)
+	sm.wheel.push(wheelEntry{cycle: sm.cycle + uint64(delay), fn: fn})
 }
 
 // Run simulates to completion and returns the statistics. Abnormal
@@ -341,6 +419,14 @@ func (sm *SM) Run() (*Stats, error) {
 		sm.StepOne()
 		if err := sm.CheckHealth(); err != nil {
 			return nil, err
+		}
+		if sm.TryFastForward() > 0 {
+			// Re-check at the skip boundary: the sanitizer sweep is pure,
+			// so one check of the frozen state stands in for the per-cycle
+			// checks the skipped span would have run.
+			if err := sm.CheckHealth(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return sm.Finalize(), nil
@@ -363,8 +449,8 @@ func (sm *SM) Finalize() *Stats {
 }
 
 func (sm *SM) allDone() bool {
-	for _, w := range sm.Warps {
-		if !w.finished {
+	for _, f := range sm.wFlags {
+		if f&warpFinished == 0 {
 			return false
 		}
 	}
@@ -376,16 +462,27 @@ func (sm *SM) step() {
 	sm.cycle++
 	sm.Rec.SetCycle(sm.cycle)
 	sm.Mem.Tick()
-	if fns, ok := sm.calendar[sm.cycle]; ok {
-		for _, fn := range fns {
-			fn()
+	for {
+		e, ok := sm.wheel.popDue(sm.cycle)
+		if !ok {
+			break
 		}
-		delete(sm.calendar, sm.cycle)
+		if e.fn != nil {
+			e.fn()
+		} else {
+			sm.Warps[e.warp].completePending(e.reg, e.mem)
+		}
 	}
-	sm.Provider.Tick()
+	if !sm.passiveTick {
+		sm.Provider.Tick()
+	}
 	sm.lsu.tick()
+	for g := range sm.scanSB {
+		sm.scanSB[g] = 0
+		sm.scanProv[g] = 0
+	}
 	for g := 0; g < sm.Cfg.Schedulers; g++ {
-		if w := sm.sched.pick(g, sm); w != nil {
+		if w := sm.pickFn(g, sm); w != nil {
 			sm.mIssued[g].Inc()
 			if sm.Rec.Enabled(events.MaskSched) {
 				sm.Rec.Issue(g, w.ID, w.NextGI())
@@ -403,29 +500,33 @@ func (sm *SM) step() {
 	sm.sampleWindow()
 }
 
-// ready reports whether w can issue this cycle (all hazards clear).
-func (sm *SM) ready(w *Warp) bool {
-	if w.finished || w.atBarrier || w.stallUntil > sm.cycle {
+// ready reports whether warp id (in scheduler group g) can issue this
+// cycle (all hazards clear). It touches only the SoA arrays until the
+// provider consult, so a pick scan over blocked warps stays off the Warp
+// structs entirely.
+func (sm *SM) ready(g int, id int32) bool {
+	if sm.wFlags[id] != 0 || sm.wStallUntil[id] > sm.cycle {
 		return false
 	}
-	in := w.Exec.Insn()
-	if !w.scoreboardReady(in) {
-		sm.mScoreboard[w.Group].Inc()
+	if !sm.sbReady(int(id)) {
+		sm.mScoreboard[g].Inc()
+		sm.scanSB[g]++
 		return false
 	}
-	switch in.Op.ClassOf() {
+	switch sm.wClass[id] {
 	case isa.ClassMemGlobal:
 		if !sm.lsu.hasRoom() {
 			return false
 		}
 	case isa.ClassSFU:
-		if sm.sfuNextIssue[w.Group] > sm.cycle {
+		if sm.sfuNextIssue[g] > sm.cycle {
 			return false
 		}
 	}
-	if !sm.Provider.CanIssue(w) {
+	if !sm.alwaysIssuable && !sm.Provider.CanIssue(sm.Warps[id]) {
 		sm.Stats.IssueStalls++
-		sm.mProviderStall[w.Group].Inc()
+		sm.mProviderStall[g].Inc()
+		sm.scanProv[g]++
 		return false
 	}
 	return true
@@ -433,20 +534,22 @@ func (sm *SM) ready(w *Warp) bool {
 
 // issue executes one instruction from w and models its timing.
 func (sm *SM) issue(w *Warp) {
+	id := w.ID
+	cls := sm.wClass[id] // the issuing instruction's class (pre-refresh)
 	info := w.Exec.Step()
 	w.lastIssue = sm.cycle
 	sm.lastProgress = sm.cycle
 	sm.Stats.DynInsns++
-	sm.Stats.ActiveLanes += uint64(popcount32(info.Mask))
-	sm.trackWindow(w, info.Insn)
+	sm.Stats.ActiveLanes += uint64(bits.OnesCount32(info.Mask))
+	sm.trackWindow(id)
 
 	penalty := sm.Provider.OnIssue(w, &info)
 	if penalty > 0 {
-		w.stallUntil = sm.cycle + uint64(penalty)
+		sm.wStallUntil[id] = sm.cycle + uint64(penalty)
 	}
 
 	in := info.Insn
-	switch in.Op.ClassOf() {
+	switch cls {
 	case isa.ClassALU:
 		sm.Stats.ALUOps++
 		sm.retire(w, in, sm.Cfg.ALULat, false)
@@ -461,29 +564,32 @@ func (sm *SM) issue(w *Warp) {
 		sm.Stats.SharedOps++
 		sm.retire(w, in, sm.Cfg.ShmemLat, false)
 	case isa.ClassMemGlobal:
-		lines := coalesce(info.Addrs)
-		sm.Stats.MemLines += uint64(len(lines))
 		if in.Op.IsStore() {
 			sm.Stats.GlobalStores++
-			sm.lsu.submit(w, isa.NoReg, lines, true)
+			sm.lsu.submit(w, isa.NoReg, info.Addrs, true)
 		} else {
 			sm.Stats.GlobalLoads++
 			w.addPending(in.Dst, true)
-			sm.lsu.submit(w, in.Dst, lines, false)
+			sm.lsu.submit(w, in.Dst, info.Addrs, false)
 		}
 	case isa.ClassControl:
 		sm.Stats.Branches++
 	case isa.ClassBarrier:
 		sm.Stats.Barriers++
-		w.atBarrier = true
-		sm.Rec.Barrier(w.Group, w.ID, true)
+		sm.wFlags[id] |= warpAtBarrier
+		sm.markCTADirty(id)
+		sm.ctaAt[id/sm.K.WarpsPerCTA]++
+		sm.Rec.Barrier(w.Group, id, true)
 	case isa.ClassExit:
 		if info.Exited {
-			w.finished = true
-			sm.Rec.Exit(w.Group, w.ID)
+			sm.wFlags[id] |= warpFinished
+			sm.markCTADirty(id)
+			sm.ctaLive[id/sm.K.WarpsPerCTA]--
+			sm.Rec.Exit(w.Group, id)
 			sm.Provider.OnWarpFinish(w)
 		}
 	}
+	sm.refreshInsn(w)
 }
 
 // retire schedules the scoreboard release for a fixed-latency op.
@@ -493,71 +599,65 @@ func (sm *SM) retire(w *Warp, in *isa.Instruction, lat int, memOp bool) {
 	}
 	dst := in.Dst
 	w.addPending(dst, memOp)
-	sm.after(lat, func() { w.completePending(dst, memOp) })
+	sm.wheel.push(wheelEntry{cycle: sm.cycle + uint64(lat), warp: int32(w.ID), reg: dst, mem: memOp})
 }
 
-// coalesce groups per-lane byte addresses into distinct 128 B lines.
-func coalesce(addrs []uint32) []uint32 {
-	var lines []uint32
-	for _, a := range addrs {
-		l := a &^ (mem.LineSize - 1)
-		found := false
-		for _, x := range lines {
-			if x == l {
-				found = true
-				break
-			}
-		}
-		if !found {
-			lines = append(lines, l)
+// markCTADirty queues warp id's CTA for a barrier-release check at the
+// end of the cycle.
+func (sm *SM) markCTADirty(id int) {
+	cta := id / sm.K.WarpsPerCTA
+	if !sm.ctaDirtyFlg[cta] {
+		sm.ctaDirtyFlg[cta] = true
+		sm.ctaDirty = append(sm.ctaDirty, int32(cta))
+	}
+}
+
+// releaseBarriers frees CTAs whose live warps have all arrived. Only CTAs
+// whose arrival/live counts changed this cycle are examined; they are
+// visited in ascending CTA order, matching the full scan it replaced.
+func (sm *SM) releaseBarriers() {
+	if len(sm.ctaDirty) == 0 {
+		return
+	}
+	// Insertion sort: at most Schedulers CTAs go dirty per cycle.
+	d := sm.ctaDirty
+	for i := 1; i < len(d); i++ {
+		for j := i; j > 0 && d[j] < d[j-1]; j-- {
+			d[j], d[j-1] = d[j-1], d[j]
 		}
 	}
-	return lines
-}
-
-// releaseBarriers frees CTAs whose live warps have all arrived.
-func (sm *SM) releaseBarriers() {
 	per := sm.K.WarpsPerCTA
-	for lo := 0; lo < len(sm.Warps); lo += per {
+	for _, cta := range d {
+		sm.ctaDirtyFlg[cta] = false
+		if sm.ctaAt[cta] == 0 || sm.ctaAt[cta] != sm.ctaLive[cta] {
+			continue
+		}
+		lo := int(cta) * per
 		hi := lo + per
 		if hi > len(sm.Warps) {
 			hi = len(sm.Warps)
 		}
-		allAt := true
-		anyAt := false
 		for i := lo; i < hi; i++ {
-			w := sm.Warps[i]
-			if w.finished {
-				continue
-			}
-			if !w.atBarrier {
-				allAt = false
-			} else {
-				anyAt = true
+			if sm.wFlags[i]&warpAtBarrier != 0 {
+				sm.wFlags[i] &^= warpAtBarrier
+				sm.Rec.Barrier(sm.Warps[i].Group, i, false)
 			}
 		}
-		if allAt && anyAt {
-			for i := lo; i < hi; i++ {
-				w := sm.Warps[i]
-				if w.atBarrier {
-					w.atBarrier = false
-					sm.Rec.Barrier(w.Group, w.ID, false)
-				}
-			}
-		}
+		sm.ctaAt[cta] = 0
 	}
+	sm.ctaDirty = sm.ctaDirty[:0]
 }
 
-// trackWindow records register accesses for the working-set series.
-func (sm *SM) trackWindow(w *Warp, in *isa.Instruction) {
-	key := func(r isa.Reg) uint32 { return uint32(w.ID)<<16 | uint32(r) }
-	for i := 0; i < in.Op.NumSrc(); i++ {
-		if in.Src[i].Valid() {
-			sm.windowRegs[key(in.Src[i])] = struct{}{}
+// trackWindow records the issuing instruction's registers for the
+// working-set series: the cached need mask, folded into the per-warp
+// window mask with a running distinct count.
+func (sm *SM) trackWindow(id int) {
+	base := id * sm.maskWords
+	for i := 0; i < sm.maskWords; i++ {
+		if fresh := sm.wNeed[base+i] &^ sm.windowMask[base+i]; fresh != 0 {
+			sm.windowMask[base+i] |= fresh
+			sm.windowDistinct += bits.OnesCount64(fresh)
 		}
-	}
-	if in.Op.HasDst() && in.Dst.Valid() {
-		sm.windowRegs[key(in.Dst)] = struct{}{}
 	}
 }
 
@@ -566,10 +666,21 @@ func (sm *SM) sampleWindow() {
 	if sm.Cfg.WindowSize <= 0 || sm.cycle%uint64(sm.Cfg.WindowSize) != 0 {
 		return
 	}
-	sm.windowSum += float64(len(sm.windowRegs)) * mem.LineSize / 1024.0
+	sm.closeWindow()
+}
+
+// closeWindow performs the per-boundary sampling work: the working-set
+// point, the backing-traffic series point, and the metrics window. The
+// stepped path reaches it from sampleWindow; the fast-forward path calls
+// it directly at each boundary a skip crosses.
+func (sm *SM) closeWindow() {
+	sm.windowSum += float64(sm.windowDistinct) * mem.LineSize / 1024.0
 	sm.windowCount++
-	for k := range sm.windowRegs {
-		delete(sm.windowRegs, k)
+	if sm.windowDistinct > 0 {
+		for i := range sm.windowMask {
+			sm.windowMask[i] = 0
+		}
+		sm.windowDistinct = 0
 	}
 	cur := sm.Provider.Stats().BackingAccesses
 	sm.Stats.BackingSeries = append(sm.Stats.BackingSeries, cur-sm.lastBackingCt)

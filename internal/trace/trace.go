@@ -75,6 +75,7 @@ func Run(smv *sim.SM, bucket int, mask events.Mask) (*Result, error) {
 
 	tr := newTracker(len(smv.Warps))
 	counts := make([][7]int, len(smv.Warps)) // per-warp state histogram
+	cls := make([]int, len(smv.Warps))       // fast-forward classify scratch
 	lastInsns := uint64(0)
 	sampled := 0 // cycles accumulated since the last flush
 	flush := func(start uint64) {
@@ -105,6 +106,34 @@ func Run(smv *sim.SM, bucket int, mask events.Mask) (*Result, error) {
 		sampled++
 		if (smv.Cycle()-start)%uint64(bucket) == 0 {
 			flush(smv.Cycle() - uint64(bucket))
+		}
+		if n := smv.TryFastForward(); n > 0 {
+			if err := smv.CheckHealth(); err != nil {
+				return nil, err
+			}
+			// The skipped span is frozen: no state/barrier/exit events
+			// fire inside it (the replayed stall events don't move the
+			// tracker), so every skipped cycle classifies like the cycle
+			// just stepped. Spread the span across bucket boundaries.
+			rec.Drain(tr.apply)
+			cyc := smv.Cycle() - n // the last stepped cycle
+			for i := range smv.Warps {
+				cls[i] = tr.classify(i)
+			}
+			for cyc < smv.Cycle() {
+				seg := smv.Cycle() - cyc
+				if untilFlush := uint64(bucket) - (cyc-start)%uint64(bucket); untilFlush < seg {
+					seg = untilFlush
+				}
+				for i := range smv.Warps {
+					counts[i][cls[i]] += int(seg)
+				}
+				sampled += int(seg)
+				cyc += seg
+				if (cyc-start)%uint64(bucket) == 0 {
+					flush(cyc - uint64(bucket))
+				}
+			}
 		}
 	}
 	if sampled > 0 {

@@ -11,6 +11,16 @@ go vet ./...
 go test -race ./...
 scripts/cover.sh
 
+# Fast-forward differential smoke: the cycle-skip fast-forward must be
+# invisible in the output — a run with -no-fastforward (stepping every
+# cycle) must print byte-identical tables. The Quick-scale suite-wide
+# version of this check (tables, metrics JSONL, per-run stats) runs as
+# TestFastForwardDifferential in the race gate above; this pins the CLI
+# wiring end to end.
+ffa="$(go run ./cmd/regless -bench nw -scheme regless -warps 8)"
+ffb="$(go run ./cmd/regless -bench nw -scheme regless -warps 8 -no-fastforward)"
+test "$ffa" = "$ffb"
+
 # Trace-schema smoke test: a small traced run must produce a Perfetto
 # trace that validates and a stall report that tiles (no WARNING line).
 tracedir="$(mktemp -d)"
