@@ -49,7 +49,7 @@ func TestValidateFlags(t *testing.T) {
 		{1, "", 100, "", false, "", 1, "mem-drop:delay=9", "delay= applies to mem-delay"},
 	}
 	for _, c := range cases {
-		err := validateFlags(c.parallel, c.metrics, c.bucket, c.trace, c.report, c.bench, c.maxCycles, c.faults)
+		err := validateFlags(c.parallel, c.metrics, c.bucket, c.trace, c.report, c.bench, c.maxCycles, c.faults, 1, false, "")
 		if c.wantErr == "" {
 			if err != nil {
 				t.Errorf("validateFlags(%+v) = %v, want nil", c, err)
@@ -58,6 +58,39 @@ func TestValidateFlags(t *testing.T) {
 		}
 		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
 			t.Errorf("validateFlags(%+v) = %v, want error containing %q", c, err, c.wantErr)
+		}
+	}
+}
+
+// TestValidateSMsFlag covers the multi-SM flag combinations: -sms must be
+// positive, and the single-SM-only renderers reject chips.
+func TestValidateSMsFlag(t *testing.T) {
+	cases := []struct {
+		sms      int
+		timeline bool
+		app      string
+		wantErr  string
+	}{
+		{1, false, "", ""},
+		{16, false, "", ""},
+		{0, false, "", "-sms must be at least 1"},
+		{-4, false, "", "-sms must be at least 1"},
+		{4, true, "", "-timeline renders one SM"},
+		{4, false, "srad_app", "-app runs are single-SM"},
+		{1, true, "", ""},
+		{1, false, "srad_app", ""},
+	}
+	for _, c := range cases {
+		err := validateFlags(1, "", 100, "", false, "nw", 1, "", c.sms, c.timeline, c.app)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("validateFlags(sms=%d timeline=%v app=%q) = %v, want nil", c.sms, c.timeline, c.app, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("validateFlags(sms=%d timeline=%v app=%q) = %v, want error containing %q",
+				c.sms, c.timeline, c.app, err, c.wantErr)
 		}
 	}
 }

@@ -45,12 +45,13 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment id (table1, fig2..fig19, table2, ablation, gpuscale, oversub, or 'all')")
+		experiment = flag.String("experiment", "", "experiment id (table1, fig2..fig19, table2, ablation, gpuscale, coresident, oversub, or 'all')")
 		bench      = flag.String("bench", "", "run one benchmark (with -scheme)")
 		app        = flag.String("app", "", "run a multi-kernel application (backprop_app, bfs_app, srad_app)")
 		scheme     = flag.String("scheme", "regless", "scheme for -bench: baseline, baseline-2level, rfv, rfh, regless, regless-nocomp")
 		capacity   = flag.Int("capacity", experiments.DefaultCapacity, "RegLess OSU registers per SM")
 		warps      = flag.Int("warps", 64, "warps per SM")
+		sms        = flag.Int("sms", 1, "SMs on the chip (must be >= 1); >1 runs lockstep SMs sharing the banked L2 and DRAM")
 		benchList  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 21)")
 		markdown   = flag.Bool("markdown", false, "emit markdown tables")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations in the run planner (must be >= 1); output is identical at any setting")
@@ -82,7 +83,7 @@ func main() {
 		}
 		return
 	}
-	if err := validateFlags(*parallel, *metricsFmt, *bucket, *traceOut, *traceRep, *bench, *maxCycles, *faultSpec); err != nil {
+	if err := validateFlags(*parallel, *metricsFmt, *bucket, *traceOut, *traceRep, *bench, *maxCycles, *faultSpec, *sms, *timeline, *app); err != nil {
 		fmt.Fprintln(os.Stderr, "regless:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -90,6 +91,7 @@ func main() {
 
 	opts := experiments.Default()
 	opts.Warps = *warps
+	opts.SMs = *sms
 	opts.Parallelism = *parallel
 	opts.MaxCycles = *maxCycles
 	opts.Watchdog = *watchdog
@@ -147,7 +149,7 @@ func main() {
 		runTrace(traceOpts{
 			bench: *bench, scheme: experiments.Scheme(*scheme),
 			bucket: *bucket, csv: *csvOut, timeline: *timeline,
-			traceFile: *traceOut, report: *traceRep,
+			traceFile: *traceOut, report: *traceRep, sms: *sms,
 			setup: experiments.SimSetup{
 				Capacity:      *capacity,
 				Warps:         *warps,
@@ -196,9 +198,18 @@ func main() {
 // the default carries that value, so anything below 1 is a mistake; a
 // non-positive bucket used to be silently replaced by 100 inside the
 // tracer.
-func validateFlags(parallel int, metricsFmt string, bucket int, traceOut string, traceRep bool, bench string, maxCycles uint64, faultSpec string) error {
+func validateFlags(parallel int, metricsFmt string, bucket int, traceOut string, traceRep bool, bench string, maxCycles uint64, faultSpec string, sms int, timeline bool, app string) error {
 	if parallel < 1 {
 		return fmt.Errorf("-parallel must be at least 1, got %d", parallel)
+	}
+	if sms < 1 {
+		return fmt.Errorf("-sms must be at least 1, got %d", sms)
+	}
+	if sms > 1 && timeline {
+		return fmt.Errorf("-timeline renders one SM; use -sms 1 (Perfetto -trace supports chips)")
+	}
+	if sms > 1 && app != "" {
+		return fmt.Errorf("-app runs are single-SM; use -sms 1")
 	}
 	if metricsFmt != "" && metricsFmt != "jsonl" {
 		return fmt.Errorf("unknown -metrics format %q (only \"jsonl\")", metricsFmt)
@@ -228,6 +239,7 @@ type benchSnapshot struct {
 	Parallelism   int     `json:"parallelism"`
 	GOMAXPROCS    int     `json:"gomaxprocs"`
 	Warps         int     `json:"warps"`
+	SMs           int     `json:"sms"`
 	Benchmarks    int     `json:"benchmarks"`
 	Tables        int     `json:"tables"`
 	Runs          int     `json:"runs"`
@@ -253,6 +265,7 @@ func emitSnapshot(s *experiments.Suite, out io.Writer, experiment, gitSHA string
 		Parallelism:   s.Opts.Parallelism,
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Warps:         s.Opts.Warps,
+		SMs:           snapshotSMs(s.Opts.SMs),
 		Benchmarks:    len(s.Opts.Benchmarks),
 		Tables:        tables,
 		Runs:          len(runs),
@@ -266,6 +279,15 @@ func emitSnapshot(s *experiments.Suite, out io.Writer, experiment, gitSHA string
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	check(enc.Encode(snap))
+}
+
+// snapshotSMs canonicalizes the chip size for the snapshot: 0 (unset)
+// and 1 both mean the classic single-SM path.
+func snapshotSMs(sms int) int {
+	if sms < 1 {
+		return 1
+	}
+	return sms
 }
 
 func render(tb *experiments.Table, md bool) string {
@@ -311,10 +333,15 @@ type traceOpts struct {
 	timeline  bool
 	traceFile string
 	report    bool
+	sms       int
 	setup     experiments.SimSetup
 }
 
 func runTrace(o traceOpts) {
+	if o.sms > 1 {
+		runChipTrace(o)
+		return
+	}
 	smv, _, err := experiments.BuildSM(o.bench, o.scheme, o.setup)
 	check(err)
 	// The timeline alone needs only warp-state events; the Perfetto
@@ -353,6 +380,57 @@ func runTrace(o traceOpts) {
 		rep := events.Analyze(res.Events, res.Stats.Cycles, smv.Cfg.Schedulers)
 		fmt.Printf("%s under %s: stall attribution over %d cycles\n", o.bench, o.scheme, res.Stats.Cycles)
 		fmt.Print(rep.Render(10))
+	}
+}
+
+// runChipTrace traces a multi-SM run: one recorder per SM, the chip run
+// lockstep, the Perfetto export grouping each SM's tracks in its own
+// process block with global warp IDs, and the stall report rendered per
+// SM with explicit SM/warp labels.
+func runChipTrace(o traceOpts) {
+	g, _, err := experiments.BuildChip(o.bench, o.scheme, o.sms, o.setup)
+	check(err)
+	recs := make([]*events.Recorder, len(g.SMs))
+	metas := make([]events.TraceMeta, len(g.SMs))
+	for i, smv := range g.SMs {
+		recs[i] = events.NewRecorder(smv.Cfg.Schedulers, events.MaskAll)
+		smv.AttachRecorder(recs[i])
+	}
+	res, err := g.Run()
+	check(err)
+	for i, smv := range g.SMs {
+		metas[i] = events.TraceMeta{
+			Bench:        o.bench,
+			Scheme:       string(o.scheme),
+			Warps:        len(smv.Warps),
+			Schedulers:   smv.Cfg.Schedulers,
+			Cycles:       res.PerSM[i].Cycles,
+			SM:           i,
+			WarpIDBase:   smv.Cfg.WarpIDBase,
+			PatternNames: patternNames(),
+		}
+	}
+	if o.traceFile != "" {
+		f, err := os.Create(o.traceFile)
+		check(err)
+		check(events.WriteChipPerfetto(f, recs, metas))
+		check(f.Close())
+		var total int
+		for _, rec := range recs {
+			total += rec.Len()
+		}
+		fmt.Fprintf(os.Stderr, "regless: wrote %d events (%d SMs) to %s (open in ui.perfetto.dev)\n",
+			total, len(recs), o.traceFile)
+	}
+	if o.report {
+		fmt.Printf("%s under %s on %d SMs: %d chip cycles\n", o.bench, o.scheme, o.sms, res.Cycles)
+		for i := range recs {
+			rep := events.Analyze(recs[i], res.PerSM[i].Cycles, g.SMs[i].Cfg.Schedulers)
+			fmt.Printf("SM %d (warps %d..%d): stall attribution over %d cycles\n",
+				i, g.SMs[i].Cfg.WarpIDBase, g.SMs[i].Cfg.WarpIDBase+len(g.SMs[i].Warps)-1,
+				res.PerSM[i].Cycles)
+			fmt.Print(rep.Render(10))
+		}
 	}
 }
 

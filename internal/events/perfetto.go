@@ -14,10 +14,21 @@ type TraceMeta struct {
 	Warps      int
 	Schedulers int
 	Cycles     uint64
+	// SM is this recording's SM index on a multi-SM chip (0 for
+	// single-SM runs); WarpIDBase is the SM's first global warp ID.
+	// Warp events already carry global IDs — these place the SM's
+	// tracks in the right process group and name them.
+	SM         int
+	WarpIDBase int
 	// PatternNames optionally names compressor pattern IDs (A field of
 	// KindCompress events); unnamed IDs render as "pat<N>".
 	PatternNames []string
 }
+
+// pidStride spaces the per-SM process-ID blocks in a chip export: SM i
+// owns pids [1+i*pidStride, 5+i*pidStride], so Perfetto's process
+// groups cluster by SM.
+const pidStride = 8
 
 // Track process IDs in the exported trace. Perfetto renders each pid as
 // a collapsible process group; tids within it are rows.
@@ -78,30 +89,50 @@ func (pw *perfettoWriter) meta(pid, tid int, key, value string, args map[string]
 // groups as merged issue/stall spans, warps as capacity-phase tracks,
 // preload spans, OSU occupancy counters, and compressor decisions.
 func WritePerfetto(w io.Writer, rec *Recorder, meta TraceMeta) error {
+	return WriteChipPerfetto(w, []*Recorder{rec}, []TraceMeta{meta})
+}
+
+// WriteChipPerfetto exports one recording per SM into a single trace:
+// each SM's five track families live in their own process-ID block, so
+// Perfetto's process groups cluster by SM and warp tracks carry global
+// warp IDs. metas[i] labels recs[i]; otherData comes from metas[0].
+func WriteChipPerfetto(w io.Writer, recs []*Recorder, metas []TraceMeta) error {
+	if len(recs) == 0 || len(recs) != len(metas) {
+		return fmt.Errorf("events: %d recorders with %d metas", len(recs), len(metas))
+	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	pw := &perfettoWriter{w: bw, first: true}
 
-	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\n\"otherData\":{\"bench\":%q,\"scheme\":%q,\"warps\":%d,\"schedulers\":%d,\"cycles\":%d,\"unit\":\"1us = 1 cycle\"},\n\"traceEvents\":[\n",
-		meta.Bench, meta.Scheme, meta.Warps, meta.Schedulers, meta.Cycles)
+	m0 := metas[0]
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\n\"otherData\":{\"bench\":%q,\"scheme\":%q,\"sms\":%d,\"warps\":%d,\"schedulers\":%d,\"cycles\":%d,\"unit\":\"1us = 1 cycle\"},\n\"traceEvents\":[\n",
+		m0.Bench, m0.Scheme, len(recs), m0.Warps, m0.Schedulers, m0.Cycles)
 
-	pw.meta(pidScheduler, 0, "process_name", "scheduler groups", map[string]any{"sort_index": pidScheduler})
-	pw.meta(pidWarps, 0, "process_name", "warp states", map[string]any{"sort_index": pidWarps})
-	pw.meta(pidPreloads, 0, "process_name", "preloads", map[string]any{"sort_index": pidPreloads})
-	pw.meta(pidOSU, 0, "process_name", "osu occupancy", map[string]any{"sort_index": pidOSU})
-	pw.meta(pidCompress, 0, "process_name", "compressor", map[string]any{"sort_index": pidCompress})
-	for g := 0; g < rec.NumShards(); g++ {
-		pw.meta(pidScheduler, g, "thread_name", fmt.Sprintf("group %d", g), nil)
-		pw.meta(pidOSU, g, "thread_name", fmt.Sprintf("shard %d", g), nil)
-		pw.meta(pidCompress, g, "thread_name", fmt.Sprintf("shard %d", g), nil)
-	}
-	for w := 0; w < meta.Warps; w++ {
-		pw.meta(pidWarps, w, "thread_name", fmt.Sprintf("w%02d", w), nil)
-		pw.meta(pidPreloads, w, "thread_name", fmt.Sprintf("w%02d", w), nil)
-	}
+	for i, rec := range recs {
+		meta := metas[i]
+		base := meta.SM * pidStride
+		prefix := ""
+		if len(recs) > 1 {
+			prefix = fmt.Sprintf("SM%d ", meta.SM)
+		}
+		pw.meta(base+pidScheduler, 0, "process_name", prefix+"scheduler groups", map[string]any{"sort_index": base + pidScheduler})
+		pw.meta(base+pidWarps, 0, "process_name", prefix+"warp states", map[string]any{"sort_index": base + pidWarps})
+		pw.meta(base+pidPreloads, 0, "process_name", prefix+"preloads", map[string]any{"sort_index": base + pidPreloads})
+		pw.meta(base+pidOSU, 0, "process_name", prefix+"osu occupancy", map[string]any{"sort_index": base + pidOSU})
+		pw.meta(base+pidCompress, 0, "process_name", prefix+"compressor", map[string]any{"sort_index": base + pidCompress})
+		for g := 0; g < rec.NumShards(); g++ {
+			pw.meta(base+pidScheduler, g, "thread_name", fmt.Sprintf("group %d", g), nil)
+			pw.meta(base+pidOSU, g, "thread_name", fmt.Sprintf("shard %d", g), nil)
+			pw.meta(base+pidCompress, g, "thread_name", fmt.Sprintf("shard %d", g), nil)
+		}
+		for w := meta.WarpIDBase; w < meta.WarpIDBase+meta.Warps; w++ {
+			pw.meta(base+pidWarps, w, "thread_name", fmt.Sprintf("w%02d", w), nil)
+			pw.meta(base+pidPreloads, w, "thread_name", fmt.Sprintf("w%02d", w), nil)
+		}
 
-	if rec != nil {
-		for s := 0; s <= rec.NumShards(); s++ {
-			exportShard(pw, rec, s, meta)
+		if rec != nil {
+			for s := 0; s <= rec.NumShards(); s++ {
+				exportShard(pw, rec, s, meta, base)
+			}
 		}
 	}
 
@@ -114,7 +145,7 @@ func WritePerfetto(w io.Writer, rec *Recorder, meta TraceMeta) error {
 
 // exportShard walks one shard's buffer once, maintaining the small
 // per-track run/span state needed to merge per-cycle events into spans.
-func exportShard(pw *perfettoWriter, rec *Recorder, s int, meta TraceMeta) {
+func exportShard(pw *perfettoWriter, rec *Recorder, s int, meta TraceMeta, pidBase int) {
 	// Scheduler track: merge consecutive same-labelled cycles into spans.
 	type run struct {
 		name    string
@@ -135,7 +166,7 @@ func exportShard(pw *perfettoWriter, rec *Recorder, s int, meta TraceMeta) {
 		}
 		args["kind"] = ph
 		pw.event(traceEvent{Name: sched.name, Ph: "X", Ts: sched.start,
-			Dur: sched.end - sched.start + 1, Pid: pidScheduler, Tid: s, Args: args})
+			Dur: sched.end - sched.start + 1, Pid: pidBase + pidScheduler, Tid: s, Args: args})
 		sched = nil
 	}
 	schedStep := func(name string, isStall bool, cycle uint64) {
@@ -173,7 +204,7 @@ func exportShard(pw *perfettoWriter, rec *Recorder, s int, meta TraceMeta) {
 			dur = 1
 		}
 		pw.event(traceEvent{Name: sp.ph.String(), Ph: "X", Ts: sp.start,
-			Dur: dur, Pid: pidWarps, Tid: w, Args: args})
+			Dur: dur, Pid: pidBase + pidWarps, Tid: w, Args: args})
 	}
 	barriers := map[int]uint64{}
 	preloads := map[uint64]uint64{} // (warp,reg) -> issue cycle
@@ -187,7 +218,7 @@ func exportShard(pw *perfettoWriter, rec *Recorder, s int, meta TraceMeta) {
 			return
 		}
 		pw.event(traceEvent{Name: "osu lines", Ph: "C", Ts: lastCounterCycle,
-			Pid: pidOSU, Tid: s, Args: map[string]any{"active": active, "evictable": evictable}})
+			Pid: pidBase + pidOSU, Tid: s, Args: map[string]any{"active": active, "evictable": evictable}})
 		dirtyCounter = false
 	}
 	bumpCounter := func(cycle uint64, dActive, dEvictable int) {
@@ -230,7 +261,7 @@ func exportShard(pw *perfettoWriter, rec *Recorder, s int, meta TraceMeta) {
 					dur = 1
 				}
 				pw.event(traceEvent{Name: "barrier", Ph: "X", Ts: start, Dur: dur,
-					Pid: pidWarps, Tid: w, Args: map[string]any{"kind": "barrier"}})
+					Pid: pidBase + pidWarps, Tid: w, Args: map[string]any{"kind": "barrier"}})
 			}
 		case KindExit:
 			flushPhase(int(e.Warp), e.Cycle)
@@ -245,7 +276,7 @@ func exportShard(pw *perfettoWriter, rec *Recorder, s int, meta TraceMeta) {
 					dur = 1
 				}
 				pw.event(traceEvent{Name: fmt.Sprintf("R%d", e.Arg), Ph: "X", Ts: start,
-					Dur: dur, Pid: pidPreloads, Tid: int(e.Warp),
+					Dur: dur, Pid: pidBase + pidPreloads, Tid: int(e.Warp),
 					Args: map[string]any{"src": PreloadSrc(e.A).String()}})
 			}
 		case KindOSUAlloc:
@@ -270,7 +301,7 @@ func exportShard(pw *perfettoWriter, rec *Recorder, s int, meta TraceMeta) {
 				name = "miss"
 			}
 			pw.event(traceEvent{Name: name, Ph: "i", Ts: e.Cycle, S: "t",
-				Pid: pidCompress, Tid: s, Args: map[string]any{"warp": e.Warp}})
+				Pid: pidBase + pidCompress, Tid: s, Args: map[string]any{"warp": e.Warp}})
 		}
 	})
 	flushSched()

@@ -1,0 +1,223 @@
+package experiments
+
+// Multi-SM suite path: when Options.SMs > 1 every simulation in the run
+// cache is a full chip — N lockstep SMs with private L1s and register
+// schemes, one banked L2, one DRAM budget, the grid striped across SMs
+// by warp ID. The cached Run aggregates the chip (cycles = slowest SM,
+// counters summed) so every paper experiment's table logic works
+// unchanged; the chip result itself is retained on Run.Chip for the
+// chip-level columns (gpuscale, Table 1's configuration row).
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/faults"
+	"repro/internal/gpu"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/rf"
+	"repro/internal/sanitizer"
+	"repro/internal/sim"
+)
+
+// regLessSMOffset returns the backing-store offset for one SM's RegLess
+// shard: disjoint 16 MB windows keep per-SM register spills from
+// aliasing in the shared L2 (one kernel's SMs share data lines but
+// never register lines).
+func regLessSMOffset(sm int) uint32 { return uint32(sm) << 24 }
+
+// BuildChip constructs a ready-to-run multi-SM chip for (bench, scheme):
+// the chip-level counterpart of BuildSM. The returned core provider is
+// SM 0's (non-nil only for RegLess schemes); scheme-wide provider
+// statistics are summed across SMs at result time.
+func BuildChip(bench string, scheme Scheme, sms int, su SimSetup) (*gpu.GPU, *core.Provider, error) {
+	k, err := kernels.Load(bench)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := gpu.DefaultConfig()
+	cfg.SMs = sms
+	cfg.SM.Warps = su.Warps
+	if su.MaxCycles > 0 {
+		cfg.SM.MaxCycles = su.MaxCycles
+	}
+	if su.Watchdog > 0 {
+		cfg.SM.WatchdogCycles = su.Watchdog
+	}
+	cfg.SM.NoFastForward = su.NoFastForward
+
+	var rp *core.Provider
+	factory := func(i int) (sim.Provider, error) { return rf.NewBaseline(), nil }
+	switch scheme {
+	case SchemeBaseline:
+	case SchemeBaseline2L:
+		cfg.SM.Sched = sim.SchedTwoLevel
+	case SchemeRFV:
+		cfg.SM.Sched = sim.SchedTwoLevel
+		factory = func(int) (sim.Provider, error) { return rf.NewRFV(RFVEntries), nil }
+	case SchemeRFH:
+		cfg.SM.Sched = sim.SchedTwoLevel
+		factory = func(int) (sim.Provider, error) { return rf.NewRFH(RFHORFEntries), nil }
+	case SchemeRegLess, SchemeRegLessNC:
+		factory = func(i int) (sim.Provider, error) {
+			c := core.ConfigForCapacity(su.Capacity)
+			c.EnableCompressor = scheme == SchemeRegLess
+			c.AddrOffset = regLessSMOffset(i)
+			p, err := core.New(c, k)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				rp = p
+			}
+			return p, nil
+		}
+	default:
+		return nil, nil, fmt.Errorf("unknown scheme %q", scheme)
+	}
+	mm := su.Memory
+	if mm == nil {
+		mm = exec.NewMemory(nil)
+	}
+	g, err := gpu.New(cfg, k, factory, mm)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, smv := range g.SMs {
+		if su.Faults != nil {
+			smv.AttachFaults(faults.NewInjector(su.Faults))
+		}
+		if su.Sanitize {
+			smv.AttachSanitizer(sanitizer.New())
+		}
+	}
+	return g, rp, nil
+}
+
+// simulateChip is the Opts.SMs>1 branch of Suite.simulate: one chip run,
+// aggregated into the same Run shape the single-SM path produces.
+func (s *Suite) simulateChip(bench string, scheme Scheme, capacity int) (*Run, error) {
+	g, rp, err := BuildChip(bench, scheme, s.Opts.SMs, SimSetup{
+		Capacity:      capacity,
+		Warps:         s.Opts.Warps,
+		MaxCycles:     s.Opts.MaxCycles,
+		Watchdog:      s.Opts.Watchdog,
+		Sanitize:      s.Opts.Sanitize,
+		Faults:        s.Opts.Faults,
+		NoFastForward: s.Opts.NoFastForward,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if s.jsonl != nil {
+		for i, smv := range g.SMs {
+			smv.Metrics.SetSink(s.jsonl.Run(
+				metrics.String("bench", bench),
+				metrics.String("scheme", string(scheme)),
+				metrics.Int("capacity", capacity),
+				metrics.Int("sm", i),
+			))
+			if i == 0 {
+				// Chip-level L2/DRAM counters ride SM 0's window stream.
+				g.L2.BindMetrics(smv.Metrics)
+			}
+		}
+	}
+	run := &Run{Bench: bench, Scheme: scheme, Capacity: capacity, RegLess: rp}
+	res, err := g.Run()
+	if err != nil {
+		return nil, err
+	}
+	run.Chip = res
+	run.Stats = mergeSimStats(res)
+	for _, smv := range g.SMs {
+		addProviderStats(&run.Prov, smv.Provider.Stats())
+		addMemStats(&run.Mem, &smv.Mem.Stats)
+	}
+	return run, nil
+}
+
+// mergeSimStats folds per-SM statistics into one SM-shaped Stats:
+// cycles are the chip run time (slowest SM), event counters sum,
+// WorkingSetKB averages over SMs (it is itself a per-window mean), and
+// BackingSeries sums elementwise (the chip's backing traffic over time).
+func mergeSimStats(res *gpu.Result) *sim.Stats {
+	out := &sim.Stats{Cycles: res.Cycles}
+	for _, st := range res.PerSM {
+		out.DynInsns += st.DynInsns
+		out.IssueStalls += st.IssueStalls
+		out.ALUOps += st.ALUOps
+		out.FMAOps += st.FMAOps
+		out.SFUOps += st.SFUOps
+		out.GlobalLoads += st.GlobalLoads
+		out.GlobalStores += st.GlobalStores
+		out.SharedOps += st.SharedOps
+		out.Branches += st.Branches
+		out.Barriers += st.Barriers
+		out.MemLines += st.MemLines
+		out.ActiveLanes += st.ActiveLanes
+		out.WorkingSetKB += st.WorkingSetKB
+		out.FFSkippedCycles += st.FFSkippedCycles
+		out.FFJumps += st.FFJumps
+		for len(out.BackingSeries) < len(st.BackingSeries) {
+			out.BackingSeries = append(out.BackingSeries, 0)
+		}
+		for i, v := range st.BackingSeries {
+			out.BackingSeries[i] += v
+		}
+	}
+	if n := len(res.PerSM); n > 0 {
+		out.WorkingSetKB /= float64(n)
+	}
+	return out
+}
+
+func addProviderStats(dst *sim.ProviderStats, src *sim.ProviderStats) {
+	dst.StructReads += src.StructReads
+	dst.StructWrites += src.StructWrites
+	dst.TagLookups += src.TagLookups
+	dst.BankConflicts += src.BankConflicts
+	dst.BackingAccesses += src.BackingAccesses
+	dst.PreloadFromOSU += src.PreloadFromOSU
+	dst.PreloadFromCompressor += src.PreloadFromCompressor
+	dst.PreloadFromL1 += src.PreloadFromL1
+	dst.PreloadFromL2DRAM += src.PreloadFromL2DRAM
+	dst.Evictions += src.Evictions
+	dst.CompressorHits += src.CompressorHits
+	dst.CompressorMisses += src.CompressorMisses
+	dst.CompressorBitChecks += src.CompressorBitChecks
+	dst.CompressorCacheOps += src.CompressorCacheOps
+	dst.CacheInvalidations += src.CacheInvalidations
+	dst.MetaInsns += src.MetaInsns
+	dst.StallCycles += src.StallCycles
+	dst.L1PreloadReads += src.L1PreloadReads
+	dst.L1StoreWrites += src.L1StoreWrites
+	dst.L1Invalidates += src.L1Invalidates
+	dst.LRFAccesses += src.LRFAccesses
+	dst.ORFAccesses += src.ORFAccesses
+	dst.MRFAccesses += src.MRFAccesses
+	dst.RegionActivations += src.RegionActivations
+	dst.RegionCycles += src.RegionCycles
+}
+
+func addMemStats(dst *mem.Stats, src *mem.Stats) {
+	dst.L1Hits += src.L1Hits
+	dst.L1Misses += src.L1Misses
+	dst.L1Reads += src.L1Reads
+	dst.L1Writes += src.L1Writes
+	dst.L1Writebacks += src.L1Writebacks
+	dst.L1Invalidations += src.L1Invalidations
+	dst.L2Hits += src.L2Hits
+	dst.L2Misses += src.L2Misses
+	dst.DataReads += src.DataReads
+	dst.DataWrites += src.DataWrites
+	dst.DRAMAccesses += src.DRAMAccesses
+	dst.L1PortRejects += src.L1PortRejects
+	dst.MSHRRejects += src.MSHRRejects
+	dst.DataRejects += src.DataRejects
+	dst.FaultDrops += src.FaultDrops
+	dst.FaultDelays += src.FaultDelays
+}

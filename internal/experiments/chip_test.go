@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// chipOpts is a small chip configuration the differential tests share.
+func chipOpts(sms int) Options {
+	return Options{
+		Warps:      8,
+		Benchmarks: []string{"bfs"},
+		MaxCycles:  20_000_000,
+		SMs:        sms,
+	}
+}
+
+// TestSMs1TakesClassicPath guards the golden gate: Opts.SMs values 0 and
+// 1 must both take the untouched single-SM path and render byte-identical
+// tables (the multi-SM machinery may only engage at SMs > 1).
+func TestSMs1TakesClassicPath(t *testing.T) {
+	run, ok := ByID("fig14")
+	if !ok {
+		t.Fatal("fig14 not registered")
+	}
+	opts0 := chipOpts(0)
+	opts0.Benchmarks = []string{"bfs", "hotspot"}
+	opts1 := opts0
+	opts1.SMs = 1
+	tb0, err := run(NewSuite(opts0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb1, err := run(NewSuite(opts1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tb0, tb1) {
+		t.Fatalf("-sms 1 diverged from the classic path:\n%v\nvs\n%v", tb0, tb1)
+	}
+}
+
+// TestChipFFParity checks that the coordinated chip fast-forward is pure
+// elision at -sms 4: stepping every cycle and jumping frozen spans must
+// produce identical cycles, instructions, and memory traffic.
+func TestChipFFParity(t *testing.T) {
+	ff := NewSuite(chipOpts(4))
+	stepped := NewSuite(chipOpts(4))
+	stepped.Opts.NoFastForward = true
+
+	for _, scheme := range []Scheme{SchemeBaseline, SchemeRegLess} {
+		cap := 0
+		if scheme == SchemeRegLess {
+			cap = DefaultCapacity
+		}
+		a, err := ff.simulateChip("bfs", scheme, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := stepped.simulateChip("bfs", scheme, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Chip.FFJumps == 0 {
+			t.Fatalf("%s: chip fast-forward never engaged", scheme)
+		}
+		if a.Stats.Cycles != b.Stats.Cycles || a.Stats.DynInsns != b.Stats.DynInsns {
+			t.Fatalf("%s: FF on %d cycles/%d insns vs off %d/%d", scheme,
+				a.Stats.Cycles, a.Stats.DynInsns, b.Stats.Cycles, b.Stats.DynInsns)
+		}
+		if a.Chip.L2 != b.Chip.L2 {
+			t.Fatalf("%s: L2 traffic diverges under FF:\n%+v\nvs\n%+v", scheme, a.Chip.L2, b.Chip.L2)
+		}
+		for i := range a.Chip.PerSM {
+			if a.Chip.PerSM[i].Cycles != b.Chip.PerSM[i].Cycles {
+				t.Fatalf("%s: SM %d cycles %d vs %d", scheme, i,
+					a.Chip.PerSM[i].Cycles, b.Chip.PerSM[i].Cycles)
+			}
+		}
+	}
+}
+
+// TestChipDeterminism16 runs the same 16-SM chip twice from fresh state
+// and requires bit-identical results: cycles, per-SM stats, chip L2 and
+// DRAM counters.
+func TestChipDeterminism16(t *testing.T) {
+	a, err := NewSuite(chipOpts(16)).simulateChip("bfs", SchemeRegLess, DefaultCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSuite(chipOpts(16)).simulateChip("bfs", SchemeRegLess, DefaultCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Chip.Cycles != b.Chip.Cycles {
+		t.Fatalf("cycles %d vs %d", a.Chip.Cycles, b.Chip.Cycles)
+	}
+	if a.Chip.L2 != b.Chip.L2 {
+		t.Fatalf("L2 stats diverge:\n%+v\nvs\n%+v", a.Chip.L2, b.Chip.L2)
+	}
+	if !reflect.DeepEqual(a.Stats, b.Stats) {
+		t.Fatalf("merged stats diverge:\n%+v\nvs\n%+v", a.Stats, b.Stats)
+	}
+	if !reflect.DeepEqual(a.Mem, b.Mem) {
+		t.Fatalf("mem stats diverge:\n%+v\nvs\n%+v", a.Mem, b.Mem)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/exec"
 	"repro/internal/faults"
+	"repro/internal/gpu"
 	"repro/internal/kernels"
 	"repro/internal/mem"
 	"repro/internal/metrics"
@@ -91,6 +92,13 @@ type Options struct {
 	// frozen spans (differential validation / stepped-path profiling;
 	// results are identical either way).
 	NoFastForward bool
+
+	// SMs scales every simulation to a multi-SM chip: N lockstep SMs
+	// with private L1s sharing the banked L2 and DRAM interface, the
+	// kernel's grid striped across them. 0 or 1 keeps the classic
+	// single-SM path (private L2 slice) — the byte-identical golden
+	// configuration.
+	SMs int
 }
 
 // Default returns the full-scale options (Table 1's 64 warps per SM).
@@ -126,8 +134,12 @@ type Run struct {
 	Mem   mem.Stats
 
 	// Provider is retained for scheme-specific inspection (RegLess's
-	// compiled regions).
+	// compiled regions; SM 0's in multi-SM runs).
 	RegLess *core.Provider
+
+	// Chip holds the full multi-SM result when the suite ran with
+	// Options.SMs > 1 (nil on the classic single-SM path).
+	Chip *gpu.Result
 }
 
 // Activity converts the run for the energy model.
@@ -351,6 +363,9 @@ func (s *Suite) CachedRuns() []*Run {
 }
 
 func (s *Suite) simulate(bench string, scheme Scheme, capacity int) (*Run, error) {
+	if s.Opts.SMs > 1 {
+		return s.simulateChip(bench, scheme, capacity)
+	}
 	smv, rp, err := BuildSM(bench, scheme, SimSetup{
 		Capacity:      capacity,
 		Warps:         s.Opts.Warps,

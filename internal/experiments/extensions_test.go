@@ -53,7 +53,7 @@ func TestGPUScale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tb.Rows) != 3 { // 1 benchmark x 3 SM counts
+	if len(tb.Rows) != 4 { // 1 benchmark x 4 SM counts (1/4/8/16)
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}
 	// RegLess must stay within a sane factor of baseline at every scale.
@@ -65,6 +65,18 @@ func TestGPUScale(t *testing.T) {
 		if ratio > 1.5 {
 			t.Fatalf("%v: chip-level RegLess ratio %v", row, ratio)
 		}
+	}
+	// Strong scaling: the same fixed grid must finish faster on 16 SMs
+	// than serialized through 1 (contention cannot eat a 16x width win).
+	var one, sixteen float64
+	if _, err := fmtSscan(tb.Rows[0][2], &one); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(tb.Rows[3][2], &sixteen); err != nil {
+		t.Fatal(err)
+	}
+	if sixteen >= one {
+		t.Fatalf("no strong scaling: 1 SM %.0f cycles vs 16 SMs %.0f", one, sixteen)
 	}
 }
 

@@ -109,6 +109,7 @@ func extensionExperiments() []Experiment {
 	return []Experiment{
 		{"ablation", Ablations, nil},
 		{"gpuscale", GPUScale, nil},
+		{"coresident", CoResident, nil},
 		{"oversub", Oversubscription, nil},
 		{"breakdown", EnergyBreakdown, reqBaseRegLess},
 		{"sensitivity", Sensitivity, reqBaseRegLess},

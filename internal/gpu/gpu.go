@@ -1,10 +1,21 @@
 // Package gpu scales the single-SM model up to the paper's full chip: N
 // streaming multiprocessors in lockstep, each with a private L1 and
-// register scheme, sharing one 2 MB L2 and the DRAM interface (Table 1's
-// 16-SM GTX 980). All SMs run the same kernel over disjoint global warp
-// ID ranges — the CUDA grid is striped across SMs — and share one
-// functional memory, so the multi-SM run is architecturally equivalent to
-// a single functional execution of SMs x WarpsPerSM warps.
+// register scheme, sharing one banked 2 MB L2 and the DRAM interface
+// (Table 1's 16-SM GTX 980). In the default single-kernel mode all SMs
+// run the same kernel over disjoint global warp ID ranges — the CUDA
+// grid is striped across SMs — and share one functional memory, so the
+// multi-SM run is architecturally equivalent to a single functional
+// execution of SMs x WarpsPerSM warps. The co-residency mode instead
+// partitions the SMs between two (or more) kernels that share nothing
+// but the L2 and DRAM — the timing-interference configuration.
+//
+// The chip clock is the lockstep invariant: every non-finished SM sits
+// at the same cycle, which makes SM index the deterministic arbitration
+// order for same-cycle L2 bank conflicts and lets the chip reuse the
+// per-SM cycle-skip fast-forward — a coordinated jump to the earliest
+// wake cycle across all SMs (one SM may never jump past another's
+// wakeup, since the waker's DRAM response can occupy a bank port the
+// sleeper would have raced for).
 package gpu
 
 import (
@@ -22,55 +33,109 @@ type Config struct {
 	SMs int
 	// SM is the per-SM configuration; WarpIDBase is set per SM.
 	SM sim.Config
-	// Shared sizes the chip-wide L2 and DRAM interface.
-	Shared mem.SharedL2Config
+	// L2 sizes the chip-wide banked L2 and DRAM interface.
+	L2 mem.BankedL2Config
 }
 
 // DefaultConfig returns the 16-SM GTX 980 configuration.
 func DefaultConfig() Config {
-	return Config{SMs: 16, SM: sim.DefaultConfig(), Shared: mem.DefaultSharedL2Config()}
+	return Config{SMs: 16, SM: sim.DefaultConfig(), L2: mem.DefaultBankedL2Config()}
 }
 
 // ProviderFactory builds one SM's register provider. smIndex identifies
-// the SM (providers needing disjoint backing-store spaces derive an
-// address offset from it).
+// the SM within its kernel (providers needing disjoint backing-store
+// spaces derive an address offset from it).
 type ProviderFactory func(smIndex int) (sim.Provider, error)
+
+// KernelSlot describes one co-resident kernel: which kernel, how many of
+// the chip's SMs it owns, and how its SMs' providers are built. Each
+// slot has its own functional memory (kernels do not share allocations);
+// AddrBias keeps the slots' identical virtual layouts on distinct L2
+// lines at the timing level.
+type KernelSlot struct {
+	K       *isa.Kernel
+	SMs     int
+	Factory ProviderFactory
+	// Mem is the slot's functional memory (nil: fresh).
+	Mem *exec.Memory
+	// AddrBias offsets the slot's addresses in the shared L2.
+	AddrBias uint32
+}
 
 // GPU is the lockstep multi-SM machine.
 type GPU struct {
-	Cfg    Config
-	SMs    []*sim.SM
-	Shared *mem.SharedL2
-	Mem    *exec.Memory
-
-	cycle uint64
+	Cfg Config
+	SMs []*sim.SM
+	// Slot maps SM index -> co-resident kernel slot (all zero in
+	// single-kernel mode).
+	Slot []int
+	L2   *mem.BankedL2
+	// Mems holds each slot's functional memory (one entry in
+	// single-kernel mode).
+	Mems []*exec.Memory
 }
 
-// New builds the GPU: one SM per index, private L1s, shared L2.
+// New builds a single-kernel GPU: one SM per index, private L1s, shared
+// banked L2, the grid striped across SMs by warp ID.
 func New(cfgv Config, k *isa.Kernel, factory ProviderFactory, mm *exec.Memory) (*GPU, error) {
-	if cfgv.SMs <= 0 {
-		return nil, fmt.Errorf("gpu: need at least one SM")
-	}
 	if mm == nil {
 		mm = exec.NewMemory(nil)
 	}
-	shared := mem.NewSharedL2(cfgv.Shared)
-	g := &GPU{Cfg: cfgv, Shared: shared, Mem: mm}
-	for i := 0; i < cfgv.SMs; i++ {
-		p, err := factory(i)
-		if err != nil {
-			return nil, fmt.Errorf("gpu: SM %d provider: %w", i, err)
+	return NewCoResident(cfgv, []KernelSlot{{K: k, SMs: cfgv.SMs, Factory: factory, Mem: mm}})
+}
+
+// NewCoResident builds a chip whose SMs are partitioned between kernel
+// slots contending for the shared L2 and DRAM. Config.SMs is ignored;
+// the chip has the sum of the slots' SM counts.
+func NewCoResident(cfgv Config, slots []KernelSlot) (*GPU, error) {
+	total := 0
+	for _, s := range slots {
+		if s.SMs <= 0 {
+			return nil, fmt.Errorf("gpu: slot needs at least one SM")
 		}
-		smCfg := cfgv.SM
-		smCfg.WarpIDBase = i * smCfg.Warps
-		hier := shared.AttachHierarchy(smCfg.Mem)
-		smv, err := sim.NewWithHierarchy(smCfg, k, p, mm, hier)
-		if err != nil {
-			return nil, fmt.Errorf("gpu: SM %d: %w", i, err)
+		total += s.SMs
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("gpu: need at least one SM")
+	}
+	l2, err := mem.NewBankedL2(cfgv.L2)
+	if err != nil {
+		return nil, err
+	}
+	g := &GPU{Cfg: cfgv, L2: l2}
+	for si := range slots {
+		s := &slots[si]
+		if s.Mem == nil {
+			s.Mem = exec.NewMemory(nil)
 		}
-		g.SMs = append(g.SMs, smv)
+		g.Mems = append(g.Mems, s.Mem)
+		for i := 0; i < s.SMs; i++ {
+			p, err := s.Factory(i)
+			if err != nil {
+				return nil, fmt.Errorf("gpu: slot %d SM %d provider: %w", si, i, err)
+			}
+			smCfg := cfgv.SM
+			// Warp IDs are slot-local: each kernel covers warps
+			// [0, SMs*Warps) of its own grid.
+			smCfg.WarpIDBase = i * smCfg.Warps
+			smCfg.Mem.AddrBias = s.AddrBias
+			hier := l2.AttachHierarchy(smCfg.Mem)
+			smv, err := sim.NewWithHierarchy(smCfg, s.K, p, s.Mem, hier)
+			if err != nil {
+				return nil, fmt.Errorf("gpu: slot %d SM %d: %w", si, i, err)
+			}
+			g.SMs = append(g.SMs, smv)
+			g.Slot = append(g.Slot, si)
+		}
 	}
 	return g, nil
+}
+
+// FromSMs wraps prebuilt lockstep SMs that already share l2 in a chip
+// runner — the launch package's block scheduler builds one chip per
+// occupancy wave this way, keeping the banked L2 warm across waves.
+func FromSMs(cfgv Config, l2 *mem.BankedL2, sms []*sim.SM, mems []*exec.Memory) *GPU {
+	return &GPU{Cfg: cfgv, L2: l2, SMs: sms, Slot: make([]int, len(sms)), Mems: mems}
 }
 
 // Result summarizes a multi-SM run.
@@ -81,40 +146,108 @@ type Result struct {
 	PerSM []*sim.Stats
 	// TotalInsns sums dynamic instructions across SMs.
 	TotalInsns uint64
-	// SharedL2Hits/Misses/DRAM aggregate the shared level's traffic.
-	SharedL2Hits, SharedL2Misses, DRAMAccesses uint64
+	// L2 is the chip-level L2/DRAM traffic (bank ports, MSHRs, DRAM
+	// bandwidth) aggregated across all SMs.
+	L2 mem.BankedL2Stats
+	// KernelCycles is each co-resident slot's completion cycle (the
+	// slowest of its SMs); one entry in single-kernel mode.
+	KernelCycles []uint64
+	// FFSkippedCycles/FFJumps total the chip-coordinated fast-forward's
+	// work (also present per SM in PerSM).
+	FFSkippedCycles, FFJumps uint64
 }
 
-// Run advances every SM one cycle at a time (lockstep) until all finish.
+// Run advances every SM one cycle at a time (lockstep) until all
+// finish, jumping provably inert spans chip-coordinated: only when every
+// active SM is frozen, and only to the earliest wake cycle any of them
+// has. Abnormal terminations (MaxCycles, watchdog, sanitizer, L2
+// invariant violations) return an error naming the SM.
 func (g *GPU) Run() (*Result, error) {
 	for {
 		allDone := true
-		for _, smv := range g.SMs {
-			if !smv.Done() {
-				allDone = false
-				smv.StepOne()
+		for i, smv := range g.SMs {
+			if smv.Done() {
+				continue
+			}
+			allDone = false
+			if smv.Cycle() >= smv.Cfg.MaxCycles {
+				return nil, fmt.Errorf("gpu: SM %d exceeded %d cycles", i, smv.Cfg.MaxCycles)
+			}
+			smv.StepOne()
+			if err := smv.CheckHealth(); err != nil {
+				return nil, fmt.Errorf("gpu: SM %d: %w", i, err)
 			}
 		}
 		if allDone {
 			break
 		}
-		g.cycle++
-		if g.cycle >= g.Cfg.SM.MaxCycles {
-			return nil, fmt.Errorf("gpu: exceeded %d cycles", g.Cfg.SM.MaxCycles)
+		if jumped, err := g.tryFastForward(); err != nil {
+			return nil, err
+		} else if jumped {
+			if err := g.L2.CheckInvariants(); err != nil {
+				return nil, err
+			}
 		}
 	}
-	res := &Result{
-		SharedL2Hits:   g.Shared.Stats.L2Hits,
-		SharedL2Misses: g.Shared.Stats.L2Misses,
-		DRAMAccesses:   g.Shared.Stats.DRAMAccesses,
+	if err := g.L2.CheckInvariants(); err != nil {
+		return nil, err
 	}
-	for _, smv := range g.SMs {
+	res := &Result{L2: g.L2.Stats, KernelCycles: make([]uint64, len(g.Mems))}
+	for i, smv := range g.SMs {
 		st := smv.Finalize()
 		res.PerSM = append(res.PerSM, st)
 		res.TotalInsns += st.DynInsns
+		res.FFSkippedCycles += st.FFSkippedCycles
+		res.FFJumps += st.FFJumps
 		if st.Cycles > res.Cycles {
 			res.Cycles = st.Cycles
 		}
+		if s := g.Slot[i]; s < len(res.KernelCycles) && st.Cycles > res.KernelCycles[s] {
+			res.KernelCycles[s] = st.Cycles
+		}
 	}
 	return res, nil
+}
+
+// tryFastForward attempts one chip-coordinated cycle skip: every active
+// SM must be provably frozen (per-SM FFEligible gates), and the jump
+// target is the minimum wake cycle across them — an SM may not skip past
+// another SM's wakeup because the waker's new L2/DRAM traffic changes
+// the bank-port and bandwidth arbitration every sleeper would see.
+// Per-SM watchdog trips and MaxCycles already cap each SM's wake target,
+// so abnormal runs keep their stepped-run cycle numbers.
+func (g *GPU) tryFastForward() (bool, error) {
+	target := ^uint64(0)
+	cur := uint64(0)
+	active := 0
+	for _, smv := range g.SMs {
+		if smv.Done() {
+			continue
+		}
+		active++
+		cur = smv.Cycle() // identical across active SMs (lockstep)
+		if !smv.FFEligible() {
+			return false, nil
+		}
+		t, ok := smv.FFWakeTarget()
+		if !ok {
+			return false, nil
+		}
+		if t < target {
+			target = t
+		}
+	}
+	if active == 0 || target <= cur+1 {
+		return false, nil
+	}
+	for i, smv := range g.SMs {
+		if smv.Done() {
+			continue
+		}
+		smv.FFJumpTo(target - 1)
+		if err := smv.CheckHealth(); err != nil {
+			return false, fmt.Errorf("gpu: SM %d: %w", i, err)
+		}
+	}
+	return true, nil
 }

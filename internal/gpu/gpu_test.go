@@ -110,12 +110,12 @@ func TestSharedL2Contention(t *testing.T) {
 	}
 	one := run(1)
 	four := run(4)
-	if four.SharedL2Hits+four.SharedL2Misses <= one.SharedL2Hits+one.SharedL2Misses {
+	if four.L2.Hits+four.L2.Misses <= one.L2.Hits+one.L2.Misses {
 		t.Fatalf("shared L2 traffic did not scale: %d vs %d",
-			four.SharedL2Hits+four.SharedL2Misses, one.SharedL2Hits+one.SharedL2Misses)
+			four.L2.Hits+four.L2.Misses, one.L2.Hits+one.L2.Misses)
 	}
 	// Read-shared input tables mean later SMs should enjoy some L2 hits.
-	if four.SharedL2Hits == 0 {
+	if four.L2.Hits == 0 {
 		t.Fatal("no shared L2 hits despite shared read-only inputs")
 	}
 }

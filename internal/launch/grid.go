@@ -1,0 +1,128 @@
+package launch
+
+// Multi-SM block scheduler: RunGrid distributes a CUDA grid across the
+// chip's SMs the way hardware CTA schedulers do once every SM is at its
+// occupancy limit — each SM takes a contiguous CTA-aligned chunk of
+// warps, all SMs run their chunk concurrently (lockstep, contending for
+// the shared banked L2 and DRAM), and when the chip drains the next
+// *wave* of chunks launches. Waves are synchronous: a fast SM idles at
+// the wave boundary rather than stealing the next chunk early. That
+// sacrifices a little fidelity (real schedulers backfill per-CTA) for
+// determinism — chunk->SM assignment is a pure function of grid size, SM
+// count, and occupancy, never of timing.
+//
+// The banked L2's *contents* stay warm across waves (a later wave reuses
+// lines an earlier wave staged) while its timing bookkeeping resets with
+// the per-wave clocks (mem.BankedL2.ResetTiming).
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/gpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// GridFactory builds the register provider for one SM of one wave.
+// Hardware state does not persist between waves (each wave's providers
+// are fresh, like a new kernel launch); sm indexes the SM within the
+// chip so providers can derive disjoint backing-store offsets.
+type GridFactory func(sm, wave int) (sim.Provider, error)
+
+// GridResult aggregates a multi-SM, multi-wave launch.
+type GridResult struct {
+	// Cycles is the total run time: per-wave chip times (slowest SM)
+	// summed across the sequential waves.
+	Cycles uint64
+	// Waves is how many chip launches were needed.
+	Waves int
+	// TotalWarps is the grid size executed.
+	TotalWarps int
+	// Insns sums dynamic instructions across all SMs and waves.
+	Insns uint64
+	// PerWave holds each wave's chip result.
+	PerWave []*gpu.Result
+	// L2 is the cumulative chip-level L2/DRAM traffic.
+	L2 mem.BankedL2Stats
+	// FFSkippedCycles/FFJumps total the coordinated fast-forward's work.
+	FFSkippedCycles, FFJumps uint64
+}
+
+// RunGrid executes totalWarps warps of k on an sms-SM chip with at most
+// residentWarps resident per SM at a time. All SMs share one functional
+// memory and one banked L2 (built from l2cfg), so the launch is
+// architecturally equivalent to one big run while the timing sees
+// chip-level contention. cfg.Warps and cfg.WarpIDBase are set per chunk.
+func RunGrid(k *isa.Kernel, totalWarps, residentWarps, sms int, cfg sim.Config,
+	l2cfg mem.BankedL2Config, factory GridFactory, mm *exec.Memory) (*GridResult, error) {
+	if totalWarps <= 0 || residentWarps <= 0 {
+		return nil, fmt.Errorf("launch: warps must be positive")
+	}
+	if sms <= 0 {
+		return nil, fmt.Errorf("launch: need at least one SM")
+	}
+	if residentWarps%cfg.Schedulers != 0 {
+		return nil, fmt.Errorf("launch: resident warps %d not divisible by %d schedulers",
+			residentWarps, cfg.Schedulers)
+	}
+	if residentWarps%k.WarpsPerCTA != 0 {
+		return nil, fmt.Errorf("launch: resident warps %d not a multiple of CTA size %d",
+			residentWarps, k.WarpsPerCTA)
+	}
+	if totalWarps%k.WarpsPerCTA != 0 {
+		return nil, fmt.Errorf("launch: grid %d not a multiple of CTA size %d",
+			totalWarps, k.WarpsPerCTA)
+	}
+	if mm == nil {
+		mm = exec.NewMemory(nil)
+	}
+	l2, err := mem.NewBankedL2(l2cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &GridResult{TotalWarps: totalWarps}
+	stride := residentWarps * sms
+	for base := 0; base < totalWarps; base += stride {
+		var chipSMs []*sim.SM
+		for s := 0; s < sms; s++ {
+			wbase := base + s*residentWarps
+			if wbase >= totalWarps {
+				break
+			}
+			n := residentWarps
+			if wbase+n > totalWarps {
+				n = totalWarps - wbase
+			}
+			p, err := factory(s, res.Waves)
+			if err != nil {
+				return nil, fmt.Errorf("launch: wave %d SM %d provider: %w", res.Waves, s, err)
+			}
+			smCfg := cfg
+			smCfg.Warps = n
+			smCfg.WarpIDBase = wbase
+			hier := l2.AttachHierarchy(smCfg.Mem)
+			smv, err := sim.NewWithHierarchy(smCfg, k, p, mm, hier)
+			if err != nil {
+				return nil, fmt.Errorf("launch: wave %d SM %d: %w", res.Waves, s, err)
+			}
+			chipSMs = append(chipSMs, smv)
+		}
+		chip := gpu.FromSMs(gpu.Config{SMs: len(chipSMs), SM: cfg, L2: l2cfg},
+			l2, chipSMs, []*exec.Memory{mm})
+		wres, err := chip.Run()
+		if err != nil {
+			return nil, fmt.Errorf("launch: wave %d: %w", res.Waves, err)
+		}
+		res.Cycles += wres.Cycles
+		res.Insns += wres.TotalInsns
+		res.FFSkippedCycles += wres.FFSkippedCycles
+		res.FFJumps += wres.FFJumps
+		res.PerWave = append(res.PerWave, wres)
+		res.Waves++
+		l2.ResetTiming()
+	}
+	res.L2 = l2.Stats
+	return res, nil
+}

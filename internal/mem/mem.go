@@ -1,6 +1,9 @@
-// Package mem models the SM-side memory hierarchy at cycle granularity:
-// the L1 data cache (48 KB, 32 MSHRs, one request per cycle — Table 1), a
-// shared L2 slice, and DRAM with a bandwidth limit.
+// Package mem models the memory hierarchy at cycle granularity: the
+// per-SM L1 data cache (48 KB, 32 MSHRs, one request per cycle —
+// Table 1), an L2, and DRAM with a bandwidth limit. The L2 comes in two
+// forms: a private flat slice with a per-SM DRAM share (the single-SM
+// model, this file) or the chip-wide BankedL2 (l2.go) that all SMs'
+// hierarchies share in the multi-SM model.
 //
 // Following the paper's GTX 980 configuration, ordinary global data
 // accesses *bypass* the L1 and go straight to L2 ("data accesses bypassed",
@@ -52,6 +55,13 @@ type Config struct {
 	DataQueueDepth int
 	// DataCyclesPerReq throttles the SM's interconnect injection rate.
 	DataCyclesPerReq int
+
+	// AddrBias shifts this hierarchy's addresses before they reach a
+	// shared (banked) L2, so co-resident kernels with identical virtual
+	// layouts occupy distinct lines. Zero for private L2s and for
+	// single-kernel multi-SM runs (SMs of one kernel genuinely share
+	// lines).
+	AddrBias uint32
 }
 
 // DefaultConfig returns the Table 1 configuration for one SM.
@@ -218,9 +228,9 @@ type Hierarchy struct {
 	// DRAM bandwidth throttle.
 	dramNextFree uint64
 
-	// shared, when non-nil, replaces the private L2 slice and DRAM
-	// throttle with a GPU-wide level (multi-SM simulation).
-	shared *SharedL2
+	// banked, when non-nil, replaces the private L2 slice and DRAM
+	// throttle with the chip-wide banked level (multi-SM simulation).
+	banked *BankedL2
 
 	// rec, when attached, observes accepted L1 accesses (nil-safe).
 	rec *events.Recorder
@@ -261,13 +271,12 @@ func (h *Hierarchy) applyFault(done func(Source)) func(Source) {
 	return done
 }
 
-// l2cache returns the L2 this hierarchy talks to.
-func (h *Hierarchy) l2cache() *cache {
-	if h.shared != nil {
-		return h.shared.cache
-	}
-	return h.l2
-}
+// l2addr applies the co-residency address bias for the shared level.
+func (h *Hierarchy) l2addr(a uint32) uint32 { return a + h.cfg.AddrBias }
+
+// BankedL2 returns the chip-wide L2 this hierarchy is attached to, or
+// nil when it runs against its private slice.
+func (h *Hierarchy) BankedL2() *BankedL2 { return h.banked }
 
 // New builds a hierarchy.
 func New(cfg Config) *Hierarchy {
@@ -436,7 +445,7 @@ func (h *Hierarchy) L1Invalidate(addr uint32) bool {
 	h.claimL1Port()
 	h.Stats.L1Invalidations++
 	h.l1.invalidate(a)
-	h.l2cache().invalidate(a)
+	h.l2Invalidate(a)
 	return true
 }
 
@@ -446,16 +455,30 @@ func (h *Hierarchy) L1Invalidate(addr uint32) bool {
 func (h *Hierarchy) L1InvalidateQuiet(addr uint32) {
 	a := align(addr)
 	h.l1.invalidate(a)
-	h.l2cache().invalidate(a)
+	h.l2Invalidate(a)
+}
+
+// l2Invalidate drops a line from whichever L2 this hierarchy talks to.
+func (h *Hierarchy) l2Invalidate(a uint32) {
+	if h.banked != nil {
+		h.banked.invalidate(h.l2addr(a))
+		return
+	}
+	h.l2.invalidate(a)
 }
 
 // l2Access runs an access at the L2 (from L1 misses/writebacks); done may
-// be nil (writes).
+// be nil (writes). With a chip-wide banked L2 attached, the access is
+// routed there (bank port arbitration, shared MSHRs, chip DRAM budget);
+// otherwise it probes the private slice.
 func (h *Hierarchy) l2Access(a uint32, write bool, done func(Source)) {
-	l2 := h.l2cache()
+	if h.banked != nil {
+		h.banked.access(h, h.l2addr(a), write, done)
+		return
+	}
+	l2 := h.l2
 	if ln := l2.lookup(a, h.now); ln != nil {
 		h.Stats.L2Hits++
-		h.countSharedL2(true)
 		if write {
 			ln.dirty = true
 		}
@@ -465,7 +488,6 @@ func (h *Hierarchy) l2Access(a uint32, write bool, done func(Source)) {
 		return
 	}
 	h.Stats.L2Misses++
-	h.countSharedL2(false)
 	if write {
 		// Write-allocate without fetch (register lines are whole).
 		v := l2.victim(a)
@@ -488,32 +510,11 @@ func (h *Hierarchy) l2Access(a uint32, write bool, done func(Source)) {
 	})
 }
 
-// countSharedL2 mirrors L2 hit/miss counts into the shared level.
-func (h *Hierarchy) countSharedL2(hit bool) {
-	if h.shared == nil {
-		return
-	}
-	if hit {
-		h.shared.Stats.L2Hits++
-	} else {
-		h.shared.Stats.L2Misses++
-	}
-}
-
-// dramQueueDelay advances the DRAM bandwidth throttle and returns the
-// queueing delay for one line transfer. With a shared L2 the throttle is
-// GPU-wide (all SMs contend for the same interface).
+// dramQueueDelay advances the private DRAM bandwidth throttle and
+// returns the queueing delay for one line transfer (chip-wide runs use
+// BankedL2's throttle instead).
 func (h *Hierarchy) dramQueueDelay() int {
 	h.Stats.DRAMAccesses++
-	if h.shared != nil {
-		h.shared.Stats.DRAMAccesses++
-		start := h.now
-		if h.shared.dramNextFree > start {
-			start = h.shared.dramNextFree
-		}
-		h.shared.dramNextFree = start + uint64(h.shared.dramCyclesPerLine)
-		return int(start - h.now)
-	}
 	start := h.now
 	if h.dramNextFree > start {
 		start = h.dramNextFree

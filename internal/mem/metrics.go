@@ -24,3 +24,25 @@ func (h *Hierarchy) BindMetrics(r *metrics.Registry) {
 	r.Gauge("mem/mshr_occupancy", func() uint64 { return uint64(len(h.mshrs)) })
 	r.Gauge("mem/data_in_flight", func() uint64 { return uint64(h.dataInFlight) })
 }
+
+// BindMetrics exposes the chip-level L2/DRAM counters on r under
+// "l2/...". Bind it on ONE registry per chip (the counters aggregate all
+// SMs' traffic; per-SM L2 hit/miss shares stay on each SM's "mem/..."
+// registry).
+func (l2 *BankedL2) BindMetrics(r *metrics.Registry) {
+	r.Bind("l2/hits", &l2.Stats.Hits)
+	r.Bind("l2/misses", &l2.Stats.Misses)
+	r.Bind("l2/port_queue_cycles", &l2.Stats.PortQueueCycles)
+	r.Bind("l2/mshr_merges", &l2.Stats.MSHRMerges)
+	r.Bind("l2/mshr_full_retries", &l2.Stats.MSHRFullRetries)
+	r.Bind("l2/dram_accesses", &l2.Stats.DRAMAccesses)
+	r.Bind("l2/dram_writes", &l2.Stats.DRAMWrites)
+	r.Bind("l2/dram_queue_cycles", &l2.Stats.DRAMQueueCycles)
+	r.Gauge("l2/mshr_occupancy", func() uint64 {
+		var n uint64
+		for i := range l2.banks {
+			n += uint64(len(l2.banks[i].mshrs))
+		}
+		return n
+	})
+}

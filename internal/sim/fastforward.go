@@ -39,39 +39,71 @@ const noWake = ^uint64(0)
 // TryFastForward attempts a cycle skip after a step. It returns the
 // number of cycles skipped (0 when any gate fails or the machine wakes
 // next cycle anyway). Call it between StepOne and the next cycle's step;
-// Run and trace.Run do.
+// Run and trace.Run do. Multi-SM chips coordinate instead via
+// FFEligible / FFWakeTarget / FFJumpTo (a lone SM may not jump past
+// another SM's wakeup — gpu.Chip takes the min across SMs).
 func (sm *SM) TryFastForward() uint64 {
-	// Gates: the feature is on, no fault injector is armed (faults fire
-	// on wall-clock cycles inside provider ticks), this cycle issued
-	// nothing (an issue moves architectural state: windows, barriers,
-	// scheduler structures), and the provider is provably idle — either
-	// hint-passive or reporting TickIdle on its current state.
-	if sm.Cfg.NoFastForward || sm.flt != nil || sm.lastProgress == sm.cycle {
+	if !sm.FFEligible() {
 		return 0
+	}
+	target, ok := sm.FFWakeTarget()
+	if !ok || target <= sm.cycle+1 {
+		return 0
+	}
+	return sm.FFJumpTo(target - 1)
+}
+
+// FFEligible reports whether this SM is provably frozen after the cycle
+// just stepped. Gates: the feature is on, no fault injector is armed
+// (faults fire on wall-clock cycles inside provider ticks), this cycle
+// issued nothing (an issue moves architectural state: windows, barriers,
+// scheduler structures), the provider is provably idle — either
+// hint-passive or reporting TickIdle on its current state — and every
+// group's scheduler is mutation-free on failed picks (two-level
+// demote/promote churns on zero-issue cycles). A finished SM is NOT
+// eligible via this method (the single-SM loop exits instead); chips
+// exclude done SMs before asking.
+func (sm *SM) FFEligible() bool {
+	if sm.Cfg.NoFastForward || sm.flt != nil || sm.lastProgress == sm.cycle {
+		return false
 	}
 	if !sm.passiveTick {
 		ti, ok := sm.Provider.(TickIdler)
 		if !ok || !ti.TickIdle() {
-			return 0
+			return false
 		}
 	}
 	if sm.Done() {
-		return 0
+		return false
 	}
-	// Every group's scheduler must be mutation-free on failed picks for
-	// the span (two-level demote/promote churns on zero-issue cycles).
 	for g := 0; g < sm.Cfg.Schedulers; g++ {
 		if !sm.sched.frozen(g, sm) {
-			return 0
+			return false
 		}
 	}
+	return true
+}
 
-	target := sm.wakeTarget()
-	if target == noWake || target <= sm.cycle+1 {
+// FFWakeTarget exposes this SM's earliest wake cycle for chip-level
+// coordination; ok=false means nothing will ever wake this SM (a hang —
+// the watchdog target is included, so this only happens with the
+// watchdog disabled).
+func (sm *SM) FFWakeTarget() (uint64, bool) {
+	t := sm.wakeTarget()
+	return t, t != noWake
+}
+
+// FFJumpTo advances the frozen SM to cycle `to` (exclusive of the wake
+// cycle: callers pass target-1), replicating the skipped span's
+// accounting, and returns the cycles skipped. The caller has verified
+// FFEligible and to <= every relevant wake target - 1; jumping past a
+// wake is unsound.
+func (sm *SM) FFJumpTo(to uint64) uint64 {
+	if to <= sm.cycle {
 		return 0
 	}
-	n := target - 1 - sm.cycle
-	sm.replicateSkip(target - 1)
+	n := to - sm.cycle
+	sm.replicateSkip(to)
 	sm.Stats.FFSkippedCycles += n
 	sm.Stats.FFJumps++
 	return n

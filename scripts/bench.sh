@@ -40,6 +40,16 @@ if [ -n "$prev" ] && [ "$prev" != "$out" ]; then
 			return r
 		}
 		BEGIN {
+			# Chip size is stamped into each snapshot; a 4-SM run is not
+			# comparable to a 1-SM baseline, so the gate only fires when
+			# both records simulated the same number of SMs (a missing
+			# field in an old record reads as 0 and also skips).
+			psms = field(prevfile, "sms")
+			nsms = field(outfile, "sms")
+			if (psms != nsms) {
+				printf "bench: regression gate skipped (%d-SM snapshot vs %d-SM baseline %s)\n", nsms, psms, prevfile
+				exit 0
+			}
 			p = field(prevfile, "simcycles_per_sec")
 			n = field(outfile, "simcycles_per_sec")
 			if (p <= 0 || n <= 0) { print "bench: regression gate skipped (missing rate)"; exit 0 }

@@ -21,6 +21,15 @@ ffa="$(go run ./cmd/regless -bench nw -scheme regless -warps 8)"
 ffb="$(go run ./cmd/regless -bench nw -scheme regless -warps 8 -no-fastforward)"
 test "$ffa" = "$ffb"
 
+# Multi-SM smoke: a 4-SM chip run of Figure 14 must reproduce the
+# committed golden byte for byte (lockstep determinism + the banked-L2
+# path), and the single-SM suite must be oblivious to the -sms flag.
+smsout="$(go run ./cmd/regless -sms 4 -experiment fig14 -warps 16)"
+test "$smsout" = "$(cat scripts/golden/sms4_fig14_warps16.txt)"
+sms1a="$(go run ./cmd/regless -experiment fig14 -warps 16)"
+sms1b="$(go run ./cmd/regless -sms 1 -experiment fig14 -warps 16)"
+test "$sms1a" = "$sms1b"
+
 # Trace-schema smoke test: a small traced run must produce a Perfetto
 # trace that validates and a stall report that tiles (no WARNING line).
 tracedir="$(mktemp -d)"
