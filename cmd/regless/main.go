@@ -11,6 +11,7 @@
 //	regless -warps 32                       # scale the SM occupancy
 //	regless -metrics jsonl -experiment fig17  # stream per-window metrics
 //	regless -cpuprofile cpu.pb.gz -experiment all  # profile the run
+//	regless serve -store /var/cache/regless   # sweep service (DESIGN.md §14)
 //
 // With -metrics jsonl and no -metrics-out, the JSONL stream takes stdout
 // and tables move to stderr, so piping into a JSON consumer always sees a
@@ -44,6 +45,12 @@ import (
 )
 
 func main() {
+	// `regless serve` owns its own flag set (serve.go); everything else
+	// is the classic single-invocation CLI below.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	var (
 		experiment = flag.String("experiment", "", "experiment id (table1, fig2..fig19, table2, ablation, gpuscale, coresident, oversub, or 'all')")
 		bench      = flag.String("bench", "", "run one benchmark (with -scheme)")

@@ -1,0 +1,125 @@
+package main
+
+// The `regless serve` subcommand: the sweep service of DESIGN.md §14. It
+// owns its own flag set (the service fixes the simulation configuration
+// at startup; requests choose the (bench, scheme, capacity) point) and
+// shuts down cleanly on SIGINT/SIGTERM so operators and scripts get exit
+// code 0 from a deliberate stop.
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/serve"
+)
+
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("regless serve", flag.ExitOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		addrFile   = fs.String("addr-file", "", "write the bound address to this file once listening (scripts poll it)")
+		storeDir   = fs.String("store", "", "persistent result store directory (required; created if missing)")
+		warps      = fs.Int("warps", 64, "warps per SM for every served simulation")
+		sms        = fs.Int("sms", 1, "SMs on the chip (must be >= 1)")
+		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "bounded in-flight simulations in the admission pool (must be >= 1)")
+		maxCycles  = fs.Uint64("max-cycles", 60_000_000, "simulation cycle limit per run (must be >= 1)")
+		watchdog   = fs.Uint64("watchdog", 1_000_000, "forward-progress watchdog threshold in cycles (0 disables)")
+		sanitize   = fs.Bool("sanitize", false, "run the cycle-level invariant sanitizer in every simulation")
+		faultSpec  = fs.String("faults", "", "fault-injection spec armed for every simulation (DESIGN.md §11)")
+		metricsOut = fs.String("metrics-out", "", "append the server's JSONL metrics windows to this file")
+	)
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "regless serve: unexpected arguments %v\n", fs.Args())
+		fs.Usage()
+		os.Exit(2)
+	}
+	if err := validateServeFlags(*storeDir, *warps, *sms, *parallel, *maxCycles, *faultSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "regless serve:", err)
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	opts := experiments.Default()
+	opts.Warps = *warps
+	opts.SMs = *sms
+	opts.Parallelism = *parallel
+	opts.MaxCycles = *maxCycles
+	opts.Watchdog = *watchdog
+	opts.Sanitize = *sanitize
+	if *faultSpec != "" {
+		plan, err := faults.Parse(*faultSpec)
+		check(err) // validateServeFlags already vetted the spec
+		opts.Faults = plan
+	}
+
+	cfg := serve.Config{Opts: opts, StoreDir: *storeDir}
+	if *metricsOut != "" {
+		f, err := os.OpenFile(*metricsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		check(err)
+		defer f.Close()
+		cfg.MetricsWriter = f
+	}
+	srv, err := serve.New(cfg)
+	check(err)
+
+	ln, err := net.Listen("tcp", *addr)
+	check(err)
+	if *addrFile != "" {
+		check(os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644))
+	}
+	fmt.Fprintf(os.Stderr, "regless: serving on http://%s (store %s, warps %d, sms %d, pool %d)\n",
+		ln.Addr(), *storeDir, *warps, *sms, *parallel)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		// Deliberate stop: refuse new connections, drain the pool so
+		// every admitted job completes and persists, flush metrics.
+		check(httpSrv.Close())
+		<-done // http.ErrServerClosed
+		check(srv.Close())
+		fmt.Fprintln(os.Stderr, "regless: serve shut down cleanly")
+	case err := <-done:
+		// Listener failure: still drain and flush before reporting.
+		srv.Close()
+		check(err)
+	}
+}
+
+func validateServeFlags(storeDir string, warps, sms, parallel int, maxCycles uint64, faultSpec string) error {
+	if storeDir == "" {
+		return fmt.Errorf("-store is required")
+	}
+	if warps < 1 {
+		return fmt.Errorf("-warps must be at least 1, got %d", warps)
+	}
+	if sms < 1 {
+		return fmt.Errorf("-sms must be at least 1, got %d", sms)
+	}
+	if parallel < 1 {
+		return fmt.Errorf("-parallel must be at least 1, got %d", parallel)
+	}
+	if maxCycles < 1 {
+		return fmt.Errorf("-max-cycles must be at least 1")
+	}
+	if faultSpec != "" {
+		if _, err := faults.Parse(faultSpec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,323 @@
+// Command reglessload drives a running `regless serve` instance with
+// sweep traffic: a configurable grid of (bench, scheme, capacity) points
+// fired as thousands of run submissions from multiple synthetic clients,
+// plus a one-shot -table mode that submits the grid as a single sweep and
+// prints the rendered table (scripts diff it against goldens and across
+// cold/warm passes).
+//
+// Usage:
+//
+//	reglessload -addr http://127.0.0.1:8080 -requests 2000 -clients 16 \
+//	    -benchmarks nw,bfs -schemes baseline,regless -capacities 256,512
+//	reglessload -addr http://127.0.0.1:8080 -table -benchmarks nw -schemes regless
+//
+// The summary reports client-side outcomes and the server's own counter
+// deltas (/metricsz before vs after), so a run shows how much traffic the
+// store absorbed versus simulated.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type runRequest struct {
+	Bench    string `json:"bench"`
+	Scheme   string `json:"scheme"`
+	Capacity int    `json:"capacity,omitempty"`
+}
+
+type runStatus struct {
+	ID     string          `json:"id"`
+	Status string          `json:"status"`
+	Cached bool            `json:"cached,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+type sweepStatus struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "server base URL, e.g. http://127.0.0.1:8080 (required)")
+		requests  = flag.Int("requests", 200, "total run submissions to fire (must be >= 1)")
+		clients   = flag.Int("clients", 8, "concurrent synthetic clients, each with its own X-Regless-Client identity")
+		benchList = flag.String("benchmarks", "nw", "comma-separated benchmarks in the grid")
+		schemes   = flag.String("schemes", "regless", "comma-separated schemes in the grid")
+		capsList  = flag.String("capacities", "", "comma-separated RegLess capacities (empty: server default)")
+		waitReady = flag.Duration("wait-ready", 0, "poll /healthz until the server answers, up to this long")
+		table     = flag.Bool("table", false, "submit the grid as one sweep and print its rendered table to stdout")
+		timeout   = flag.Duration("timeout", 10*time.Minute, "per-request HTTP timeout")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "reglessload: -addr is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *requests < 1 || *clients < 1 {
+		fmt.Fprintln(os.Stderr, "reglessload: -requests and -clients must be at least 1")
+		os.Exit(2)
+	}
+	grid, err := buildGrid(*benchList, *schemes, *capsList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reglessload:", err)
+		os.Exit(2)
+	}
+	hc := &http.Client{Timeout: *timeout}
+	base := strings.TrimSuffix(*addr, "/")
+
+	if *waitReady > 0 {
+		if err := waitForServer(hc, base, *waitReady); err != nil {
+			fmt.Fprintln(os.Stderr, "reglessload:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *table {
+		if err := printTable(hc, base, grid); err != nil {
+			fmt.Fprintln(os.Stderr, "reglessload:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	before, _ := fetchMetrics(hc, base)
+	start := time.Now()
+	var ok, failed, errs atomic.Int64
+	var wg sync.WaitGroup
+	perClient := (*requests + *clients - 1) / *clients
+	fired := 0
+	for c := 0; c < *clients && fired < *requests; c++ {
+		n := perClient
+		if fired+n > *requests {
+			n = *requests - fired
+		}
+		fired += n
+		wg.Add(1)
+		go func(client, n, offset int) {
+			defer wg.Done()
+			name := fmt.Sprintf("load-%d", client)
+			for i := 0; i < n; i++ {
+				// Each client walks the grid from its own offset, so
+				// concurrent clients collide on keys (dedupe) while
+				// still covering every point.
+				req := grid[(offset+i)%len(grid)]
+				st, err := submitRun(hc, base, name, req)
+				switch {
+				case err != nil:
+					errs.Add(1)
+				case st.Status == "done":
+					ok.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}(c, n, c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	after, _ := fetchMetrics(hc, base)
+
+	fmt.Printf("reglessload: %d requests (%d clients, %d grid points) in %.2fs (%.1f req/s)\n",
+		*requests, *clients, len(grid), wall.Seconds(), float64(*requests)/wall.Seconds())
+	fmt.Printf("  done %d, failed %d, transport errors %d\n", ok.Load(), failed.Load(), errs.Load())
+	if before != nil && after != nil {
+		printDeltas(before, after)
+	}
+	if errs.Load() > 0 || failed.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+func buildGrid(benchList, schemeList, capsList string) ([]runRequest, error) {
+	benches := splitList(benchList)
+	schemes := splitList(schemeList)
+	if len(benches) == 0 || len(schemes) == 0 {
+		return nil, fmt.Errorf("need at least one benchmark and one scheme")
+	}
+	caps := []int{0}
+	if capsList != "" {
+		caps = nil
+		for _, c := range splitList(capsList) {
+			n, err := strconv.Atoi(c)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad capacity %q", c)
+			}
+			caps = append(caps, n)
+		}
+	}
+	var grid []runRequest
+	for _, b := range benches {
+		for _, s := range schemes {
+			for _, c := range caps {
+				grid = append(grid, runRequest{Bench: b, Scheme: s, Capacity: c})
+			}
+		}
+	}
+	return grid, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// waitForServer polls /healthz until any HTTP answer arrives (a degraded
+// 503 still means the server is up).
+func waitForServer(hc *http.Client, base string, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		resp, err := hc.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %s: %v", base, d, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func submitRun(hc *http.Client, base, client string, req runRequest) (*runStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hr, err := http.NewRequest("POST", base+"/v1/runs?wait=1", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	hr.Header.Set("X-Regless-Client", client)
+	resp, err := hc.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("POST /v1/runs: %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+	var st runStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, err
+	}
+	if st.Status == "done" && len(st.Result) == 0 {
+		return nil, fmt.Errorf("done response for %s/%s carries no result", req.Bench, req.Scheme)
+	}
+	return &st, nil
+}
+
+// printTable submits the whole grid as one sweep and prints the rendered
+// table — the byte-stable artifact scripts diff across passes.
+func printTable(hc *http.Client, base string, grid []runRequest) error {
+	benchSet, schemeSet, capSet := map[string]bool{}, map[string]bool{}, map[int]bool{}
+	var benches, schemes []string
+	var caps []int
+	for _, g := range grid {
+		if !benchSet[g.Bench] {
+			benchSet[g.Bench] = true
+			benches = append(benches, g.Bench)
+		}
+		if !schemeSet[g.Scheme] {
+			schemeSet[g.Scheme] = true
+			schemes = append(schemes, g.Scheme)
+		}
+		if !capSet[g.Capacity] {
+			capSet[g.Capacity] = true
+			caps = append(caps, g.Capacity)
+		}
+	}
+	req := map[string]any{"benchmarks": benches, "schemes": schemes}
+	if !(len(caps) == 1 && caps[0] == 0) {
+		req["capacities"] = caps
+	}
+	body, _ := json.Marshal(req)
+	resp, err := hc.Post(base+"/v1/sweeps?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /v1/sweeps: %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+	var sw sweepStatus
+	if err := json.Unmarshal(raw, &sw); err != nil {
+		return err
+	}
+	if sw.Status != "done" {
+		return fmt.Errorf("sweep %s finished %q", sw.ID, sw.Status)
+	}
+	tresp, err := hc.Get(base + "/v1/sweeps/" + sw.ID + "/table")
+	if err != nil {
+		return err
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET table: %s", tresp.Status)
+	}
+	_, err = io.Copy(os.Stdout, tresp.Body)
+	return err
+}
+
+func fetchMetrics(hc *http.Client, base string) (map[string]uint64, error) {
+	resp, err := hc.Get(base + "/metricsz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var m map[string]uint64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// printDeltas shows how the server's counters moved over the load run
+// (gauges print their final value).
+func printDeltas(before, after map[string]uint64) {
+	names := make([]string, 0, len(after))
+	for n := range after {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Println("  server counters (delta over run):")
+	for _, n := range names {
+		d := after[n] - before[n]
+		if strings.HasPrefix(n, "serve/queue") || strings.HasPrefix(n, "serve/inflight") {
+			fmt.Printf("    %-24s %d (now)\n", n, after[n])
+			continue
+		}
+		if d != 0 {
+			fmt.Printf("    %-24s +%d\n", n, d)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -48,6 +49,28 @@ const (
 	// scheduler (Figure 2's comparison).
 	SchemeBaseline2L Scheme = "baseline-2level"
 )
+
+// Schemes lists every scheme in a stable order (external input
+// validation, service sweep grids).
+func Schemes() []Scheme {
+	return []Scheme{SchemeBaseline, SchemeBaseline2L, SchemeRFV, SchemeRFH, SchemeRegLess, SchemeRegLessNC}
+}
+
+// ParseScheme validates a scheme name from external input (CLI flags,
+// service requests) so unknown names fail at admission instead of
+// surfacing later as a failed simulation.
+func ParseScheme(name string) (Scheme, error) {
+	for _, s := range Schemes() {
+		if string(s) == name {
+			return s, nil
+		}
+	}
+	have := make([]string, 0, len(Schemes()))
+	for _, s := range Schemes() {
+		have = append(have, string(s))
+	}
+	return "", fmt.Errorf("unknown scheme %q (have %s)", name, strings.Join(have, ", "))
+}
 
 // BaselineEntries is the full register file capacity per SM in registers.
 const BaselineEntries = 2048

@@ -100,6 +100,27 @@ type Plan struct {
 // DefaultDelay is mem-delay's extra latency when the spec omits delay=.
 const DefaultDelay = 1000
 
+// ArmedClasses returns the distinct fault classes the plan arms, in spec
+// order. Health endpoints report them so a degraded service is
+// attributable to its injection campaign rather than mistaken for an
+// organic failure.
+func (p *Plan) ArmedClasses() []string {
+	if p == nil {
+		return nil
+	}
+	armed := map[Class]bool{}
+	for _, f := range p.Faults {
+		armed[f.Class] = true
+	}
+	out := make([]string, 0, len(armed))
+	for _, c := range Classes() {
+		if armed[c] {
+			out = append(out, string(c))
+		}
+	}
+	return out
+}
+
 // Parse builds a Plan from a spec string. Malformed specs return errors,
 // never panic (a fuzz target enforces this).
 func Parse(spec string) (*Plan, error) {

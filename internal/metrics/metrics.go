@@ -26,6 +26,7 @@ package metrics
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Kind classifies a registered cell for export.
@@ -46,6 +47,18 @@ type cell struct {
 	val *uint64
 	// sample backs gauges.
 	sample func() uint64
+	// atomic marks cells incremented from concurrent goroutines
+	// (AtomicCounter); registry reads then use atomic loads.
+	atomic bool
+}
+
+// load reads a counter cell, honoring the atomic discipline of cells that
+// are counted from concurrent goroutines.
+func (c *cell) load() uint64 {
+	if c.atomic {
+		return atomic.LoadUint64(c.val)
+	}
+	return *c.val
 }
 
 // Registry is an ordered collection of named instruments. Instruments are
@@ -95,6 +108,22 @@ func (r *Registry) Counter(name string) Counter {
 	v := new(uint64)
 	r.register(cell{name: name, kind: KindCounter, val: v})
 	return Counter{v: v}
+}
+
+// AtomicCounter registers a counter cell whose increments are safe from
+// concurrent goroutines. Simulations never need this (one registry per
+// simulation, one goroutine); the serving layer does — request handlers
+// and pool workers count hits, misses, and admissions concurrently while
+// a metrics loop snapshots and closes windows. Reads of an atomic cell
+// (Value, Snapshot, CloseWindow) use atomic loads, so counting never
+// races export.
+func (r *Registry) AtomicCounter(name string) AtomicCounter {
+	if r == nil {
+		return AtomicCounter{}
+	}
+	v := new(uint64)
+	r.register(cell{name: name, kind: KindCounter, val: v, atomic: true})
+	return AtomicCounter{v: v}
 }
 
 // Bind registers a counter view over an externally owned cell (a field of
@@ -168,6 +197,34 @@ func (c Counter) Value() uint64 {
 	return *c.v
 }
 
+// AtomicCounter is a handle to one registered atomic cell. The zero value
+// is a no-op, matching Counter.
+type AtomicCounter struct {
+	v *uint64
+}
+
+// Inc atomically adds one.
+func (c AtomicCounter) Inc() {
+	if c.v != nil {
+		atomic.AddUint64(c.v, 1)
+	}
+}
+
+// Add atomically adds n.
+func (c AtomicCounter) Add(n uint64) {
+	if c.v != nil {
+		atomic.AddUint64(c.v, n)
+	}
+}
+
+// Value atomically reads the current count (0 for the zero AtomicCounter).
+func (c AtomicCounter) Value() uint64 {
+	if c.v == nil {
+		return 0
+	}
+	return atomic.LoadUint64(c.v)
+}
+
 // Histogram is a bucketed counter handle. The zero value is a no-op.
 type Histogram struct {
 	bounds []uint64
@@ -233,7 +290,7 @@ func (r *Registry) read(i int) uint64 {
 	if c.kind == KindGauge {
 		return c.sample()
 	}
-	return *c.val
+	return c.load()
 }
 
 // Snapshot captures every cell (gauges are sampled now) in registration
@@ -302,9 +359,10 @@ func (r *Registry) SetSink(s Sink) {
 	r.last = make([]uint64, len(r.cells))
 	r.winNames = make([]string, len(r.cells))
 	r.winKinds = make([]Kind, len(r.cells))
-	for i, c := range r.cells {
+	for i := range r.cells {
+		c := &r.cells[i]
 		if c.kind == KindCounter {
-			r.last[i] = *c.val
+			r.last[i] = c.load()
 		}
 		r.winNames[i] = c.name
 		r.winKinds[i] = c.kind
@@ -323,12 +381,13 @@ func (r *Registry) CloseWindow(end uint64) {
 	if r == nil || r.sink == nil || end == r.winStart {
 		return
 	}
-	for i, c := range r.cells {
+	for i := range r.cells {
+		c := &r.cells[i]
 		if c.kind == KindGauge {
 			r.scratch[i] = c.sample()
 			continue
 		}
-		v := *c.val
+		v := c.load()
 		r.scratch[i] = v - r.last[i]
 		r.last[i] = v
 	}

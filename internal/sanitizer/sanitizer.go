@@ -229,6 +229,13 @@ func (d *Diagnostic) Error() string {
 	return fmt.Sprintf("diagnostic: %s at cycle %d: %s", d.Component, d.Cycle, d.Violation)
 }
 
+// Brief is the bare one-line form for health reports and log lines:
+// component, cycle, and violation without the "diagnostic:" prefix or the
+// full bundle.
+func (d *Diagnostic) Brief() string {
+	return fmt.Sprintf("%s at cycle %d: %s", d.Component, d.Cycle, d.Violation)
+}
+
 // Render formats the full bundle for terminals.
 func (d *Diagnostic) Render() string {
 	var b strings.Builder

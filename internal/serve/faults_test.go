@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/faults"
+)
+
+// faultOpts arms one fault class on a sanitized, watchdog-bounded server
+// (the same shape as the experiment-layer fault matrix: nw at 8 warps
+// finishes in ~1100 cycles, so cycle 200 lands mid-run).
+func faultOpts(t *testing.T, spec string) experiments.Options {
+	t.Helper()
+	plan, err := faults.Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	o := testOpts()
+	o.Watchdog = 20_000
+	o.Sanitize = true
+	o.Faults = plan
+	return o
+}
+
+// TestServeFaultMatrix extends the robustness contract to the service: a
+// fault-armed server classifies every injected run as tolerated (done) or
+// detected (failed with a structured Diagnostic in the API response, and
+// /healthz degraded) — and the worker pool survives either way, answering
+// the next request instead of hanging or exiting the process.
+func TestServeFaultMatrix(t *testing.T) {
+	for _, class := range faults.Classes() {
+		spec := fmt.Sprintf("%s@200; seed=3", class)
+		t.Run(string(class), func(t *testing.T) {
+			s := newTestServer(t, t.TempDir(), faultOpts(t, spec))
+			defer s.Close()
+			h := s.Handler()
+
+			var st RunStatus
+			code := doJSON(t, h, "POST", "/v1/runs?wait=1", "matrix", RunRequest{Bench: "nw", Scheme: "regless"}, &st)
+			if code != http.StatusOK {
+				t.Fatalf("POST run = %d", code)
+			}
+			switch st.Status {
+			case "done":
+				if len(st.Result) == 0 {
+					t.Fatal("tolerated run served no result")
+				}
+				t.Log("tolerated")
+			case "failed":
+				if st.Error == "" {
+					t.Fatal("failed run carries no error report")
+				}
+				if st.Diagnostic != nil {
+					if st.Diagnostic.Component == "" || st.Diagnostic.Violation == "" {
+						t.Fatalf("diagnostic names no component: %+v", st.Diagnostic)
+					}
+					if st.Diagnostic.Component == "sim/maxcycles" {
+						t.Fatalf("run hung until MaxCycles; watchdog/sanitizer never fired: %s", st.Error)
+					}
+					t.Logf("detected by %s", st.Diagnostic.Component)
+				} else {
+					t.Logf("failed without structured diagnostic: %s", st.Error)
+				}
+				assertDegraded(t, s, string(class))
+			default:
+				t.Fatalf("run finished %q", st.Status)
+			}
+
+			// The pool is alive either way: a clean follow-up point (the
+			// fault seed targets nw/regless state; baseline runs don't
+			// have to succeed under every class, they just must answer).
+			var st2 RunStatus
+			if code := doJSON(t, h, "POST", "/v1/runs?wait=1", "matrix", RunRequest{Bench: "bfs", Scheme: "baseline"}, &st2); code != http.StatusOK {
+				t.Fatalf("follow-up POST = %d; pool wedged", code)
+			}
+			if st2.Status != "done" && st2.Status != "failed" {
+				t.Fatalf("follow-up run never completed: %q", st2.Status)
+			}
+		})
+	}
+}
+
+// assertDegraded checks the health endpoint flipped to 503 and attributes
+// the failure to the armed fault campaign.
+func assertDegraded(t *testing.T, s *Server, class string) {
+	t.Helper()
+	var h Health
+	if code := doJSON(t, s.Handler(), "GET", "/healthz", "", nil, &h); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after failure = %d, want 503", code)
+	}
+	if h.Status != "degraded" || h.Failures == 0 {
+		t.Fatalf("health = %+v, want degraded with failures", h)
+	}
+	if !h.Sanitize {
+		t.Error("health does not report the sanitizer armed")
+	}
+	found := false
+	for _, c := range h.ArmedFaults {
+		if c == class {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("armed_faults %v does not name %s", h.ArmedFaults, class)
+	}
+	if len(h.LastFailures) == 0 {
+		t.Error("health carries no failure briefs")
+	}
+}
+
+// TestServeFaultDetectionPinned pins the known-detected case from the
+// experiment-layer matrix: a corrupted OSU tag under RegLess is caught by
+// the OSU partition invariant, and the API surfaces that exact component.
+func TestServeFaultDetectionPinned(t *testing.T) {
+	s := newTestServer(t, t.TempDir(), faultOpts(t, "osu-tag@200; seed=3"))
+	defer s.Close()
+
+	var st RunStatus
+	code := doJSON(t, s.Handler(), "POST", "/v1/runs?wait=1", "pinned", RunRequest{Bench: "nw", Scheme: "regless"}, &st)
+	if code != http.StatusOK {
+		t.Fatalf("POST run = %d", code)
+	}
+	if st.Status != "failed" {
+		t.Fatalf("osu-tag fault was not detected: status %q", st.Status)
+	}
+	if st.Diagnostic == nil {
+		t.Fatalf("no structured diagnostic; error: %s", st.Error)
+	}
+	if !strings.HasPrefix(st.Diagnostic.Component, "osu/") {
+		t.Fatalf("detected by %q, want osu/*", st.Diagnostic.Component)
+	}
+	if len(st.Diagnostic.FaultsApplied) == 0 {
+		t.Error("diagnostic does not list the applied fault")
+	}
+	assertDegraded(t, s, "osu-tag")
+
+	// Failed runs must never be persisted: a fault-armed store entry
+	// would otherwise be served as truth later.
+	if n, err := s.Store().Len(); err != nil || n != 0 {
+		t.Fatalf("failed run persisted %d entries (%v)", n, err)
+	}
+}

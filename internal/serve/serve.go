@@ -1,0 +1,827 @@
+// Package serve is the sweep service: an HTTP JSON API over the
+// experiment engine, backed by the persistent content-addressed run
+// cache in internal/store. Simulations are deterministic, so every
+// completed result is cacheable forever; the service turns that into the
+// serving-stack shape of DESIGN.md §14 — admission with per-client
+// fairness, bounded in-flight simulation, singleflight dedupe of
+// identical submissions, a disk store that stays warm across restarts,
+// and a health model that surfaces sanitizer/watchdog Diagnostics as
+// per-run error reports and a degraded /healthz instead of process exit.
+//
+// Layering per request:
+//
+//	HTTP handler  -> canonical store.Key (content-addressed job id)
+//	  jobs map    -> submissions of the same key attach to one job (dedupe)
+//	  admitter    -> per-client round-robin FIFO into a bounded pool
+//	  store.Get   -> disk hit: serve the stored bytes verbatim
+//	  Suite.Get   -> miss: simulate (in-memory singleflight), store.Put
+//
+// Because the store holds the marshaled response payload itself, a hit —
+// in this process or any later one — is byte-identical to the response
+// the original miss produced.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/sanitizer"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// Config parameterizes a server. Every simulation this server runs uses
+// the same Options (warps, SMs, cycle bounds, robustness
+// instrumentation); requests choose the (bench, scheme, capacity) point.
+type Config struct {
+	// Opts configures the embedded experiment suite. Parallelism bounds
+	// the admission pool's in-flight simulations (0: GOMAXPROCS).
+	Opts experiments.Options
+	// StoreDir roots the persistent result store (required).
+	StoreDir string
+	// MetricsWriter, when non-nil, receives the server's own JSONL
+	// window stream (hit/miss/queue counters); MetricsEvery is the
+	// window period (default 1s).
+	MetricsWriter io.Writer
+	MetricsEvery  time.Duration
+}
+
+// RunRequest names one simulation in the server's configuration space.
+type RunRequest struct {
+	Bench  string `json:"bench"`
+	Scheme string `json:"scheme"`
+	// Capacity is the RegLess OSU capacity (registers/SM); 0 means the
+	// paper default for RegLess schemes and is ignored for the rest.
+	Capacity int `json:"capacity,omitempty"`
+}
+
+// SweepRequest is the cross product of its fields, in deterministic
+// (bench, scheme, capacity) order. Capacities defaults to the paper
+// default; Benchmarks and Schemes must be non-empty.
+type SweepRequest struct {
+	Benchmarks []string `json:"benchmarks"`
+	Schemes    []string `json:"schemes"`
+	Capacities []int    `json:"capacities,omitempty"`
+}
+
+// RunResult is the cacheable payload served for one completed simulation:
+// exactly the statistics a direct Suite.Get exposes, plus the server
+// configuration that produced them. Its JSON encoding is what the store
+// persists, so hits are byte-identical to the original computation.
+type RunResult struct {
+	Bench    string `json:"bench"`
+	Scheme   string `json:"scheme"`
+	Capacity int    `json:"capacity"`
+	Warps    int    `json:"warps"`
+	SMs      int    `json:"sms"`
+
+	Stats sim.Stats         `json:"stats"`
+	Prov  sim.ProviderStats `json:"provider"`
+	Mem   mem.Stats         `json:"mem"`
+}
+
+// RunStatus is the poll/fetch view of one submitted run.
+type RunStatus struct {
+	ID     string `json:"id"`
+	Status string `json:"status"` // queued | running | done | failed
+	// Cached reports the result was served from the disk store.
+	Cached bool            `json:"cached,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error and Diagnostic carry the per-run failure report (sanitizer
+	// invariant violation, watchdog trip, MaxCycles abort).
+	Error      string                `json:"error,omitempty"`
+	Diagnostic *sanitizer.Diagnostic `json:"diagnostic,omitempty"`
+}
+
+// SweepStatus is the poll view of a sweep: per-run statuses without the
+// (potentially large) result payloads, which are fetched per run or as a
+// rendered table.
+type SweepStatus struct {
+	ID        string      `json:"id"`
+	Status    string      `json:"status"` // running | done | failed
+	Total     int         `json:"total"`
+	Completed int         `json:"completed"`
+	Failed    int         `json:"failed"`
+	Runs      []RunStatus `json:"runs"`
+}
+
+// Health is the /healthz report. Status is "ok" (HTTP 200) until any run
+// fails with a Diagnostic, then "degraded" (HTTP 503) with the recent
+// failures attached — the service-shaped replacement for PR 4's
+// render-and-exit path.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Jobs          int     `json:"jobs"`
+	Queued        int64   `json:"queued"`
+	Inflight      int64   `json:"inflight"`
+	Failures      uint64  `json:"failures"`
+	// ArmedFaults, Sanitize, and Watchdog describe the robustness
+	// campaign this server runs under, so a degraded status is
+	// attributable to injection rather than mistaken for organic decay.
+	ArmedFaults  []string       `json:"armed_faults,omitempty"`
+	Sanitize     bool           `json:"sanitize,omitempty"`
+	Watchdog     uint64         `json:"watchdog,omitempty"`
+	LastFailures []FailureBrief `json:"last_failures,omitempty"`
+}
+
+// FailureBrief is one failed run in the health report.
+type FailureBrief struct {
+	ID        string `json:"id"`
+	Bench     string `json:"bench"`
+	Scheme    string `json:"scheme"`
+	Component string `json:"component,omitempty"`
+	Brief     string `json:"brief"`
+}
+
+// job states, stored atomically so poll handlers read them without locks.
+const (
+	jobQueued int32 = iota
+	jobRunning
+	jobDone
+	jobFailed
+)
+
+// job is one admitted simulation, shared by every submission of its key.
+// done closes after the final fields (payload, errText, diag) are set, so
+// any reader that observed the closed channel reads them race-free.
+type job struct {
+	id     string
+	key    store.Key
+	client string
+
+	state stateCell
+	done  chan struct{}
+
+	payload json.RawMessage
+	cached  bool
+	errText string
+	diag    *sanitizer.Diagnostic
+}
+
+type sweep struct {
+	id   string
+	jobs []*job
+}
+
+// Server is the sweep service. Create with New, mount Handler, and Close
+// to drain the pool and flush metrics.
+type Server struct {
+	cfg   Config
+	suite *experiments.Suite
+	st    *store.Store
+	admit *admitter
+
+	faultsSpec string
+
+	reg   *metrics.Registry
+	jsonl *metrics.JSONLWriter
+	// metrics counters (atomic: counted from handlers and pool workers).
+	cHTTPRequests, cHTTPErrors              metrics.AtomicCounter
+	cSubmissions, cDedup                    metrics.AtomicCounter
+	cHits, cMisses, cFailures, cStoreErrors metrics.AtomicCounter
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	sweeps map[string]*sweep
+	recent []FailureBrief
+
+	start    time.Time
+	stopWin  chan struct{}
+	winDone  chan struct{}
+	handler  http.Handler
+	closedMu sync.Mutex
+	closed   bool
+}
+
+// New opens the store and starts the admission pool and metrics loop.
+func New(cfg Config) (*Server, error) {
+	if cfg.Opts.Warps < 1 {
+		return nil, fmt.Errorf("serve: warps must be at least 1, got %d", cfg.Opts.Warps)
+	}
+	if cfg.Opts.MaxCycles < 1 {
+		return nil, fmt.Errorf("serve: max-cycles must be at least 1")
+	}
+	if cfg.Opts.SMs < 1 {
+		cfg.Opts.SMs = 1
+	}
+	if cfg.Opts.Parallelism < 1 {
+		cfg.Opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MetricsEvery <= 0 {
+		cfg.MetricsEvery = time.Second
+	}
+	st, err := store.Open(cfg.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		suite:   experiments.NewSuite(cfg.Opts),
+		st:      st,
+		jobs:    map[string]*job{},
+		sweeps:  map[string]*sweep{},
+		start:   time.Now(),
+		stopWin: make(chan struct{}),
+		winDone: make(chan struct{}),
+	}
+	if cfg.Opts.Faults != nil {
+		s.faultsSpec = cfg.Opts.Faults.String()
+	}
+	s.admit = newAdmitter(cfg.Opts.Parallelism, s.execute)
+	s.initMetrics()
+	s.initHandler()
+	go s.windowLoop()
+	return s, nil
+}
+
+func (s *Server) initMetrics() {
+	s.reg = metrics.NewRegistry()
+	s.cHTTPRequests = s.reg.AtomicCounter("serve/http_requests")
+	s.cHTTPErrors = s.reg.AtomicCounter("serve/http_errors")
+	s.cSubmissions = s.reg.AtomicCounter("serve/submissions")
+	s.cDedup = s.reg.AtomicCounter("serve/dedup")
+	s.cHits = s.reg.AtomicCounter("serve/hits")
+	s.cMisses = s.reg.AtomicCounter("serve/misses")
+	s.cFailures = s.reg.AtomicCounter("serve/failures")
+	s.cStoreErrors = s.reg.AtomicCounter("serve/store_errors")
+	s.reg.Gauge("serve/queue_depth", func() uint64 { return clampGauge(s.admit.queued.Load()) })
+	s.reg.Gauge("serve/inflight", func() uint64 { return clampGauge(s.admit.inflight.Load()) })
+	s.reg.Gauge("store/puts", func() uint64 { return s.st.Stats().Puts })
+	s.reg.Gauge("store/quarantined", func() uint64 { return s.st.Stats().Quarantined })
+	s.reg.Gauge("store/recovered_temps", func() uint64 { return s.st.Stats().RecoveredTemps })
+	if s.cfg.MetricsWriter != nil {
+		s.jsonl = metrics.NewJSONLWriter(s.cfg.MetricsWriter)
+		s.reg.SetSink(s.jsonl.Run(metrics.String("component", "serve")))
+	}
+}
+
+func clampGauge(v int64) uint64 {
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
+// windowLoop closes a metrics window every MetricsEvery on a wall-clock
+// axis (seconds since start); the final partial window closes at Close.
+func (s *Server) windowLoop() {
+	defer close(s.winDone)
+	if s.jsonl == nil {
+		return
+	}
+	t := time.NewTicker(s.cfg.MetricsEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.reg.CloseWindow(uint64(time.Since(s.start) / time.Second))
+		case <-s.stopWin:
+			return
+		}
+	}
+}
+
+// Close drains the admission pool (every admitted job completes — the
+// watchdog and MaxCycles bound each simulation), closes the final
+// metrics window, and flushes the JSONL stream.
+func (s *Server) Close() error {
+	s.closedMu.Lock()
+	if s.closed {
+		s.closedMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.closedMu.Unlock()
+	s.admit.close()
+	close(s.stopWin)
+	<-s.winDone
+	if s.jsonl != nil {
+		s.reg.CloseWindow(uint64(time.Since(s.start)/time.Second) + 1)
+		return s.jsonl.Flush()
+	}
+	return nil
+}
+
+// Store exposes the underlying store (tests assert consistency on it).
+func (s *Server) Store() *store.Store { return s.st }
+
+// Metrics exposes the server's registry (tests read counters by name).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// ---------------------------------------------------------------------
+// Submission and execution
+
+// KeyFor canonicalizes a run request against this server's configuration.
+// Errors are admission errors (unknown bench/scheme, bad capacity) and
+// map to 4xx.
+func (s *Server) KeyFor(req RunRequest) (store.Key, error) {
+	scheme, err := experiments.ParseScheme(req.Scheme)
+	if err != nil {
+		return store.Key{}, err
+	}
+	if req.Capacity < 0 {
+		return store.Key{}, fmt.Errorf("negative capacity %d", req.Capacity)
+	}
+	capacity := req.Capacity
+	if capacity == 0 && (scheme == experiments.SchemeRegLess || scheme == experiments.SchemeRegLessNC) {
+		capacity = experiments.DefaultCapacity
+	}
+	ksha, err := KernelHash(req.Bench)
+	if err != nil {
+		return store.Key{}, err
+	}
+	k := store.Key{
+		KernelSHA: ksha,
+		Bench:     req.Bench,
+		Scheme:    string(scheme),
+		Capacity:  capacity,
+		Warps:     s.cfg.Opts.Warps,
+		SMs:       s.cfg.Opts.SMs,
+		MaxCycles: s.cfg.Opts.MaxCycles,
+		Watchdog:  s.cfg.Opts.Watchdog,
+		Sanitize:  s.cfg.Opts.Sanitize,
+		Faults:    s.faultsSpec,
+	}.Normalized()
+	if err := k.Validate(); err != nil {
+		return store.Key{}, err
+	}
+	return k, nil
+}
+
+// submit admits one run (or attaches to the job already covering its
+// key) and returns the shared job.
+func (s *Server) submit(key store.Key, client string) (*job, error) {
+	id, err := key.Hash()
+	if err != nil {
+		return nil, err
+	}
+	s.cSubmissions.Inc()
+	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok {
+		s.mu.Unlock()
+		s.cDedup.Inc()
+		return j, nil
+	}
+	j := &job{id: id, key: key, client: client, done: make(chan struct{})}
+	s.jobs[id] = j
+	s.mu.Unlock()
+	s.admit.enqueue(j)
+	return j, nil
+}
+
+// execute runs one admitted job on a pool worker: disk hit, else
+// simulate through the suite's singleflight cache and persist.
+func (s *Server) execute(j *job) {
+	j.state.set(jobRunning)
+	if payload, ok, err := s.st.Get(j.key); err == nil && ok {
+		s.cHits.Inc()
+		j.payload = payload
+		j.cached = true
+		j.finish(jobDone)
+		return
+	} else if err != nil {
+		s.cStoreErrors.Inc()
+	}
+	s.cMisses.Inc()
+	run, err := s.suite.Get(j.key.Bench, experiments.Scheme(j.key.Scheme), j.key.Capacity)
+	if err != nil {
+		j.errText = err.Error()
+		var d *sanitizer.Diagnostic
+		if errors.As(err, &d) {
+			j.diag = d
+		}
+		s.recordFailure(j)
+		j.finish(jobFailed)
+		return
+	}
+	payload, err := json.Marshal(s.resultFrom(run))
+	if err != nil {
+		j.errText = err.Error()
+		s.recordFailure(j)
+		j.finish(jobFailed)
+		return
+	}
+	j.payload = payload
+	if err := s.st.Put(j.key, payload); err != nil {
+		// The response is still served from memory; only persistence
+		// for future processes failed.
+		s.cStoreErrors.Inc()
+	}
+	j.finish(jobDone)
+}
+
+func (s *Server) resultFrom(r *experiments.Run) RunResult {
+	return RunResult{
+		Bench:    r.Bench,
+		Scheme:   string(r.Scheme),
+		Capacity: r.Capacity,
+		Warps:    s.cfg.Opts.Warps,
+		SMs:      s.cfg.Opts.SMs,
+		Stats:    *r.Stats,
+		Prov:     r.Prov,
+		Mem:      r.Mem,
+	}
+}
+
+func (s *Server) recordFailure(j *job) {
+	s.cFailures.Inc()
+	fb := FailureBrief{ID: j.id, Bench: j.key.Bench, Scheme: j.key.Scheme, Brief: j.errText}
+	if j.diag != nil {
+		fb.Component = j.diag.Component
+		fb.Brief = j.diag.Brief()
+	}
+	s.mu.Lock()
+	s.recent = append(s.recent, fb)
+	if len(s.recent) > 8 {
+		s.recent = s.recent[len(s.recent)-8:]
+	}
+	s.mu.Unlock()
+}
+
+// stateCell wraps the job-state atomic so the zero job is queued.
+type stateCell struct{ v atomic.Int32 }
+
+func (c *stateCell) set(s int32)  { c.v.Store(s) }
+func (c *stateCell) get() int32   { return c.v.Load() }
+func (j *job) finish(state int32) { j.state.set(state); close(j.done) }
+
+// status renders the job for a response; includeResult attaches the
+// payload bytes (exactly as stored, so hits are byte-identical).
+func (j *job) status(includeResult bool) RunStatus {
+	st := RunStatus{ID: j.id}
+	select {
+	case <-j.done:
+	default:
+		if j.state.get() == jobRunning {
+			st.Status = "running"
+		} else {
+			st.Status = "queued"
+		}
+		return st
+	}
+	if j.state.get() == jobFailed {
+		st.Status = "failed"
+		st.Error = j.errText
+		st.Diagnostic = j.diag
+		return st
+	}
+	st.Status = "done"
+	st.Cached = j.cached
+	if includeResult {
+		st.Result = j.payload
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------
+// HTTP layer
+
+func (s *Server) initHandler() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handlePostRun)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
+	mux.HandleFunc("POST /v1/sweeps", s.handlePostSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}/table", s.handleSweepTable)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	s.handler = mux
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.cHTTPRequests.Inc()
+		s.handler.ServeHTTP(w, r)
+	})
+}
+
+// client identifies the fairness bucket: an explicit header, else one
+// shared anonymous bucket.
+func clientOf(r *http.Request) string {
+	if c := r.Header.Get("X-Regless-Client"); c != "" {
+		return c
+	}
+	return "anon"
+}
+
+func wantWait(r *http.Request) bool {
+	v := r.URL.Query().Get("wait")
+	return v == "1" || v == "true"
+}
+
+func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	s.cHTTPErrors.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// decodeBody strictly decodes a JSON request body: unknown fields,
+// trailing garbage, and bodies over 1 MiB are admission errors.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after request object")
+	}
+	return nil
+}
+
+// waitJob blocks for the job unless the client goes away first.
+func waitJob(r *http.Request, j *job) bool {
+	select {
+	case <-j.done:
+		return true
+	case <-r.Context().Done():
+		return false
+	}
+}
+
+func (s *Server) handlePostRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad run request: %v", err)
+		return
+	}
+	key, err := s.KeyFor(req)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.submit(key, clientOf(r))
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if wantWait(r) {
+		if !waitJob(r, j) {
+			s.httpError(w, http.StatusServiceUnavailable, "client gave up waiting")
+			return
+		}
+		writeJSON(w, http.StatusOK, j.status(true))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status(true))
+}
+
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		s.httpError(w, http.StatusNotFound, "unknown run %q", id)
+		return
+	}
+	if wantWait(r) && !waitJob(r, j) {
+		s.httpError(w, http.StatusServiceUnavailable, "client gave up waiting")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status(true))
+}
+
+// expand builds the sweep's run requests in deterministic grid order.
+func (req SweepRequest) expand() ([]RunRequest, error) {
+	if len(req.Benchmarks) == 0 {
+		return nil, fmt.Errorf("sweep names no benchmarks")
+	}
+	if len(req.Schemes) == 0 {
+		return nil, fmt.Errorf("sweep names no schemes")
+	}
+	caps := req.Capacities
+	if len(caps) == 0 {
+		caps = []int{0} // KeyFor resolves 0 to the scheme's default
+	}
+	var out []RunRequest
+	for _, b := range req.Benchmarks {
+		for _, sc := range req.Schemes {
+			for _, c := range caps {
+				out = append(out, RunRequest{Bench: b, Scheme: sc, Capacity: c})
+			}
+		}
+	}
+	return out, nil
+}
+
+func (s *Server) handlePostSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad sweep request: %v", err)
+		return
+	}
+	runs, err := req.expand()
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Canonicalize the whole grid first so a bad cell rejects the sweep
+	// before anything is admitted.
+	keys := make([]store.Key, 0, len(runs))
+	for _, rr := range runs {
+		k, err := s.KeyFor(rr)
+		if err != nil {
+			s.httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		keys = append(keys, k)
+	}
+	client := clientOf(r)
+	var jobs []*job
+	seen := map[string]bool{}
+	for _, k := range keys {
+		j, err := s.submit(k, client)
+		if err != nil {
+			s.httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if !seen[j.id] {
+			seen[j.id] = true
+			jobs = append(jobs, j)
+		}
+	}
+	sw := &sweep{jobs: jobs}
+	h := sha256.New()
+	for _, j := range jobs {
+		io.WriteString(h, j.id)
+	}
+	sw.id = hex.EncodeToString(h.Sum(nil))
+	s.mu.Lock()
+	if prev, ok := s.sweeps[sw.id]; ok {
+		sw = prev
+	} else {
+		s.sweeps[sw.id] = sw
+	}
+	s.mu.Unlock()
+	if wantWait(r) {
+		for _, j := range sw.jobs {
+			if !waitJob(r, j) {
+				s.httpError(w, http.StatusServiceUnavailable, "client gave up waiting")
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, sw.status())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, sw.status())
+}
+
+func (sw *sweep) status() SweepStatus {
+	st := SweepStatus{ID: sw.id, Total: len(sw.jobs)}
+	for _, j := range sw.jobs {
+		rs := j.status(false)
+		st.Runs = append(st.Runs, rs)
+		switch rs.Status {
+		case "done":
+			st.Completed++
+		case "failed":
+			st.Completed++
+			st.Failed++
+		}
+	}
+	switch {
+	case st.Completed < st.Total:
+		st.Status = "running"
+	case st.Failed > 0:
+		st.Status = "failed"
+	default:
+		st.Status = "done"
+	}
+	return st
+}
+
+func (s *Server) lookupSweep(id string) *sweep {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sweeps[id]
+}
+
+func (s *Server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
+	sw := s.lookupSweep(r.PathValue("id"))
+	if sw == nil {
+		s.httpError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	if wantWait(r) {
+		for _, j := range sw.jobs {
+			if !waitJob(r, j) {
+				s.httpError(w, http.StatusServiceUnavailable, "client gave up waiting")
+				return
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, sw.status())
+}
+
+func (s *Server) handleSweepTable(w http.ResponseWriter, r *http.Request) {
+	sw := s.lookupSweep(r.PathValue("id"))
+	if sw == nil {
+		s.httpError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	for _, j := range sw.jobs {
+		if wantWait(r) {
+			if !waitJob(r, j) {
+				s.httpError(w, http.StatusServiceUnavailable, "client gave up waiting")
+				return
+			}
+			continue
+		}
+		select {
+		case <-j.done:
+		default:
+			s.httpError(w, http.StatusConflict, "sweep still running (%s)", j.id)
+			return
+		}
+	}
+	tb, err := sw.table(s.cfg.Opts.Warps, s.cfg.Opts.SMs)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, tb.Render())
+}
+
+// table renders the sweep's completed runs. The text is a pure function
+// of the run results (no hit/miss annotations), so a cached pass renders
+// byte-identically to the pass that computed it.
+func (sw *sweep) table(warps, sms int) (*experiments.Table, error) {
+	tb := &experiments.Table{
+		ID:     "sweep",
+		Title:  fmt.Sprintf("%d runs (warps %d, SMs %d)", len(sw.jobs), warps, sms),
+		Header: []string{"bench", "scheme", "capacity", "cycles", "insns", "IPC", "SIMT eff"},
+	}
+	for _, j := range sw.jobs {
+		if j.state.get() == jobFailed {
+			tb.AddRow(j.key.Bench, j.key.Scheme, fmt.Sprint(j.key.Capacity), "error", j.errText, "", "")
+			continue
+		}
+		var res RunResult
+		if err := json.Unmarshal(j.payload, &res); err != nil {
+			return nil, fmt.Errorf("decoding result %s: %w", j.id, err)
+		}
+		tb.AddRow(res.Bench, res.Scheme, fmt.Sprint(res.Capacity),
+			fmt.Sprint(res.Stats.Cycles), fmt.Sprint(res.Stats.DynInsns),
+			fmt.Sprintf("%.2f", res.Stats.IPC()), fmt.Sprintf("%.2f", res.Stats.SIMTEfficiency()))
+	}
+	return tb, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	recent := append([]FailureBrief(nil), s.recent...)
+	s.mu.Unlock()
+	h := Health{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Jobs:          jobs,
+		Queued:        s.admit.queued.Load(),
+		Inflight:      s.admit.inflight.Load(),
+		Failures:      s.cFailures.Value(),
+		Sanitize:      s.cfg.Opts.Sanitize,
+		Watchdog:      s.cfg.Opts.Watchdog,
+		LastFailures:  recent,
+	}
+	if s.cfg.Opts.Faults != nil {
+		h.ArmedFaults = s.cfg.Opts.Faults.ArmedClasses()
+	}
+	code := http.StatusOK
+	h.Status = "ok"
+	if h.Failures > 0 {
+		h.Status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	out := make(map[string]uint64, len(snap))
+	for _, smp := range snap {
+		out[smp.Name] = smp.Value
+	}
+	writeJSON(w, http.StatusOK, out)
+}

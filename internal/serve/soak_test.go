@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// soakRequests returns the soak volume: 2000 by default (the PR's
+// contract), overridable via REGLESS_SOAK_REQUESTS so CI can run a
+// reduced race-enabled pass without forking the test.
+func soakRequests(t *testing.T) int {
+	t.Helper()
+	if v := os.Getenv("REGLESS_SOAK_REQUESTS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad REGLESS_SOAK_REQUESTS=%q", v)
+		}
+		return n
+	}
+	return 2000
+}
+
+// TestServeSoak is the concurrency proof for the sweep service: a real
+// HTTP server takes thousands of concurrent mixed hit/miss submissions
+// from many clients, and afterwards (a) every response was byte-identical
+// to a direct Suite.Get of the same point, (b) the store is consistent
+// (no partial files, every entry verifies), and (c) the counters balance:
+// hits + misses == unique keys and submissions == hits + misses + dedup.
+//
+// Store hits only happen across a restart (within one server lifetime the
+// jobs map dedupes every key to one execution), so the test warms half
+// the grid on server A, restarts as server B over the same directory, and
+// soaks B — first touches of warmed keys are disk hits, first touches of
+// cold keys are misses, everything else dedupes.
+func TestServeSoak(t *testing.T) {
+	n := soakRequests(t)
+	dir := t.TempDir()
+	opts := testOpts()
+
+	// Six unique points: 2 benches x (baseline + regless at 2 capacities).
+	grid := []RunRequest{
+		{Bench: "nw", Scheme: "baseline"},
+		{Bench: "nw", Scheme: "regless", Capacity: 256},
+		{Bench: "nw", Scheme: "regless", Capacity: 512},
+		{Bench: "bfs", Scheme: "baseline"},
+		{Bench: "bfs", Scheme: "regless", Capacity: 256},
+		{Bench: "bfs", Scheme: "regless", Capacity: 512},
+	}
+	warm := grid[:3]
+
+	// Reference payloads from an independent suite, before any serving.
+	ref := make(map[string][]byte, len(grid))
+	suite := experiments.NewSuite(opts)
+	for _, rr := range grid {
+		capacity := rr.Capacity
+		if capacity == 0 && rr.Scheme == "regless" {
+			capacity = experiments.DefaultCapacity
+		}
+		ref[rr.Bench+"/"+rr.Scheme+"/"+fmt.Sprint(rr.Capacity)] =
+			refPayload(t, suite, opts, rr.Bench, experiments.Scheme(rr.Scheme), capacity)
+	}
+
+	// Phase 1: warm half the grid, then "restart".
+	a := newTestServer(t, dir, opts)
+	for _, rr := range warm {
+		var st RunStatus
+		if code := doJSON(t, a.Handler(), "POST", "/v1/runs?wait=1", "warmer", rr, &st); code != http.StatusOK || st.Status != "done" {
+			t.Fatalf("warmup %+v = %d %q (%s)", rr, code, st.Status, st.Error)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: soak the restarted server over real HTTP.
+	b := newTestServer(t, dir, opts)
+	defer b.Close()
+	ts := httptest.NewServer(b.Handler())
+	defer ts.Close()
+
+	const workers = 16
+	hc := &http.Client{}
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	// results[key][response] dedupes observed bytes per grid point.
+	var mu sync.Mutex
+	seen := make(map[string]map[string]bool)
+
+	perWorker := n / workers
+	extra := n % workers
+	for w := 0; w < workers; w++ {
+		count := perWorker
+		if w < extra {
+			count++
+		}
+		wg.Add(1)
+		go func(w, count int) {
+			defer wg.Done()
+			client := fmt.Sprintf("soak-%d", w)
+			for i := 0; i < count; i++ {
+				rr := grid[(w+i)%len(grid)]
+				body, _ := json.Marshal(rr)
+				req, err := http.NewRequest("POST", ts.URL+"/v1/runs?wait=1", bytes.NewReader(body))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				req.Header.Set("X-Regless-Client", client)
+				resp, err := hc.Do(req)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				raw, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("%+v: %s: %s", rr, resp.Status, raw)
+					return
+				}
+				var st RunStatus
+				if err := json.Unmarshal(raw, &st); err != nil {
+					errCh <- fmt.Errorf("%+v: bad response: %v", rr, err)
+					return
+				}
+				if st.Status != "done" || len(st.Result) == 0 {
+					errCh <- fmt.Errorf("%+v: status %q (%s)", rr, st.Status, st.Error)
+					return
+				}
+				key := rr.Bench + "/" + rr.Scheme + "/" + fmt.Sprint(rr.Capacity)
+				mu.Lock()
+				if seen[key] == nil {
+					seen[key] = map[string]bool{}
+				}
+				seen[key][string(st.Result)] = true
+				mu.Unlock()
+			}
+		}(w, count)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Every grid point was exercised and served exactly one byte pattern,
+	// equal to the direct Suite.Get reference.
+	if len(seen) != len(grid) {
+		t.Fatalf("soak touched %d/%d grid points", len(seen), len(grid))
+	}
+	for key, variants := range seen {
+		if len(variants) != 1 {
+			t.Fatalf("point %s served %d distinct byte patterns", key, len(variants))
+		}
+		for got := range variants {
+			if got != string(ref[key]) {
+				t.Fatalf("point %s differs from direct Suite.Get:\n%s\n%s", key, got, ref[key])
+			}
+		}
+	}
+
+	// Counter balance on the soaked server.
+	subs := counter(t, b, "serve/submissions")
+	dedup := counter(t, b, "serve/dedup")
+	hits := counter(t, b, "serve/hits")
+	misses := counter(t, b, "serve/misses")
+	if subs != uint64(n) {
+		t.Fatalf("submissions = %d, want %d", subs, n)
+	}
+	if hits+misses+dedup != subs {
+		t.Fatalf("counter imbalance: hits %d + misses %d + dedup %d != submissions %d", hits, misses, dedup, subs)
+	}
+	if int(hits) != len(warm) {
+		t.Fatalf("hits = %d, want %d (one per warmed key)", hits, len(warm))
+	}
+	if int(misses) != len(grid)-len(warm) {
+		t.Fatalf("misses = %d, want %d (one per cold key)", misses, len(grid)-len(warm))
+	}
+	if got := counter(t, b, "serve/failures"); got != 0 {
+		t.Fatalf("soak produced %d failures", got)
+	}
+
+	// Store consistency: every unique key persisted, nothing partial,
+	// everything verifies.
+	if got, err := b.Store().Len(); err != nil || got != len(grid) {
+		t.Fatalf("store Len = %d, %v, want %d", got, err, len(grid))
+	}
+	if intact, err := b.Store().Verify(); err != nil || intact != len(grid) {
+		t.Fatalf("store Verify = %d, %v, want %d intact", intact, err, len(grid))
+	}
+}

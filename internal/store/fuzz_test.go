@@ -1,0 +1,72 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const fuzzSHA = "9f86d081884c7d659a2feaa0c55ad015a3bf4f1b2b0b822cd15d6c15b0f00a08"
+
+// FuzzKeyCanonical fuzzes key canonicalization: for arbitrary field
+// values, Canonical/Hash must never panic; when a key is accepted, its
+// canonical form must be a fixed point (decode → re-canonicalize →
+// identical bytes, identical hash), since cache addressing depends on
+// equal keys producing equal addresses in every process.
+func FuzzKeyCanonical(f *testing.F) {
+	f.Add(fuzzSHA, "nw", "regless", 512, 8, 1, uint64(1000), uint64(0), false, "")
+	f.Add(fuzzSHA, "bfs", "baseline", 256, 64, 15, uint64(60_000_000), uint64(20_000), true, "osu-tag@200; seed=3")
+	f.Add("", "", "", 0, 0, 0, uint64(0), uint64(0), false, "")
+	f.Add("abc", "../../etc", `a\b`, -5, -1, -2, uint64(1), uint64(1), true, "\x00")
+	f.Add(strings.ToUpper(fuzzSHA), "nw", "regless-nocomp", 1<<30, 1, 0, uint64(1), uint64(0), false, "seed=9")
+
+	f.Fuzz(func(t *testing.T, sha, bench, scheme string, capacity, warps, sms int, maxCycles, watchdog uint64, sanitize bool, faults string) {
+		k := Key{
+			KernelSHA: sha,
+			Bench:     bench,
+			Scheme:    scheme,
+			Capacity:  capacity,
+			Warps:     warps,
+			SMs:       sms,
+			MaxCycles: maxCycles,
+			Watchdog:  watchdog,
+			Sanitize:  sanitize,
+			Faults:    faults,
+		}
+		c1, err := k.Canonical()
+		if err != nil {
+			// Rejection must be consistent: no hash for an invalid key.
+			if _, herr := k.Hash(); herr == nil {
+				t.Fatalf("Validate rejected key but Hash minted an address: %+v", k)
+			}
+			return
+		}
+		h1, err := k.Hash()
+		if err != nil {
+			t.Fatalf("Canonical succeeded but Hash failed: %v", err)
+		}
+
+		// Canonicalization is a fixed point under decode/re-encode.
+		var k2 Key
+		if err := json.Unmarshal(c1, &k2); err != nil {
+			t.Fatalf("canonical form does not decode: %v", err)
+		}
+		c2, err := k2.Canonical()
+		if err != nil {
+			t.Fatalf("re-canonicalizing a canonical key failed: %v", err)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("canonicalization not idempotent:\n%s\n%s", c1, c2)
+		}
+		h2, err := k2.Hash()
+		if err != nil || h1 != h2 {
+			t.Fatalf("hash unstable across canonicalization: %s vs %s (%v)", h1, h2, err)
+		}
+
+		// Normalization is idempotent.
+		if n1, n2 := k.Normalized(), k.Normalized().Normalized(); n1 != n2 {
+			t.Fatalf("Normalized not idempotent: %+v vs %+v", n1, n2)
+		}
+	})
+}

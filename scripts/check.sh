@@ -72,3 +72,42 @@ rc=0
 	2> "$tracedir/err-pinned.txt" > /dev/null || rc=$?
 test "$rc" = 1
 grep -q "component  osu/" "$tracedir/err-pinned.txt"
+
+# Sweep-service smoke (DESIGN.md §14): start `regless serve` on an
+# ephemeral port over a fresh store, render a cold sweep table (all
+# misses), restart the server over the same store directory, and require
+# the warm pass (served from disk) to be byte-identical to both the cold
+# pass and the committed golden. The load generator then hammers the
+# warm server, and shutdown must be clean on SIGTERM. The full 2000-
+# request soak runs in the race gate above; the reduced soak here pins
+# the env knob CI uses.
+go build -o "$tracedir/reglessload" ./cmd/reglessload
+start_serve() {
+	rm -f "$tracedir/addr"
+	"$tracedir/regless" serve -addr 127.0.0.1:0 -addr-file "$tracedir/addr" \
+		-store "$tracedir/store" -warps 8 2>> "$tracedir/serve-log.txt" &
+	servepid=$!
+	i=0
+	while [ ! -s "$tracedir/addr" ]; do
+		i=$((i + 1))
+		test "$i" -le 100
+		sleep 0.1
+	done
+	serveaddr="http://$(cat "$tracedir/addr")"
+}
+start_serve
+"$tracedir/reglessload" -addr "$serveaddr" -wait-ready 10s -table \
+	-benchmarks nw -schemes baseline,regless > "$tracedir/serve-cold.txt"
+kill -TERM "$servepid"
+wait "$servepid"
+start_serve
+"$tracedir/reglessload" -addr "$serveaddr" -wait-ready 10s -table \
+	-benchmarks nw -schemes baseline,regless > "$tracedir/serve-warm.txt"
+cmp "$tracedir/serve-cold.txt" "$tracedir/serve-warm.txt"
+cmp "$tracedir/serve-cold.txt" scripts/golden/serve_nw_warps8.txt
+"$tracedir/reglessload" -addr "$serveaddr" -requests 200 -clients 8 \
+	-benchmarks nw -schemes baseline,regless > "$tracedir/serve-load.txt"
+kill -TERM "$servepid"
+wait "$servepid"
+test "$(grep -c "shut down cleanly" "$tracedir/serve-log.txt")" = 2
+REGLESS_SOAK_REQUESTS=250 go test -race -count=1 -run TestServeSoak ./internal/serve
