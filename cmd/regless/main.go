@@ -243,6 +243,7 @@ func validateFlags(parallel int, metricsFmt string, bucket int, traceOut string,
 type benchSnapshot struct {
 	Experiment    string  `json:"experiment"`
 	GitSHA        string  `json:"git_sha,omitempty"`
+	GoVersion     string  `json:"go_version"`
 	Parallelism   int     `json:"parallelism"`
 	GOMAXPROCS    int     `json:"gomaxprocs"`
 	Warps         int     `json:"warps"`
@@ -269,6 +270,7 @@ func emitSnapshot(s *experiments.Suite, out io.Writer, experiment, gitSHA string
 	snap := benchSnapshot{
 		Experiment:    experiment,
 		GitSHA:        gitSHA,
+		GoVersion:     runtime.Version(),
 		Parallelism:   s.Opts.Parallelism,
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Warps:         s.Opts.Warps,

@@ -14,12 +14,32 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/debug"
 	"syscall"
 
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/serve"
 )
+
+// buildSHA is stamped at link time (-ldflags "-X main.buildSHA=...");
+// resolveGitSHA falls back to the VCS revision Go embeds in module
+// builds. Either way /healthz reports what binary is answering.
+var buildSHA string
+
+func resolveGitSHA() string {
+	if buildSHA != "" {
+		return buildSHA
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return ""
+}
 
 func serveMain(args []string) {
 	fs := flag.NewFlagSet("regless serve", flag.ExitOnError)
@@ -35,6 +55,7 @@ func serveMain(args []string) {
 		sanitize   = fs.Bool("sanitize", false, "run the cycle-level invariant sanitizer in every simulation")
 		faultSpec  = fs.String("faults", "", "fault-injection spec armed for every simulation (DESIGN.md §11)")
 		metricsOut = fs.String("metrics-out", "", "append the server's JSONL metrics windows to this file")
+		pprofOn    = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	fs.Parse(args)
 	if fs.NArg() > 0 {
@@ -61,7 +82,7 @@ func serveMain(args []string) {
 		opts.Faults = plan
 	}
 
-	cfg := serve.Config{Opts: opts, StoreDir: *storeDir}
+	cfg := serve.Config{Opts: opts, StoreDir: *storeDir, GitSHA: resolveGitSHA(), EnablePprof: *pprofOn}
 	if *metricsOut != "" {
 		f, err := os.OpenFile(*metricsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		check(err)

@@ -30,6 +30,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 type runRequest struct {
@@ -97,6 +99,7 @@ func main() {
 	}
 
 	before, _ := fetchMetrics(hc, base)
+	lat := newLatencyTracker()
 	start := time.Now()
 	var ok, failed, errs atomic.Int64
 	var wg sync.WaitGroup
@@ -117,7 +120,9 @@ func main() {
 				// concurrent clients collide on keys (dedupe) while
 				// still covering every point.
 				req := grid[(offset+i)%len(grid)]
+				t0 := time.Now()
 				st, err := submitRun(hc, base, name, req)
+				lat.observe(time.Since(t0))
 				switch {
 				case err != nil:
 					errs.Add(1)
@@ -136,12 +141,113 @@ func main() {
 	fmt.Printf("reglessload: %d requests (%d clients, %d grid points) in %.2fs (%.1f req/s)\n",
 		*requests, *clients, len(grid), wall.Seconds(), float64(*requests)/wall.Seconds())
 	fmt.Printf("  done %d, failed %d, transport errors %d\n", ok.Load(), failed.Load(), errs.Load())
+	lat.printSummary(os.Stdout)
 	if before != nil && after != nil {
 		printDeltas(before, after)
 	}
 	if errs.Load() > 0 || failed.Load() > 0 {
 		os.Exit(1)
 	}
+}
+
+// latBounds bucket per-request latency in microseconds, 100µs to 10min
+// (wait=1 submissions block for the whole simulation).
+var latBounds = []uint64{
+	100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000, 1_000_000, 2_500_000, 5_000_000,
+	10_000_000, 30_000_000, 60_000_000, 300_000_000, 600_000_000,
+}
+
+// latencyTracker is the client-side latency distribution: the shared
+// metrics histogram (atomic — every synthetic client observes into it)
+// plus an exact maximum, which a bucketed histogram cannot recover.
+type latencyTracker struct {
+	reg  *metrics.Registry
+	hist metrics.Histogram
+	max  atomic.Uint64
+}
+
+func newLatencyTracker() *latencyTracker {
+	reg := metrics.NewRegistry()
+	return &latencyTracker{reg: reg, hist: reg.AtomicHistogram("load/latency_us", latBounds...)}
+}
+
+func (l *latencyTracker) observe(d time.Duration) {
+	us := uint64(d / time.Microsecond)
+	l.hist.Observe(us)
+	for {
+		cur := l.max.Load()
+		if us <= cur || l.max.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// counts reads the bucket cells back out of the registry (non-cumulative,
+// overflow bucket last).
+func (l *latencyTracker) counts() []uint64 {
+	out := make([]uint64, 0, len(latBounds)+1)
+	for _, b := range latBounds {
+		v, _ := l.reg.Value(fmt.Sprintf("load/latency_us/le_%d", b))
+		out = append(out, v)
+	}
+	v, _ := l.reg.Value("load/latency_us/inf")
+	return append(out, v)
+}
+
+// quantile interpolates the q-th quantile (0..1) from the bucket counts,
+// linearly within the containing bucket; the overflow bucket reports the
+// exact observed maximum.
+func (l *latencyTracker) quantile(counts []uint64, total uint64, q float64) uint64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum, lo uint64
+	for i, c := range counts {
+		if cum+c > rank {
+			if i >= len(latBounds) {
+				return l.max.Load()
+			}
+			hi := latBounds[i]
+			// Position of the rank within this bucket, interpolated.
+			frac := float64(rank-cum) / float64(c)
+			return lo + uint64(frac*float64(hi-lo))
+		}
+		cum += c
+		if i < len(latBounds) {
+			lo = latBounds[i]
+		}
+	}
+	return l.max.Load()
+}
+
+func fmtUS(us uint64) string {
+	return fmt.Sprintf("%.1fms", float64(us)/1000)
+}
+
+// printSummary renders the per-request latency distribution table.
+func (l *latencyTracker) printSummary(w io.Writer) {
+	counts := l.counts()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return
+	}
+	sum, _ := l.reg.Value("load/latency_us/sum")
+	fmt.Fprintf(w, "  request latency (%d samples, mean %s):\n", total, fmtUS(sum/total))
+	for _, p := range []struct {
+		name string
+		q    float64
+	}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+		fmt.Fprintf(w, "    %-4s %10s\n", p.name, fmtUS(l.quantile(counts, total, p.q)))
+	}
+	fmt.Fprintf(w, "    %-4s %10s\n", "max", fmtUS(l.max.Load()))
 }
 
 func buildGrid(benchList, schemeList, capsList string) ([]runRequest, error) {

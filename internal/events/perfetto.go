@@ -40,10 +40,11 @@ const (
 	pidCompress  = 5 // per-shard compressor decisions (instants)
 )
 
-// traceEvent is one Chrome trace-event JSON object. Ts/Dur are in
-// microseconds; we map one simulated cycle to 1 us so Perfetto's time
-// axis reads directly in cycles.
-type traceEvent struct {
+// TraceEvent is one Chrome trace-event JSON object. Ts/Dur are in
+// microseconds; the cycle-level exporters map one simulated cycle to
+// 1 us so Perfetto's time axis reads directly in cycles, while the
+// service-level exporter (internal/obs) records real wall microseconds.
+type TraceEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
 	Ts   uint64         `json:"ts"`
@@ -54,34 +55,62 @@ type traceEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-type perfettoWriter struct {
+// ChromeTrace streams one Chrome trace-event JSON document: header
+// (displayTimeUnit + otherData), comma-separated events, footer. Both
+// the cycle-level exporters here and the service-level span exporter in
+// internal/obs write through it, so every trace this repo produces opens
+// in the same viewer (ui.perfetto.dev or chrome://tracing).
+type ChromeTrace struct {
 	w     *bufio.Writer
 	first bool
 	err   error
 }
 
-func (pw *perfettoWriter) event(ev traceEvent) {
-	if pw.err != nil {
+// NewChromeTrace writes the document header. otherData must be a
+// rendered JSON object describing the trace ("" writes {}).
+func NewChromeTrace(w io.Writer, otherData string) *ChromeTrace {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if otherData == "" {
+		otherData = "{}"
+	}
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\n\"otherData\":%s,\n\"traceEvents\":[\n", otherData)
+	return &ChromeTrace{w: bw, first: true}
+}
+
+// Emit appends one event. Errors stick; Close reports the first.
+func (ct *ChromeTrace) Emit(ev TraceEvent) {
+	if ct.err != nil {
 		return
 	}
 	raw, err := json.Marshal(ev)
 	if err != nil {
-		pw.err = err
+		ct.err = err
 		return
 	}
-	if !pw.first {
-		pw.w.WriteString(",\n")
+	if !ct.first {
+		ct.w.WriteString(",\n")
 	}
-	pw.first = false
-	_, pw.err = pw.w.Write(raw)
+	ct.first = false
+	_, ct.err = ct.w.Write(raw)
 }
 
-func (pw *perfettoWriter) meta(pid, tid int, key, value string, args map[string]any) {
+// Meta appends a metadata event (process/thread naming).
+func (ct *ChromeTrace) Meta(pid, tid int, key, value string, args map[string]any) {
 	if args == nil {
 		args = map[string]any{}
 	}
 	args["name"] = value
-	pw.event(traceEvent{Name: key, Ph: "M", Pid: pid, Tid: tid, Args: args})
+	ct.Emit(TraceEvent{Name: key, Ph: "M", Pid: pid, Tid: tid, Args: args})
+}
+
+// Close writes the document footer and flushes, returning the first
+// error encountered by any Emit or write.
+func (ct *ChromeTrace) Close() error {
+	ct.w.WriteString("\n]}\n")
+	if ct.err != nil {
+		return ct.err
+	}
+	return ct.w.Flush()
 }
 
 // WritePerfetto exports the recording as Chrome trace-event JSON,
@@ -100,12 +129,10 @@ func WriteChipPerfetto(w io.Writer, recs []*Recorder, metas []TraceMeta) error {
 	if len(recs) == 0 || len(recs) != len(metas) {
 		return fmt.Errorf("events: %d recorders with %d metas", len(recs), len(metas))
 	}
-	bw := bufio.NewWriterSize(w, 1<<16)
-	pw := &perfettoWriter{w: bw, first: true}
-
 	m0 := metas[0]
-	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\n\"otherData\":{\"bench\":%q,\"scheme\":%q,\"sms\":%d,\"warps\":%d,\"schedulers\":%d,\"cycles\":%d,\"unit\":\"1us = 1 cycle\"},\n\"traceEvents\":[\n",
+	other := fmt.Sprintf("{\"bench\":%q,\"scheme\":%q,\"sms\":%d,\"warps\":%d,\"schedulers\":%d,\"cycles\":%d,\"unit\":\"1us = 1 cycle\"}",
 		m0.Bench, m0.Scheme, len(recs), m0.Warps, m0.Schedulers, m0.Cycles)
+	pw := NewChromeTrace(w, other)
 
 	for i, rec := range recs {
 		meta := metas[i]
@@ -114,19 +141,19 @@ func WriteChipPerfetto(w io.Writer, recs []*Recorder, metas []TraceMeta) error {
 		if len(recs) > 1 {
 			prefix = fmt.Sprintf("SM%d ", meta.SM)
 		}
-		pw.meta(base+pidScheduler, 0, "process_name", prefix+"scheduler groups", map[string]any{"sort_index": base + pidScheduler})
-		pw.meta(base+pidWarps, 0, "process_name", prefix+"warp states", map[string]any{"sort_index": base + pidWarps})
-		pw.meta(base+pidPreloads, 0, "process_name", prefix+"preloads", map[string]any{"sort_index": base + pidPreloads})
-		pw.meta(base+pidOSU, 0, "process_name", prefix+"osu occupancy", map[string]any{"sort_index": base + pidOSU})
-		pw.meta(base+pidCompress, 0, "process_name", prefix+"compressor", map[string]any{"sort_index": base + pidCompress})
+		pw.Meta(base+pidScheduler, 0, "process_name", prefix+"scheduler groups", map[string]any{"sort_index": base + pidScheduler})
+		pw.Meta(base+pidWarps, 0, "process_name", prefix+"warp states", map[string]any{"sort_index": base + pidWarps})
+		pw.Meta(base+pidPreloads, 0, "process_name", prefix+"preloads", map[string]any{"sort_index": base + pidPreloads})
+		pw.Meta(base+pidOSU, 0, "process_name", prefix+"osu occupancy", map[string]any{"sort_index": base + pidOSU})
+		pw.Meta(base+pidCompress, 0, "process_name", prefix+"compressor", map[string]any{"sort_index": base + pidCompress})
 		for g := 0; g < rec.NumShards(); g++ {
-			pw.meta(base+pidScheduler, g, "thread_name", fmt.Sprintf("group %d", g), nil)
-			pw.meta(base+pidOSU, g, "thread_name", fmt.Sprintf("shard %d", g), nil)
-			pw.meta(base+pidCompress, g, "thread_name", fmt.Sprintf("shard %d", g), nil)
+			pw.Meta(base+pidScheduler, g, "thread_name", fmt.Sprintf("group %d", g), nil)
+			pw.Meta(base+pidOSU, g, "thread_name", fmt.Sprintf("shard %d", g), nil)
+			pw.Meta(base+pidCompress, g, "thread_name", fmt.Sprintf("shard %d", g), nil)
 		}
 		for w := meta.WarpIDBase; w < meta.WarpIDBase+meta.Warps; w++ {
-			pw.meta(base+pidWarps, w, "thread_name", fmt.Sprintf("w%02d", w), nil)
-			pw.meta(base+pidPreloads, w, "thread_name", fmt.Sprintf("w%02d", w), nil)
+			pw.Meta(base+pidWarps, w, "thread_name", fmt.Sprintf("w%02d", w), nil)
+			pw.Meta(base+pidPreloads, w, "thread_name", fmt.Sprintf("w%02d", w), nil)
 		}
 
 		if rec != nil {
@@ -136,16 +163,12 @@ func WriteChipPerfetto(w io.Writer, recs []*Recorder, metas []TraceMeta) error {
 		}
 	}
 
-	bw.WriteString("\n]}\n")
-	if pw.err != nil {
-		return pw.err
-	}
-	return bw.Flush()
+	return pw.Close()
 }
 
 // exportShard walks one shard's buffer once, maintaining the small
 // per-track run/span state needed to merge per-cycle events into spans.
-func exportShard(pw *perfettoWriter, rec *Recorder, s int, meta TraceMeta, pidBase int) {
+func exportShard(pw *ChromeTrace, rec *Recorder, s int, meta TraceMeta, pidBase int) {
 	// Scheduler track: merge consecutive same-labelled cycles into spans.
 	type run struct {
 		name    string
@@ -165,7 +188,7 @@ func exportShard(pw *perfettoWriter, rec *Recorder, s int, meta TraceMeta, pidBa
 			ph = "stall"
 		}
 		args["kind"] = ph
-		pw.event(traceEvent{Name: sched.name, Ph: "X", Ts: sched.start,
+		pw.Emit(TraceEvent{Name: sched.name, Ph: "X", Ts: sched.start,
 			Dur: sched.end - sched.start + 1, Pid: pidBase + pidScheduler, Tid: s, Args: args})
 		sched = nil
 	}
@@ -203,7 +226,7 @@ func exportShard(pw *perfettoWriter, rec *Recorder, s int, meta TraceMeta, pidBa
 		if dur == 0 {
 			dur = 1
 		}
-		pw.event(traceEvent{Name: sp.ph.String(), Ph: "X", Ts: sp.start,
+		pw.Emit(TraceEvent{Name: sp.ph.String(), Ph: "X", Ts: sp.start,
 			Dur: dur, Pid: pidBase + pidWarps, Tid: w, Args: args})
 	}
 	barriers := map[int]uint64{}
@@ -217,7 +240,7 @@ func exportShard(pw *perfettoWriter, rec *Recorder, s int, meta TraceMeta, pidBa
 		if !dirtyCounter || lastCounterCycle == ^uint64(0) {
 			return
 		}
-		pw.event(traceEvent{Name: "osu lines", Ph: "C", Ts: lastCounterCycle,
+		pw.Emit(TraceEvent{Name: "osu lines", Ph: "C", Ts: lastCounterCycle,
 			Pid: pidBase + pidOSU, Tid: s, Args: map[string]any{"active": active, "evictable": evictable}})
 		dirtyCounter = false
 	}
@@ -260,7 +283,7 @@ func exportShard(pw *perfettoWriter, rec *Recorder, s int, meta TraceMeta, pidBa
 				if dur == 0 {
 					dur = 1
 				}
-				pw.event(traceEvent{Name: "barrier", Ph: "X", Ts: start, Dur: dur,
+				pw.Emit(TraceEvent{Name: "barrier", Ph: "X", Ts: start, Dur: dur,
 					Pid: pidBase + pidWarps, Tid: w, Args: map[string]any{"kind": "barrier"}})
 			}
 		case KindExit:
@@ -275,7 +298,7 @@ func exportShard(pw *perfettoWriter, rec *Recorder, s int, meta TraceMeta, pidBa
 				if dur == 0 {
 					dur = 1
 				}
-				pw.event(traceEvent{Name: fmt.Sprintf("R%d", e.Arg), Ph: "X", Ts: start,
+				pw.Emit(TraceEvent{Name: fmt.Sprintf("R%d", e.Arg), Ph: "X", Ts: start,
 					Dur: dur, Pid: pidBase + pidPreloads, Tid: int(e.Warp),
 					Args: map[string]any{"src": PreloadSrc(e.A).String()}})
 			}
@@ -300,7 +323,7 @@ func exportShard(pw *perfettoWriter, rec *Recorder, s int, meta TraceMeta, pidBa
 			if e.Arg == 0 {
 				name = "miss"
 			}
-			pw.event(traceEvent{Name: name, Ph: "i", Ts: e.Cycle, S: "t",
+			pw.Emit(TraceEvent{Name: name, Ph: "i", Ts: e.Cycle, S: "t",
 				Pid: pidBase + pidCompress, Tid: s, Args: map[string]any{"warp": e.Warp}})
 		}
 	})

@@ -9,6 +9,7 @@ package experiments
 // chip-level columns (gpuscale, Table 1's configuration row).
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/mem"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rf"
 	"repro/internal/sanitizer"
 	"repro/internal/sim"
@@ -99,7 +101,15 @@ func BuildChip(bench string, scheme Scheme, sms int, su SimSetup) (*gpu.GPU, *co
 
 // simulateChip is the Opts.SMs>1 branch of Suite.simulate: one chip run,
 // aggregated into the same Run shape the single-SM path produces.
-func (s *Suite) simulateChip(bench string, scheme Scheme, capacity int) (*Run, error) {
+func (s *Suite) simulateChip(ctx context.Context, bench string, scheme Scheme, capacity int) (*Run, error) {
+	tr, parent := obs.FromContext(ctx)
+	kl := tr.Start(parent, "kernel-load")
+	if _, err := kernels.Load(bench); err != nil {
+		tr.End(kl)
+		return nil, err
+	}
+	tr.End(kl)
+	build := tr.Start(parent, "build")
 	g, rp, err := BuildChip(bench, scheme, s.Opts.SMs, SimSetup{
 		Capacity:      capacity,
 		Warps:         s.Opts.Warps,
@@ -109,6 +119,7 @@ func (s *Suite) simulateChip(bench string, scheme Scheme, capacity int) (*Run, e
 		Faults:        s.Opts.Faults,
 		NoFastForward: s.Opts.NoFastForward,
 	})
+	tr.End(build)
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +138,9 @@ func (s *Suite) simulateChip(bench string, scheme Scheme, capacity int) (*Run, e
 		}
 	}
 	run := &Run{Bench: bench, Scheme: scheme, Capacity: capacity, RegLess: rp}
+	cycle := tr.Start(parent, "run")
 	res, err := g.Run()
+	tr.End(cycle)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -53,11 +54,11 @@ func TestChipFFParity(t *testing.T) {
 		if scheme == SchemeRegLess {
 			cap = DefaultCapacity
 		}
-		a, err := ff.simulateChip("bfs", scheme, cap)
+		a, err := ff.simulateChip(context.Background(), "bfs", scheme, cap)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := stepped.simulateChip("bfs", scheme, cap)
+		b, err := stepped.simulateChip(context.Background(), "bfs", scheme, cap)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,11 +85,11 @@ func TestChipFFParity(t *testing.T) {
 // and requires bit-identical results: cycles, per-SM stats, chip L2 and
 // DRAM counters.
 func TestChipDeterminism16(t *testing.T) {
-	a, err := NewSuite(chipOpts(16)).simulateChip("bfs", SchemeRegLess, DefaultCapacity)
+	a, err := NewSuite(chipOpts(16)).simulateChip(context.Background(), "bfs", SchemeRegLess, DefaultCapacity)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NewSuite(chipOpts(16)).simulateChip("bfs", SchemeRegLess, DefaultCapacity)
+	b, err := NewSuite(chipOpts(16)).simulateChip(context.Background(), "bfs", SchemeRegLess, DefaultCapacity)
 	if err != nil {
 		t.Fatal(err)
 	}

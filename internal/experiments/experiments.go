@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/mem"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rf"
 	"repro/internal/sanitizer"
 	"repro/internal/sim"
@@ -256,6 +258,16 @@ func (s *Suite) FlushMetrics() error {
 // cached alongside results (simulations are deterministic, so retrying
 // cannot help).
 func (s *Suite) Get(bench string, scheme Scheme, capacity int) (*Run, error) {
+	return s.GetCtx(context.Background(), bench, scheme, capacity)
+}
+
+// GetCtx is Get with service-level span recording: when ctx carries an
+// obs trace (serve's execute path), the suite records its phases —
+// "suite-wait" when another caller's in-flight simulation is joined,
+// else "kernel-load"/"build"/"run" children under the carried parent
+// span. Without a trace in ctx it is exactly Get (the nil-trace methods
+// are no-ops), so the direct experiment path stays untouched.
+func (s *Suite) GetCtx(ctx context.Context, bench string, scheme Scheme, capacity int) (*Run, error) {
 	key := normKey(bench, scheme, capacity)
 	s.mu.Lock()
 	e, ok := s.cache[key]
@@ -265,13 +277,16 @@ func (s *Suite) Get(bench string, scheme Scheme, capacity int) (*Run, error) {
 	}
 	s.mu.Unlock()
 	if ok {
+		tr, parent := obs.FromContext(ctx)
+		wait := tr.Start(parent, "suite-wait")
 		<-e.done
+		tr.End(wait)
 		return e.run, e.err
 	}
 	if s.OnSimulate != nil {
 		s.OnSimulate(key.bench, key.scheme, key.capacity)
 	}
-	r, err := s.simulate(key.bench, key.scheme, key.capacity)
+	r, err := s.simulate(ctx, key.bench, key.scheme, key.capacity)
 	if err != nil {
 		e.err = fmt.Errorf("%s/%s/%d: %w", key.bench, key.scheme, key.capacity, err)
 	} else {
@@ -385,10 +400,20 @@ func (s *Suite) CachedRuns() []*Run {
 	return out
 }
 
-func (s *Suite) simulate(bench string, scheme Scheme, capacity int) (*Run, error) {
+func (s *Suite) simulate(ctx context.Context, bench string, scheme Scheme, capacity int) (*Run, error) {
 	if s.Opts.SMs > 1 {
-		return s.simulateChip(bench, scheme, capacity)
+		return s.simulateChip(ctx, bench, scheme, capacity)
 	}
+	tr, parent := obs.FromContext(ctx)
+	// kernels.Load memoizes per bench, so this explicit warm makes the
+	// span measure the real (first) load; BuildSM's own call then hits.
+	kl := tr.Start(parent, "kernel-load")
+	if _, err := kernels.Load(bench); err != nil {
+		tr.End(kl)
+		return nil, err
+	}
+	tr.End(kl)
+	build := tr.Start(parent, "build")
 	smv, rp, err := BuildSM(bench, scheme, SimSetup{
 		Capacity:      capacity,
 		Warps:         s.Opts.Warps,
@@ -398,6 +423,7 @@ func (s *Suite) simulate(bench string, scheme Scheme, capacity int) (*Run, error
 		Faults:        s.Opts.Faults,
 		NoFastForward: s.Opts.NoFastForward,
 	})
+	tr.End(build)
 	if err != nil {
 		return nil, err
 	}
@@ -409,7 +435,9 @@ func (s *Suite) simulate(bench string, scheme Scheme, capacity int) (*Run, error
 		))
 	}
 	run := &Run{Bench: bench, Scheme: scheme, Capacity: capacity, RegLess: rp}
+	cycle := tr.Start(parent, "run")
 	st, err := smv.Run()
+	tr.End(cycle)
 	if err != nil {
 		return nil, err
 	}

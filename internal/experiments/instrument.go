@@ -1,0 +1,105 @@
+package experiments
+
+// Instrumented execution: the serve deep-dive path ("report": [...])
+// needs the same Run the suite would cache plus the event recorders
+// that observed it, so the stall-attribution/preload analysis
+// (events.Analyze) can be attached to the stored result. This lives in
+// experiments — not serve — because the chip-path result assembly
+// (mergeSimStats + per-SM counter summing) must stay in one place.
+
+import (
+	"context"
+
+	"repro/internal/events"
+	"repro/internal/kernels"
+	"repro/internal/obs"
+)
+
+// Instrumented is one simulation executed with event recording attached.
+type Instrumented struct {
+	Run *Run
+	// Recs holds one recorder per SM (length 1 on the single-SM path);
+	// Schedulers and Cycles are the matching events.Analyze inputs
+	// (per-SM scheduler group count and per-SM cycle count).
+	Recs       []*events.Recorder
+	Schedulers []int
+	Cycles     []uint64
+}
+
+// SimulateInstrumented runs (bench, scheme) once with an event recorder
+// attached to every SM and the su sizing (su.Capacity is the RegLess
+// capacity). Unlike Suite.Get it is never cached or shared: recorders
+// are per-call state. The recording itself does not perturb results —
+// the event layer is passive — so Run matches what an uninstrumented
+// simulation of the same point produces. A trace carried in ctx gets the
+// same kernel-load/build/run spans as the suite path.
+func SimulateInstrumented(ctx context.Context, bench string, scheme Scheme, sms int, su SimSetup, mask events.Mask) (*Instrumented, error) {
+	tr, parent := obs.FromContext(ctx)
+	kl := tr.Start(parent, "kernel-load")
+	if _, err := kernels.Load(bench); err != nil {
+		tr.End(kl)
+		return nil, err
+	}
+	tr.End(kl)
+
+	run := &Run{Bench: bench, Scheme: scheme, Capacity: su.Capacity}
+	if scheme != SchemeRegLess && scheme != SchemeRegLessNC {
+		run.Capacity = 0
+	}
+	inst := &Instrumented{Run: run}
+
+	if sms > 1 {
+		build := tr.Start(parent, "build")
+		g, rp, err := BuildChip(bench, scheme, sms, su)
+		tr.End(build)
+		if err != nil {
+			return nil, err
+		}
+		run.RegLess = rp
+		for _, smv := range g.SMs {
+			rec := events.NewRecorder(smv.Cfg.Schedulers, mask)
+			smv.AttachRecorder(rec)
+			inst.Recs = append(inst.Recs, rec)
+			inst.Schedulers = append(inst.Schedulers, smv.Cfg.Schedulers)
+		}
+		cycle := tr.Start(parent, "run")
+		res, err := g.Run()
+		tr.End(cycle)
+		if err != nil {
+			return nil, err
+		}
+		run.Chip = res
+		run.Stats = mergeSimStats(res)
+		for _, smv := range g.SMs {
+			addProviderStats(&run.Prov, smv.Provider.Stats())
+			addMemStats(&run.Mem, &smv.Mem.Stats)
+		}
+		for _, st := range res.PerSM {
+			inst.Cycles = append(inst.Cycles, st.Cycles)
+		}
+		return inst, nil
+	}
+
+	build := tr.Start(parent, "build")
+	smv, rp, err := BuildSM(bench, scheme, su)
+	tr.End(build)
+	if err != nil {
+		return nil, err
+	}
+	run.RegLess = rp
+	rec := events.NewRecorder(smv.Cfg.Schedulers, mask)
+	smv.AttachRecorder(rec)
+	cycle := tr.Start(parent, "run")
+	st, err := smv.Run()
+	tr.End(cycle)
+	if err != nil {
+		return nil, err
+	}
+	run.Stats = st
+	run.Prov = *smv.Provider.Stats()
+	run.Mem = smv.Mem.Stats
+	inst.Recs = []*events.Recorder{rec}
+	inst.Schedulers = []int{smv.Cfg.Schedulers}
+	inst.Cycles = []uint64{st.Cycles}
+	return inst, nil
+}

@@ -75,9 +75,19 @@ type runSink struct {
 func (s *runSink) Emit(w Window) {
 	s.j.mu.Lock()
 	defer s.j.mu.Unlock()
-	b := s.buf[:0]
+	s.buf = AppendWindow(s.buf[:0], s.labels, w)
+	if _, err := s.j.w.Write(s.buf); err != nil && s.j.err == nil {
+		s.j.err = err
+	}
+}
+
+// AppendWindow appends the window (with its labels) to b as exactly one
+// newline-terminated JSON object — the record format documented on
+// JSONLWriter, exposed so other exporters (the serve SSE metrics stream)
+// emit byte-compatible lines.
+func AppendWindow(b []byte, labels []Label, w Window) []byte {
 	b = append(b, '{')
-	for _, l := range s.labels {
+	for _, l := range labels {
 		b = appendKey(b, l.Key)
 		if l.IsInt {
 			b = strconv.AppendInt(b, int64(l.Int), 10)
@@ -127,12 +137,7 @@ func (s *runSink) Emit(w Window) {
 		b = appendKey(b, n)
 		b = strconv.AppendUint(b, w.Values[i], 10)
 	}
-	b = append(b, "}}\n"...)
-
-	s.buf = b
-	if _, err := s.j.w.Write(b); err != nil && s.j.err == nil {
-		s.j.err = err
-	}
+	return append(b, "}}\n"...)
 }
 
 func appendKey(b []byte, k string) []byte {

@@ -68,6 +68,10 @@ func (c *cell) load() uint64 {
 type Registry struct {
 	cells []cell
 	index map[string]int
+	// hists records each histogram's shape (bounds + first cell index) so
+	// exporters that need family structure (Prometheus text format) can
+	// reassemble buckets from the flat cell list.
+	hists []histMeta
 
 	sink     Sink
 	window   int
@@ -146,11 +150,34 @@ func (r *Registry) Gauge(name string, fn func() uint64) {
 	r.register(cell{name: name, kind: KindGauge, sample: fn})
 }
 
+// histMeta is one histogram's registration record: its family name, the
+// bucket bounds, the index of its first cell (buckets, then the overflow
+// cell, then the sum cell, contiguously), and the counting discipline.
+type histMeta struct {
+	name   string
+	bounds []uint64
+	first  int
+	atomic bool
+}
+
 // Histogram registers a bucketed counter under name: one cell per bucket
-// (`name/le_B` for each bound, `name/inf` for the overflow), so histogram
-// buckets ride through snapshots and windows like any counter. Bounds must
-// be strictly increasing. A nil registry returns the zero Histogram.
+// (`name/le_B` for each bound, `name/inf` for the overflow, `name/sum`
+// for the running total of observed values), so histogram buckets ride
+// through snapshots and windows like any counter. Bounds must be strictly
+// increasing. A nil registry returns the zero Histogram.
 func (r *Registry) Histogram(name string, bounds ...uint64) Histogram {
+	return r.histogram(name, bounds, false)
+}
+
+// AtomicHistogram registers a histogram whose observations are safe from
+// concurrent goroutines — the histogram counterpart of AtomicCounter,
+// for serving-layer latency distributions observed from handlers and
+// pool workers while the metrics loop exports.
+func (r *Registry) AtomicHistogram(name string, bounds ...uint64) Histogram {
+	return r.histogram(name, bounds, true)
+}
+
+func (r *Registry) histogram(name string, bounds []uint64, atomicCells bool) Histogram {
 	if r == nil {
 		return Histogram{}
 	}
@@ -159,13 +186,17 @@ func (r *Registry) Histogram(name string, bounds ...uint64) Histogram {
 			panic(fmt.Sprintf("metrics: histogram %q bounds not increasing", name))
 		}
 	}
-	h := Histogram{bounds: bounds, cells: make([]*uint64, len(bounds)+1)}
+	first := len(r.cells)
+	h := Histogram{bounds: bounds, cells: make([]*uint64, len(bounds)+1), atomic: atomicCells}
 	for i, b := range bounds {
 		h.cells[i] = new(uint64)
-		r.register(cell{name: fmt.Sprintf("%s/le_%d", name, b), kind: KindCounter, val: h.cells[i]})
+		r.register(cell{name: fmt.Sprintf("%s/le_%d", name, b), kind: KindCounter, val: h.cells[i], atomic: atomicCells})
 	}
 	h.cells[len(bounds)] = new(uint64)
-	r.register(cell{name: name + "/inf", kind: KindCounter, val: h.cells[len(bounds)]})
+	r.register(cell{name: name + "/inf", kind: KindCounter, val: h.cells[len(bounds)], atomic: atomicCells})
+	h.sum = new(uint64)
+	r.register(cell{name: name + "/sum", kind: KindCounter, val: h.sum, atomic: atomicCells})
+	r.hists = append(r.hists, histMeta{name: name, bounds: bounds, first: first, atomic: atomicCells})
 	return h
 }
 
@@ -229,20 +260,28 @@ func (c AtomicCounter) Value() uint64 {
 type Histogram struct {
 	bounds []uint64
 	cells  []*uint64
+	sum    *uint64
+	atomic bool
 }
 
-// Observe records one sample of v into its bucket.
+// Observe records one sample of v into its bucket and the running sum.
 func (h Histogram) Observe(v uint64) {
 	if h.cells == nil {
 		return
 	}
-	for i, b := range h.bounds {
-		if v <= b {
-			*h.cells[i]++
-			return
+	i := 0
+	for ; i < len(h.bounds); i++ {
+		if v <= h.bounds[i] {
+			break
 		}
 	}
-	*h.cells[len(h.bounds)]++
+	if h.atomic {
+		atomic.AddUint64(h.cells[i], 1)
+		atomic.AddUint64(h.sum, v)
+		return
+	}
+	*h.cells[i]++
+	*h.sum += v
 }
 
 // Sample is one named value in a snapshot.

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/events"
+)
+
+// WriteChrome exports the trace as Chrome trace-event JSON through the
+// shared events.ChromeTrace writer, so a service-level run trace opens
+// in the same viewer as the cycle-level traces (-trace). Every span
+// becomes a complete ("X") event; spans still open render with the
+// duration they had reached at the call. label names the single process
+// track (e.g. the run id).
+func (t *Trace) WriteChrome(w io.Writer, label string) error {
+	spans := t.Spans()
+	now := t.Now()
+	other := fmt.Sprintf("{\"kind\":\"service-trace\",\"label\":%q,\"unit\":\"1us wall time\"}", label)
+	ct := events.NewChromeTrace(w, other)
+	ct.Meta(1, 0, "process_name", label, nil)
+	// One row per tree depth keeps parent spans above their children.
+	depth := make([]int, len(spans))
+	for i, sp := range spans {
+		if sp.Parent >= 0 && int(sp.Parent) < i {
+			depth[i] = depth[sp.Parent] + 1
+		}
+	}
+	for i, sp := range spans {
+		end := sp.End
+		if end < 0 {
+			end = now
+		}
+		dur := end - sp.Start
+		if dur < 1 {
+			dur = 1 // zero-width spans would be invisible
+		}
+		ct.Emit(events.TraceEvent{
+			Name: sp.Name, Ph: "X",
+			Ts: uint64(sp.Start), Dur: uint64(dur),
+			Pid: 1, Tid: depth[i],
+			Args: map[string]any{"span": i, "parent": int(sp.Parent)},
+		})
+	}
+	return ct.Close()
+}

@@ -22,6 +22,7 @@
 package serve
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -29,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,6 +39,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mem"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sanitizer"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -53,9 +56,23 @@ type Config struct {
 	StoreDir string
 	// MetricsWriter, when non-nil, receives the server's own JSONL
 	// window stream (hit/miss/queue counters); MetricsEvery is the
-	// window period (default 1s).
+	// window period (default 1s). Windows close on this period whether
+	// or not a writer is configured — /v1/metricsz/stream subscribers
+	// receive the same stream live.
 	MetricsWriter io.Writer
 	MetricsEvery  time.Duration
+
+	// GitSHA stamps /healthz (ldflags or VCS build info; "" omits it).
+	GitSHA string
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// SSEHeartbeat is the keepalive comment interval on SSE streams
+	// (default 15s); SSEBuffer is each subscriber's bounded frame buffer
+	// (default 64) — a slow client overflowing it loses frames and is
+	// told so with a "dropped" marker event rather than stalling the
+	// execution path.
+	SSEHeartbeat time.Duration
+	SSEBuffer    int
 }
 
 // RunRequest names one simulation in the server's configuration space.
@@ -65,6 +82,11 @@ type RunRequest struct {
 	// Capacity is the RegLess OSU capacity (registers/SM); 0 means the
 	// paper default for RegLess schemes and is ignored for the rest.
 	Capacity int `json:"capacity,omitempty"`
+	// Report opts this run into deep-dive analysis: the named sections
+	// ("stalls", "preload") are computed from an event-instrumented
+	// execution and stored on the RunResult. Reported runs are cached
+	// under a distinct key, so they never alias plain results.
+	Report []string `json:"report,omitempty"`
 }
 
 // SweepRequest is the cross product of its fields, in deterministic
@@ -90,6 +112,11 @@ type RunResult struct {
 	Stats sim.Stats         `json:"stats"`
 	Prov  sim.ProviderStats `json:"provider"`
 	Mem   mem.Stats         `json:"mem"`
+
+	// Report carries the requested deep-dive sections (nil — and omitted
+	// from the JSON — for plain runs, so pre-existing cache entries and
+	// payload bytes are unchanged).
+	Report *RunReport `json:"report,omitempty"`
 }
 
 // RunStatus is the poll/fetch view of one submitted run.
@@ -123,8 +150,12 @@ type SweepStatus struct {
 // render-and-exit path.
 type Health struct {
 	Status        string  `json:"status"`
+	GitSHA        string  `json:"git_sha,omitempty"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
-	Jobs          int     `json:"jobs"`
+	// StoreEntries counts the persisted results on disk (-1 when the
+	// listing itself failed).
+	StoreEntries int `json:"store_entries"`
+	Jobs         int `json:"jobs"`
 	Queued        int64   `json:"queued"`
 	Inflight      int64   `json:"inflight"`
 	Failures      uint64  `json:"failures"`
@@ -165,6 +196,12 @@ type job struct {
 	state stateCell
 	done  chan struct{}
 
+	// trace spans the job's life from submission; qspan is the
+	// admission-queue wait opened at submit and closed when a pool
+	// worker picks the job up.
+	trace *obs.Trace
+	qspan obs.SpanID
+
 	payload json.RawMessage
 	cached  bool
 	errText string
@@ -186,17 +223,32 @@ type Server struct {
 
 	faultsSpec string
 
-	reg   *metrics.Registry
-	jsonl *metrics.JSONLWriter
+	reg    *metrics.Registry
+	jsonl  *metrics.JSONLWriter
+	winHub *winHub
 	// metrics counters (atomic: counted from handlers and pool workers).
 	cHTTPRequests, cHTTPErrors              metrics.AtomicCounter
 	cSubmissions, cDedup                    metrics.AtomicCounter
 	cHits, cMisses, cFailures, cStoreErrors metrics.AtomicCounter
+	cSSEDropped                             metrics.AtomicCounter
+	// span-latency histograms, observed at the execute/handler span
+	// boundaries (names frozen; see DESIGN.md §15).
+	hSpanQueue, hSpanStoreGet, hSpanSimulate metrics.Histogram
+	hSpanAssemble, hSpanStorePut, hHTTP      metrics.Histogram
 
 	mu     sync.Mutex
 	jobs   map[string]*job
 	sweeps map[string]*sweep
 	recent []FailureBrief
+
+	// sseMu guards runSubs: per-job SSE subscriber lists, appended at
+	// stream registration and drained by publishRun when the job ends.
+	sseMu   sync.Mutex
+	runSubs map[string][]*sseStream
+
+	// testExecGate, when non-nil, is called at the top of execute —
+	// tests use it to hold jobs while they stage SSE subscribers.
+	testExecGate func(*job)
 
 	start    time.Time
 	stopWin  chan struct{}
@@ -223,6 +275,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MetricsEvery <= 0 {
 		cfg.MetricsEvery = time.Second
 	}
+	if cfg.SSEHeartbeat <= 0 {
+		cfg.SSEHeartbeat = 15 * time.Second
+	}
+	if cfg.SSEBuffer < 1 {
+		cfg.SSEBuffer = 64
+	}
 	st, err := store.Open(cfg.StoreDir)
 	if err != nil {
 		return nil, err
@@ -233,6 +291,7 @@ func New(cfg Config) (*Server, error) {
 		st:      st,
 		jobs:    map[string]*job{},
 		sweeps:  map[string]*sweep{},
+		runSubs: map[string][]*sseStream{},
 		start:   time.Now(),
 		stopWin: make(chan struct{}),
 		winDone: make(chan struct{}),
@@ -257,15 +316,31 @@ func (s *Server) initMetrics() {
 	s.cMisses = s.reg.AtomicCounter("serve/misses")
 	s.cFailures = s.reg.AtomicCounter("serve/failures")
 	s.cStoreErrors = s.reg.AtomicCounter("serve/store_errors")
+	s.cSSEDropped = s.reg.AtomicCounter("serve/sse_dropped")
 	s.reg.Gauge("serve/queue_depth", func() uint64 { return clampGauge(s.admit.queued.Load()) })
 	s.reg.Gauge("serve/inflight", func() uint64 { return clampGauge(s.admit.inflight.Load()) })
 	s.reg.Gauge("store/puts", func() uint64 { return s.st.Stats().Puts })
 	s.reg.Gauge("store/quarantined", func() uint64 { return s.st.Stats().Quarantined })
 	s.reg.Gauge("store/recovered_temps", func() uint64 { return s.st.Stats().RecoveredTemps })
+	// Span-latency histograms in wall microseconds; bucket bounds span
+	// 50us to 10s. Names and bounds are frozen — the Prometheus
+	// exposition derives bucket labels from them.
+	spanBounds := []uint64{50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+		100_000, 250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000}
+	s.hSpanQueue = s.reg.AtomicHistogram("serve/span_queue_us", spanBounds...)
+	s.hSpanStoreGet = s.reg.AtomicHistogram("serve/span_store_get_us", spanBounds...)
+	s.hSpanSimulate = s.reg.AtomicHistogram("serve/span_simulate_us", spanBounds...)
+	s.hSpanAssemble = s.reg.AtomicHistogram("serve/span_assemble_us", spanBounds...)
+	s.hSpanStorePut = s.reg.AtomicHistogram("serve/span_store_put_us", spanBounds...)
+	s.hHTTP = s.reg.AtomicHistogram("serve/http_us", spanBounds...)
+	// Windows always close (windowLoop); the hub fans each one out to
+	// the JSONL file (when configured) and to live SSE subscribers.
+	s.winHub = newWinHub(s.cfg.SSEBuffer)
 	if s.cfg.MetricsWriter != nil {
 		s.jsonl = metrics.NewJSONLWriter(s.cfg.MetricsWriter)
-		s.reg.SetSink(s.jsonl.Run(metrics.String("component", "serve")))
+		s.winHub.fwd = s.jsonl.Run(metrics.String("component", "serve"))
 	}
+	s.reg.SetSink(s.winHub)
 }
 
 func clampGauge(v int64) uint64 {
@@ -279,9 +354,6 @@ func clampGauge(v int64) uint64 {
 // axis (seconds since start); the final partial window closes at Close.
 func (s *Server) windowLoop() {
 	defer close(s.winDone)
-	if s.jsonl == nil {
-		return
-	}
 	t := time.NewTicker(s.cfg.MetricsEvery)
 	defer t.Stop()
 	for {
@@ -308,8 +380,8 @@ func (s *Server) Close() error {
 	s.admit.close()
 	close(s.stopWin)
 	<-s.winDone
+	s.reg.CloseWindow(uint64(time.Since(s.start)/time.Second) + 1)
 	if s.jsonl != nil {
-		s.reg.CloseWindow(uint64(time.Since(s.start)/time.Second) + 1)
 		return s.jsonl.Flush()
 	}
 	return nil
@@ -339,6 +411,10 @@ func (s *Server) KeyFor(req RunRequest) (store.Key, error) {
 	if capacity == 0 && (scheme == experiments.SchemeRegLess || scheme == experiments.SchemeRegLessNC) {
 		capacity = experiments.DefaultCapacity
 	}
+	report, err := canonicalizeReport(req.Report)
+	if err != nil {
+		return store.Key{}, err
+	}
 	ksha, err := KernelHash(req.Bench)
 	if err != nil {
 		return store.Key{}, err
@@ -354,6 +430,7 @@ func (s *Server) KeyFor(req RunRequest) (store.Key, error) {
 		Watchdog:  s.cfg.Opts.Watchdog,
 		Sanitize:  s.cfg.Opts.Sanitize,
 		Faults:    s.faultsSpec,
+		Report:    report,
 	}.Normalized()
 	if err := k.Validate(); err != nil {
 		return store.Key{}, err
@@ -376,6 +453,10 @@ func (s *Server) submit(key store.Key, client string) (*job, error) {
 		return j, nil
 	}
 	j := &job{id: id, key: key, client: client, done: make(chan struct{})}
+	// The queue span starts at the trace epoch (offset 0) so the child
+	// spans tile the root exactly from its first microsecond.
+	j.trace = obs.NewTrace("run")
+	j.qspan = j.trace.StartAt(obs.Root, "queue", 0)
 	s.jobs[id] = j
 	s.mu.Unlock()
 	s.admit.enqueue(j)
@@ -383,20 +464,43 @@ func (s *Server) submit(key store.Key, client string) (*job, error) {
 }
 
 // execute runs one admitted job on a pool worker: disk hit, else
-// simulate through the suite's singleflight cache and persist.
+// simulate through the suite's singleflight cache and persist. The job's
+// trace records the phases as sibling spans that tile the run span
+// exactly: every boundary timestamp is read once and closes one span
+// where it opens the next.
 func (s *Server) execute(j *job) {
+	if gate := s.testExecGate; gate != nil {
+		gate(j)
+	}
 	j.state.set(jobRunning)
-	if payload, ok, err := s.st.Get(j.key); err == nil && ok {
+	defer s.publishRun(j)
+	tr := j.trace
+	t0 := tr.Now()
+	tr.EndAt(j.qspan, t0)
+	s.hSpanQueue.Observe(uint64(t0))
+
+	sg := tr.StartAt(obs.Root, "store-get", t0)
+	payload, ok, err := s.st.Get(j.key)
+	t1 := tr.Now()
+	tr.EndAt(sg, t1)
+	s.hSpanStoreGet.Observe(uint64(t1 - t0))
+	if err == nil && ok {
 		s.cHits.Inc()
 		j.payload = payload
 		j.cached = true
+		tr.CloseAt(t1)
 		j.finish(jobDone)
 		return
 	} else if err != nil {
 		s.cStoreErrors.Inc()
 	}
 	s.cMisses.Inc()
-	run, err := s.suite.Get(j.key.Bench, experiments.Scheme(j.key.Scheme), j.key.Capacity)
+
+	simSpan := tr.StartAt(obs.Root, "simulate", t1)
+	run, rep, err := s.simulateJob(obs.NewContext(context.Background(), tr, simSpan), j.key)
+	t2 := tr.Now()
+	tr.EndAt(simSpan, t2)
+	s.hSpanSimulate.Observe(uint64(t2 - t1))
 	if err != nil {
 		j.errText = err.Error()
 		var d *sanitizer.Diagnostic
@@ -404,23 +508,49 @@ func (s *Server) execute(j *job) {
 			j.diag = d
 		}
 		s.recordFailure(j)
+		tr.CloseAt(t2)
 		j.finish(jobFailed)
 		return
 	}
-	payload, err := json.Marshal(s.resultFrom(run))
-	if err != nil {
-		j.errText = err.Error()
+
+	asm := tr.StartAt(obs.Root, "assemble", t2)
+	res := s.resultFrom(run)
+	res.Report = rep
+	payload, merr := json.Marshal(res)
+	t3 := tr.Now()
+	tr.EndAt(asm, t3)
+	s.hSpanAssemble.Observe(uint64(t3 - t2))
+	if merr != nil {
+		j.errText = merr.Error()
 		s.recordFailure(j)
+		tr.CloseAt(t3)
 		j.finish(jobFailed)
 		return
 	}
 	j.payload = payload
-	if err := s.st.Put(j.key, payload); err != nil {
+
+	sp := tr.StartAt(obs.Root, "store-put", t3)
+	perr := s.st.Put(j.key, payload)
+	t4 := tr.Now()
+	tr.EndAt(sp, t4)
+	s.hSpanStorePut.Observe(uint64(t4 - t3))
+	if perr != nil {
 		// The response is still served from memory; only persistence
 		// for future processes failed.
 		s.cStoreErrors.Inc()
 	}
+	tr.CloseAt(t4)
 	j.finish(jobDone)
+}
+
+// simulateJob dispatches the key to the plain suite path or — when the
+// key asks for deep-dive report sections — the instrumented path.
+func (s *Server) simulateJob(ctx context.Context, key store.Key) (*experiments.Run, *RunReport, error) {
+	if key.Report == "" {
+		run, err := s.suite.GetCtx(ctx, key.Bench, experiments.Scheme(key.Scheme), key.Capacity)
+		return run, nil, err
+	}
+	return s.simulateWithReport(ctx, key)
 }
 
 func (s *Server) resultFrom(r *experiments.Run) RunResult {
@@ -493,11 +623,21 @@ func (s *Server) initHandler() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handlePostRun)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
+	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleRunTrace)
 	mux.HandleFunc("POST /v1/sweeps", s.handlePostSweep)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
 	mux.HandleFunc("GET /v1/sweeps/{id}/table", s.handleSweepTable)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	mux.HandleFunc("GET /v1/metricsz/stream", s.handleMetricsStream)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.handler = mux
 }
 
@@ -505,7 +645,9 @@ func (s *Server) initHandler() {
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.cHTTPRequests.Inc()
+		start := time.Now()
 		s.handler.ServeHTTP(w, r)
+		s.hHTTP.Observe(uint64(time.Since(start) / time.Microsecond))
 	})
 }
 
@@ -795,7 +937,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	jobs := len(s.jobs)
 	recent := append([]FailureBrief(nil), s.recent...)
 	s.mu.Unlock()
+	entries, err := s.st.Len()
+	if err != nil {
+		entries = -1
+	}
 	h := Health{
+		GitSHA:        s.cfg.GitSHA,
+		StoreEntries:  entries,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Jobs:          jobs,
 		Queued:        s.admit.queued.Load(),
@@ -817,11 +965,49 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, h)
 }
 
+// handleMetricsz serves the registry snapshot. The default JSON map is
+// the original exposition (reglessload scrapes it); ?format=prom renders
+// Prometheus text exposition 0.0.4 instead.
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := metrics.WritePrometheus(w, s.reg, "regless"); err != nil {
+			s.cHTTPErrors.Inc()
+		}
+		return
+	}
 	snap := s.reg.Snapshot()
 	out := make(map[string]uint64, len(snap))
 	for _, smp := range snap {
 		out[smp.Name] = smp.Value
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleRunTrace serves a completed run's span tree: JSON by default,
+// Chrome trace-event JSON (?format=perfetto) for the shared viewer the
+// cycle-level event exports use.
+func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		s.httpError(w, http.StatusNotFound, "unknown run %q", id)
+		return
+	}
+	select {
+	case <-j.done:
+	default:
+		s.httpError(w, http.StatusConflict, "run %s still %s", id, j.status(false).Status)
+		return
+	}
+	if r.URL.Query().Get("format") == "perfetto" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := j.trace.WriteChrome(w, "run "+id); err != nil {
+			s.cHTTPErrors.Inc()
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "root": j.trace.Tree()})
 }

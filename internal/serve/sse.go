@@ -1,0 +1,350 @@
+package serve
+
+// Server-sent-event streaming: per-run completion events for a sweep
+// (GET /v1/sweeps/{id}/events) and the live metrics-window stream
+// (GET /v1/metricsz/stream). Both share one subscriber shape — a bounded
+// frame buffer drained by the handler goroutine — and one overflow
+// policy: a slow client loses frames and is told how many with a
+// "dropped" marker event; the execution path never blocks on a client.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// sseFrame renders one SSE frame: "event: <name>\ndata: <data>\n\n".
+// data must be newline-free (all our payloads are single-line JSON).
+func sseFrame(event string, data []byte) []byte {
+	b := make([]byte, 0, len(event)+len(data)+16)
+	b = append(b, "event: "...)
+	b = append(b, event...)
+	b = append(b, "\ndata: "...)
+	b = append(b, data...)
+	b = append(b, "\n\n"...)
+	return b
+}
+
+// sseStream is one subscriber: a bounded channel of ready-to-write
+// frames. Publishers deliver with a non-blocking send; overflow bumps
+// dropped instead of stalling. For sweep streams, total is the sweep's
+// job count and complete closes when the got counter reaches it; metric
+// streams use total 0 (never complete, terminated by disconnect/close).
+type sseStream struct {
+	ch       chan []byte
+	complete chan struct{}
+	total    int
+	got      atomic.Int64
+	dropped  atomic.Int64
+	// reported counts drops already surfaced to the client; only the
+	// writer goroutine touches it.
+	reported int64
+	// drop mirrors every dropped frame into the server-wide counter.
+	drop metrics.AtomicCounter
+}
+
+func (s *Server) newStream(total int) *sseStream {
+	return &sseStream{
+		ch:       make(chan []byte, s.cfg.SSEBuffer),
+		complete: make(chan struct{}),
+		total:    total,
+		drop:     s.cSSEDropped,
+	}
+}
+
+// deliver enqueues a frame without blocking; a full buffer drops it.
+func (st *sseStream) deliver(frame []byte) {
+	select {
+	case st.ch <- frame:
+	default:
+		st.dropped.Add(1)
+		st.drop.Inc()
+	}
+}
+
+// arrived counts one finished job toward total and closes complete on
+// the last one. The caller ensures each job is counted exactly once per
+// stream (registration pre-counts finished jobs, publishRun counts the
+// rest), so there is exactly one closer.
+func (st *sseStream) arrived(n int64) {
+	if st.total > 0 && st.got.Add(n) == int64(st.total) {
+		close(st.complete)
+	}
+}
+
+// runEvent is the per-run completion payload on a sweep event stream.
+type runEvent struct {
+	ID       string `json:"id"`
+	Bench    string `json:"bench"`
+	Scheme   string `json:"scheme"`
+	Capacity int    `json:"capacity"`
+	Status   string `json:"status"` // done | failed
+	Cached   bool   `json:"cached,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+func runEventFrame(j *job) []byte {
+	ev := runEvent{
+		ID:       j.id,
+		Bench:    j.key.Bench,
+		Scheme:   j.key.Scheme,
+		Capacity: j.key.Capacity,
+	}
+	if j.state.get() == jobFailed {
+		ev.Status = "failed"
+		ev.Error = j.errText
+	} else {
+		ev.Status = "done"
+		ev.Cached = j.cached
+	}
+	data, _ := json.Marshal(ev)
+	return sseFrame("run", data)
+}
+
+// publishRun fans a finished job out to the streams subscribed to it
+// and retires the subscription entry. Runs after finish (deferred last
+// in execute), so subscribers observe final job state.
+func (s *Server) publishRun(j *job) {
+	s.sseMu.Lock()
+	subs := s.runSubs[j.id]
+	delete(s.runSubs, j.id)
+	s.sseMu.Unlock()
+	if len(subs) == 0 {
+		return
+	}
+	frame := runEventFrame(j)
+	for _, st := range subs {
+		st.deliver(frame)
+		st.arrived(1)
+	}
+}
+
+// unsubscribe removes the stream from every per-job list (disconnect
+// path; completed streams were already drained by publishRun).
+func (s *Server) unsubscribe(st *sseStream) {
+	s.sseMu.Lock()
+	defer s.sseMu.Unlock()
+	for id, subs := range s.runSubs {
+		kept := subs[:0]
+		for _, x := range subs {
+			if x != st {
+				kept = append(kept, x)
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.runSubs, id)
+		} else {
+			s.runSubs[id] = kept
+		}
+	}
+}
+
+// sseWriter pairs the response with its flusher and tracks write errors
+// so the loop can bail on a dead connection.
+type sseWriter struct {
+	w   http.ResponseWriter
+	fl  http.Flusher
+	err error
+}
+
+func (sw *sseWriter) frame(b []byte) bool {
+	if sw.err != nil {
+		return false
+	}
+	if _, sw.err = sw.w.Write(b); sw.err != nil {
+		return false
+	}
+	sw.fl.Flush()
+	return true
+}
+
+// reportDrops emits a "dropped" marker if frames were lost since the
+// last report, so the client knows its view has gaps to re-poll.
+func (sw *sseWriter) reportDrops(st *sseStream) bool {
+	d := st.dropped.Load()
+	if d <= st.reported {
+		return true
+	}
+	st.reported = d
+	return sw.frame(sseFrame("dropped", fmt.Appendf(nil, `{"dropped":%d}`, d)))
+}
+
+func startSSE(w http.ResponseWriter) (*sseWriter, bool) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		return nil, false
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	return &sseWriter{w: w, fl: fl}, true
+}
+
+// handleSweepEvents streams one "run" event per completing job of the
+// sweep, heartbeat comments while idle, and a terminal "summary" event
+// once every job has finished.
+func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	swp := s.lookupSweep(r.PathValue("id"))
+	if swp == nil {
+		s.httpError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	st := s.newStream(len(swp.jobs))
+	// Register under sseMu: a job is either already finished (emit its
+	// event now) or publishRun — which also takes sseMu and runs strictly
+	// after finish — will see this subscription. No completion can slip
+	// between the check and the append.
+	s.sseMu.Lock()
+	already := 0
+	for _, j := range swp.jobs {
+		select {
+		case <-j.done:
+			st.deliver(runEventFrame(j))
+			already++
+		default:
+			s.runSubs[j.id] = append(s.runSubs[j.id], st)
+		}
+	}
+	s.sseMu.Unlock()
+	st.arrived(int64(already))
+	defer s.unsubscribe(st)
+
+	sw, ok := startSSE(w)
+	if !ok {
+		s.httpError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	hb := time.NewTicker(s.cfg.SSEHeartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case f := <-st.ch:
+			if !sw.frame(f) || !sw.reportDrops(st) {
+				return
+			}
+		case <-hb.C:
+			if !sw.frame([]byte(": hb\n\n")) {
+				return
+			}
+		case <-st.complete:
+			// Drain frames that raced the completion signal, then close
+			// with the sweep summary.
+			for {
+				select {
+				case f := <-st.ch:
+					if !sw.frame(f) {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			if !sw.reportDrops(st) {
+				return
+			}
+			sum := swp.status()
+			data, _ := json.Marshal(map[string]any{
+				"id": sum.ID, "status": sum.Status, "total": sum.Total,
+				"completed": sum.Completed, "failed": sum.Failed,
+			})
+			sw.frame(sseFrame("summary", data))
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Metrics-window streaming
+
+// winHub is the registry sink: every closed window is forwarded to the
+// JSONL writer (when configured) and fanned out as a "window" SSE frame
+// to /v1/metricsz/stream subscribers.
+type winHub struct {
+	fwd  metrics.Sink
+	mu   sync.Mutex
+	subs []*sseStream
+}
+
+func newWinHub(int) *winHub { return &winHub{} }
+
+// Emit implements metrics.Sink. Window buffers are registry-owned and
+// reused, so the JSONL line is rendered (copied) before returning.
+func (h *winHub) Emit(w metrics.Window) {
+	if h.fwd != nil {
+		h.fwd.Emit(w)
+	}
+	h.mu.Lock()
+	subs := h.subs
+	h.mu.Unlock()
+	if len(subs) == 0 {
+		return
+	}
+	line := bytes.TrimRight(metrics.AppendWindow(nil, nil, w), "\n")
+	frame := sseFrame("window", line)
+	for _, st := range subs {
+		st.deliver(frame)
+	}
+}
+
+// subscribe copies-on-write so Emit can read the list outside the lock.
+func (h *winHub) subscribe(st *sseStream) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.subs = append(append([]*sseStream(nil), h.subs...), st)
+}
+
+func (h *winHub) unsubscribe(st *sseStream) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	kept := make([]*sseStream, 0, len(h.subs))
+	for _, x := range h.subs {
+		if x != st {
+			kept = append(kept, x)
+		}
+	}
+	h.subs = kept
+}
+
+// handleMetricsStream streams every closed metrics window as one
+// "window" event (the JSONL line without trailing newline), reusing the
+// window machinery rather than re-sampling. The stream ends when the
+// client disconnects or the server closes.
+func (s *Server) handleMetricsStream(w http.ResponseWriter, r *http.Request) {
+	st := s.newStream(0)
+	s.winHub.subscribe(st)
+	defer s.winHub.unsubscribe(st)
+	sw, ok := startSSE(w)
+	if !ok {
+		s.httpError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	hb := time.NewTicker(s.cfg.SSEHeartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case f := <-st.ch:
+			if !sw.frame(f) || !sw.reportDrops(st) {
+				return
+			}
+		case <-hb.C:
+			if !sw.frame([]byte(": hb\n\n")) {
+				return
+			}
+		case <-s.stopWin:
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

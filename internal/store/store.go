@@ -61,6 +61,13 @@ type Key struct {
 	// timing), so instrumented runs never alias clean entries.
 	Sanitize bool   `json:"sanitize,omitempty"`
 	Faults   string `json:"faults,omitempty"`
+	// Report names the deep-dive analyses attached to the payload (the
+	// canonical comma-joined form of the run request's "report" list,
+	// e.g. "preload,stalls"). Reported results carry extra payload
+	// sections, so they must never alias plain entries; the empty string
+	// is omitted from the canonical form, keeping every pre-existing
+	// entry's address unchanged.
+	Report string `json:"report,omitempty"`
 }
 
 // reglessScheme mirrors the experiment suite's normKey: capacity is
@@ -107,6 +114,9 @@ func (k Key) Validate() error {
 	}
 	if !utf8.ValidString(k.Faults) {
 		return fmt.Errorf("store: fault spec is not valid UTF-8")
+	}
+	if strings.ContainsAny(k.Report, "/\\\x00") || !utf8.ValidString(k.Report) {
+		return fmt.Errorf("store: bad report spec %q", k.Report)
 	}
 	if k.Capacity < 0 {
 		return fmt.Errorf("store: negative capacity %d", k.Capacity)

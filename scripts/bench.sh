@@ -18,6 +18,9 @@ sha="$(git rev-parse --short=12 HEAD 2>/dev/null || true)"
 prev="$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)"
 go run ./cmd/regless -experiment all -json -cpuprofile "$prof" \
 	-snapshot-sha "$sha" "$@" | tee "$out"
+# The snapshot itself stamps go_version and gomaxprocs; surface the
+# toolchain here too so a log line is enough to attribute a rate shift.
+echo "bench: $(go version)" >&2
 echo "wrote $out and $prof" >&2
 
 # Throughput regression gate against the previous snapshot: the cycle

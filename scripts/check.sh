@@ -107,6 +107,14 @@ cmp "$tracedir/serve-cold.txt" "$tracedir/serve-warm.txt"
 cmp "$tracedir/serve-cold.txt" scripts/golden/serve_nw_warps8.txt
 "$tracedir/reglessload" -addr "$serveaddr" -requests 200 -clients 8 \
 	-benchmarks nw -schemes baseline,regless > "$tracedir/serve-load.txt"
+grep -q "request latency" "$tracedir/serve-load.txt"
+
+# Observability smoke (DESIGN.md §15): against the still-warm server,
+# follow a sweep over SSE to its summary event, fetch a run trace and
+# check its spans tile, and strict-parse the Prometheus exposition
+# (unique series, monotone cumulative buckets, frozen span-histogram
+# names) plus one live metrics window.
+go run ./scripts/obscheck -addr "$serveaddr"
 kill -TERM "$servepid"
 wait "$servepid"
 test "$(grep -c "shut down cleanly" "$tracedir/serve-log.txt")" = 2
