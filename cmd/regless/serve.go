@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"syscall"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/faults"
@@ -56,6 +57,12 @@ func serveMain(args []string) {
 		faultSpec  = fs.String("faults", "", "fault-injection spec armed for every simulation (DESIGN.md §11)")
 		metricsOut = fs.String("metrics-out", "", "append the server's JSONL metrics windows to this file")
 		pprofOn    = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+		reqTimeout = fs.Duration("request-timeout", 0, "default per-request simulation budget (0 disables; clients may shorten via X-Regless-Timeout)")
+		drainWait  = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown window before in-flight runs are canceled (0 waits indefinitely)")
+		queueLimit = fs.Int("queue-limit", 1024, "admission queue bound; submissions beyond it are shed with 429")
+		storeMax   = fs.Int64("store-max-bytes", 0, "store size budget in bytes, enforced by LRU eviction (0 disables)")
+		breakerN   = fs.Int("breaker-threshold", 3, "sanitizer diagnostics per (bench,scheme,capacity) before the circuit breaker quarantines it")
 	)
 	fs.Parse(args)
 	if fs.NArg() > 0 {
@@ -82,7 +89,16 @@ func serveMain(args []string) {
 		opts.Faults = plan
 	}
 
-	cfg := serve.Config{Opts: opts, StoreDir: *storeDir, GitSHA: resolveGitSHA(), EnablePprof: *pprofOn}
+	cfg := serve.Config{
+		Opts:             opts,
+		StoreDir:         *storeDir,
+		GitSHA:           resolveGitSHA(),
+		EnablePprof:      *pprofOn,
+		RequestTimeout:   *reqTimeout,
+		QueueLimit:       *queueLimit,
+		BreakerThreshold: *breakerN,
+		StoreMaxBytes:    *storeMax,
+	}
 	if *metricsOut != "" {
 		f, err := os.OpenFile(*metricsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		check(err)
@@ -108,11 +124,17 @@ func serveMain(args []string) {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case <-sig:
-		// Deliberate stop: refuse new connections, drain the pool so
-		// every admitted job completes and persists, flush metrics.
+		// Deliberate stop: refuse new connections, then drain — in-flight
+		// and queued jobs get up to -drain-timeout to finish (and
+		// persist) before their contexts are canceled; SSE subscribers
+		// receive terminal events; metrics flush; the store fsyncs.
 		check(httpSrv.Close())
 		<-done // http.ErrServerClosed
-		check(srv.Close())
+		rep, err := srv.Drain(*drainWait)
+		check(err)
+		fmt.Fprintf(os.Stderr,
+			"regless: drain: %d pending, %d completed, %d canceled, timed_out=%v in %.2fs\n",
+			rep.Pending, rep.Completed, rep.Canceled, rep.TimedOut, rep.DurationSeconds)
 		fmt.Fprintln(os.Stderr, "regless: serve shut down cleanly")
 	case err := <-done:
 		// Listener failure: still drain and flush before reporting.

@@ -19,9 +19,12 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand/v2"
+	"net"
 	"net/http"
 	"os"
 	"sort"
@@ -64,6 +67,7 @@ func main() {
 		waitReady = flag.Duration("wait-ready", 0, "poll /healthz until the server answers, up to this long")
 		table     = flag.Bool("table", false, "submit the grid as one sweep and print its rendered table to stdout")
 		timeout   = flag.Duration("timeout", 10*time.Minute, "per-request HTTP timeout")
+		retries   = flag.Int("retries", 3, "retries per request when the server sheds load with 429 (honors Retry-After with jittered backoff)")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -101,7 +105,7 @@ func main() {
 	before, _ := fetchMetrics(hc, base)
 	lat := newLatencyTracker()
 	start := time.Now()
-	var ok, failed, errs atomic.Int64
+	var tally classTally
 	var wg sync.WaitGroup
 	perClient := (*requests + *clients - 1) / *clients
 	fired := 0
@@ -121,16 +125,9 @@ func main() {
 				// still covering every point.
 				req := grid[(offset+i)%len(grid)]
 				t0 := time.Now()
-				st, err := submitRun(hc, base, name, req)
+				cls := submitRun(hc, base, name, req, *retries)
 				lat.observe(time.Since(t0))
-				switch {
-				case err != nil:
-					errs.Add(1)
-				case st.Status == "done":
-					ok.Add(1)
-				default:
-					failed.Add(1)
-				}
+				tally.count(cls)
 			}
 		}(c, n, c)
 	}
@@ -140,14 +137,59 @@ func main() {
 
 	fmt.Printf("reglessload: %d requests (%d clients, %d grid points) in %.2fs (%.1f req/s)\n",
 		*requests, *clients, len(grid), wall.Seconds(), float64(*requests)/wall.Seconds())
-	fmt.Printf("  done %d, failed %d, transport errors %d\n", ok.Load(), failed.Load(), errs.Load())
+	tally.print(os.Stdout)
 	lat.printSummary(os.Stdout)
 	if before != nil && after != nil {
 		printDeltas(before, after)
 	}
-	if errs.Load() > 0 || failed.Load() > 0 {
+	if tally.bad() > 0 {
 		os.Exit(1)
 	}
+}
+
+// errClass classifies one request's terminal outcome. Everything except
+// clsOK makes the exit code nonzero; the breakdown tells an operator
+// whether the problem was the server (5xx, failed runs), the network
+// (disconnects), load shedding that outlasted the retries (shed), or
+// budgets (timeouts).
+type errClass int
+
+const (
+	clsOK errClass = iota
+	clsFailed     // server answered 200 with a non-done run (failed/expired/canceled)
+	clsRejected   // 4xx admission rejection (bad request, quarantined config)
+	clsTimeout    // client-side -timeout elapsed
+	clsShed       // 429 shedding outlasted every retry
+	cls5xx        // server error
+	clsDisconnect // connection severed mid-request
+	clsClasses    // count
+)
+
+var classNames = [clsClasses]string{
+	"done", "failed runs", "rejected (4xx)", "timeouts", "shed (429)", "5xx", "disconnects",
+}
+
+// classTally is the per-class outcome counter shared by the clients.
+type classTally struct{ c [clsClasses]atomic.Int64 }
+
+func (t *classTally) count(c errClass) { t.c[c].Add(1) }
+
+func (t *classTally) bad() int64 {
+	var n int64
+	for c := clsFailed; c < clsClasses; c++ {
+		n += t.c[c].Load()
+	}
+	return n
+}
+
+func (t *classTally) print(w io.Writer) {
+	fmt.Fprintf(w, "  done %d", t.c[clsOK].Load())
+	for c := clsFailed; c < clsClasses; c++ {
+		if v := t.c[c].Load(); v > 0 {
+			fmt.Fprintf(w, ", %s %d", classNames[c], v)
+		}
+	}
+	fmt.Fprintln(w)
 }
 
 // latBounds bucket per-request latency in microseconds, 100µs to 10min
@@ -305,37 +347,80 @@ func waitForServer(hc *http.Client, base string, d time.Duration) error {
 	}
 }
 
-func submitRun(hc *http.Client, base, client string, req runRequest) (*runStatus, error) {
+// submitRun fires one wait=1 submission and classifies its outcome. A
+// 429 (the server shedding load) is retried up to retries times, waiting
+// out the server's Retry-After hint with jitter so a thundering herd of
+// shed clients doesn't re-arrive in lockstep; every other outcome is
+// terminal.
+func submitRun(hc *http.Client, base, client string, req runRequest, retries int) errClass {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, err
+		return clsDisconnect
 	}
-	hr, err := http.NewRequest("POST", base+"/v1/runs?wait=1", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		hr, err := http.NewRequest("POST", base+"/v1/runs?wait=1", bytes.NewReader(body))
+		if err != nil {
+			return clsDisconnect
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		hr.Header.Set("X-Regless-Client", client)
+		resp, err := hc.Do(hr)
+		if err != nil {
+			return classifyTransport(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return classifyTransport(err)
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			var st runStatus
+			if err := json.Unmarshal(raw, &st); err != nil {
+				return clsDisconnect
+			}
+			if st.Status == "done" && len(st.Result) > 0 {
+				return clsOK
+			}
+			return clsFailed
+		case resp.StatusCode == http.StatusTooManyRequests:
+			if attempt >= retries {
+				return clsShed
+			}
+			time.Sleep(backoff(resp.Header.Get("Retry-After")))
+		case resp.StatusCode >= 500:
+			return cls5xx
+		default:
+			return clsRejected
+		}
 	}
-	hr.Header.Set("Content-Type", "application/json")
-	hr.Header.Set("X-Regless-Client", client)
-	resp, err := hc.Do(hr)
-	if err != nil {
-		return nil, err
+}
+
+// classifyTransport splits connection failures into client-side deadline
+// expiries and everything else (resets, refused connections, severed
+// bodies).
+func classifyTransport(err error) errClass {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return clsTimeout
 	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
+	return clsDisconnect
+}
+
+// backoff turns a Retry-After header (delta-seconds) into a jittered
+// sleep: the full server hint plus up to half again, capped at 30s. The
+// jitter spreads shed clients out so the retry wave doesn't recreate the
+// overload that shed them.
+func backoff(retryAfter string) time.Duration {
+	secs := 1
+	if n, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && n > 0 {
+		secs = n
 	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("POST /v1/runs: %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	if secs > 30 {
+		secs = 30
 	}
-	var st runStatus
-	if err := json.Unmarshal(raw, &st); err != nil {
-		return nil, err
-	}
-	if st.Status == "done" && len(st.Result) == 0 {
-		return nil, fmt.Errorf("done response for %s/%s carries no result", req.Bench, req.Scheme)
-	}
-	return &st, nil
+	d := time.Duration(secs) * time.Second
+	return d + rand.N(d/2+time.Millisecond)
 }
 
 // printTable submits the whole grid as one sweep and prints the rendered

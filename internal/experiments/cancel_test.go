@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+func cancelOpts() Options {
+	// Every repo benchmark finishes in a few thousand cycles — fewer loop
+	// iterations than one cancellation-poll interval — so these tests
+	// stretch the run deterministically: a mem-delay fault parks one
+	// response for 800k cycles (under the 1M watchdog), and NoFastForward
+	// keeps the loop stepping through the idle span (fault injection
+	// disables the event-wheel skip anyway), guaranteeing ~100 context
+	// polls per run while a full run still completes in well under a
+	// second.
+	plan, err := faults.Parse("mem-delay@500:delay=800000")
+	if err != nil {
+		panic(err)
+	}
+	return Options{
+		Warps: 8, Benchmarks: []string{"nw"}, MaxCycles: 2_000_000,
+		NoFastForward: true, Faults: plan,
+	}
+}
+
+func TestGetCtxPreCanceledDoesNotSimulate(t *testing.T) {
+	s := NewSuite(cancelOpts())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.GetCtx(ctx, "nw", SchemeRegLess, 512)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("GetCtx with canceled ctx = %v, want context.Canceled", err)
+	}
+	// The canceled attempt must not poison the cache: a clean Get works.
+	r, err := s.Get("nw", SchemeRegLess, 512)
+	if err != nil || r == nil {
+		t.Fatalf("Get after canceled attempt = %v, %v", r, err)
+	}
+}
+
+func TestGetCtxCancelMidRunFreesAndDoesNotPoison(t *testing.T) {
+	s := NewSuite(cancelOpts())
+	started := make(chan struct{})
+	var once sync.Once
+	s.OnSimulate = func(string, Scheme, int) { once.Do(func() { close(started) }) }
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := s.GetCtx(ctx, "nw", SchemeRegLess, 512)
+		errCh <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("abandoned GetCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled simulation did not return; cycle loop never polled ctx")
+	}
+	// Deterministic-simulation errors are cached, but cancellation is a
+	// property of the request, not the key: a retry must simulate fresh.
+	r, err := s.Get("nw", SchemeRegLess, 512)
+	if err != nil || r == nil {
+		t.Fatalf("Get after mid-run cancel = %v, %v", r, err)
+	}
+}
+
+func TestGetCtxFollowerRetakesLeadAfterLeaderCanceled(t *testing.T) {
+	s := NewSuite(cancelOpts())
+	started := make(chan struct{})
+	var simulations int
+	var mu sync.Mutex
+	s.OnSimulate = func(string, Scheme, int) {
+		mu.Lock()
+		simulations++
+		if simulations == 1 {
+			close(started)
+		}
+		mu.Unlock()
+	}
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := s.GetCtx(leaderCtx, "nw", SchemeRegLess, 512)
+		leaderErr <- err
+	}()
+	<-started
+	followerErr := make(chan error, 1)
+	go func() {
+		r, err := s.GetCtx(context.Background(), "nw", SchemeRegLess, 512)
+		if err == nil && r == nil {
+			err = errors.New("nil run with nil error")
+		}
+		followerErr <- err
+	}()
+	// Give the follower a moment to join the in-flight entry, then
+	// abandon the leader. (If the follower instead arrives after the
+	// deletion it simply leads from the start — same outcome.)
+	time.Sleep(10 * time.Millisecond)
+	cancelLeader()
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader error = %v, want context.Canceled", err)
+	}
+	select {
+	case err := <-followerErr:
+		if err != nil {
+			t.Fatalf("follower inherited the leader's cancellation: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("follower hung after leader cancellation")
+	}
+}
+
+func TestChipRunCanceled(t *testing.T) {
+	opts := cancelOpts()
+	opts.SMs = 2
+	s := NewSuite(opts)
+	started := make(chan struct{})
+	var once sync.Once
+	s.OnSimulate = func(string, Scheme, int) { once.Do(func() { close(started) }) }
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := s.GetCtx(ctx, "nw", SchemeBaseline, 0)
+		errCh <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("chip GetCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("canceled chip run did not return")
+	}
+}
+
+func TestDeadlineExceededClassified(t *testing.T) {
+	s := NewSuite(cancelOpts())
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	time.Sleep(2 * time.Millisecond)
+	_, err := s.GetCtx(ctx, "nw", SchemeBaseline, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("GetCtx past deadline = %v, want DeadlineExceeded", err)
+	}
+}

@@ -138,6 +138,7 @@ func (s *Suite) simulateChip(ctx context.Context, bench string, scheme Scheme, c
 		}
 	}
 	run := &Run{Bench: bench, Scheme: scheme, Capacity: capacity, RegLess: rp}
+	g.AttachContext(ctx)
 	cycle := tr.Start(parent, "run")
 	res, err := g.Run()
 	tr.End(cycle)

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -261,39 +262,72 @@ func (s *Suite) Get(bench string, scheme Scheme, capacity int) (*Run, error) {
 	return s.GetCtx(context.Background(), bench, scheme, capacity)
 }
 
-// GetCtx is Get with service-level span recording: when ctx carries an
-// obs trace (serve's execute path), the suite records its phases —
-// "suite-wait" when another caller's in-flight simulation is joined,
-// else "kernel-load"/"build"/"run" children under the carried parent
-// span. Without a trace in ctx it is exactly Get (the nil-trace methods
-// are no-ops), so the direct experiment path stays untouched.
+// GetCtx is Get with service-level span recording and cooperative
+// cancellation. When ctx carries an obs trace (serve's execute path), the
+// suite records its phases — "suite-wait" when another caller's in-flight
+// simulation is joined, else "kernel-load"/"build"/"run" children under
+// the carried parent span. When ctx is cancelable, the cycle loop polls
+// it and an abandoned simulation returns ctx's error instead of running
+// to completion.
+//
+// Cancellation must not poison the cache: simulation errors are cached
+// (deterministic — retrying cannot help), but a context error says
+// nothing about the key, so the leader removes its entry before
+// publishing, a joined follower whose own ctx is still live re-runs the
+// key, and the next Get simulates fresh. Without a trace or a deadline in
+// ctx this is exactly Get.
 func (s *Suite) GetCtx(ctx context.Context, bench string, scheme Scheme, capacity int) (*Run, error) {
 	key := normKey(bench, scheme, capacity)
-	s.mu.Lock()
-	e, ok := s.cache[key]
-	if !ok {
-		e = &runEntry{done: make(chan struct{})}
-		s.cache[key] = e
-	}
-	s.mu.Unlock()
-	if ok {
-		tr, parent := obs.FromContext(ctx)
-		wait := tr.Start(parent, "suite-wait")
-		<-e.done
-		tr.End(wait)
+	for {
+		s.mu.Lock()
+		e, ok := s.cache[key]
+		if !ok {
+			e = &runEntry{done: make(chan struct{})}
+			s.cache[key] = e
+		}
+		s.mu.Unlock()
+		if ok {
+			tr, parent := obs.FromContext(ctx)
+			wait := tr.Start(parent, "suite-wait")
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				tr.End(wait)
+				return nil, fmt.Errorf("%s/%s/%d: %w", key.bench, key.scheme, key.capacity, ctx.Err())
+			}
+			tr.End(wait)
+			if e.err != nil && isCtxErr(e.err) && ctx.Err() == nil {
+				// The leader was abandoned but this caller was not:
+				// its entry is gone from the cache, so loop and lead.
+				continue
+			}
+			return e.run, e.err
+		}
+		if s.OnSimulate != nil {
+			s.OnSimulate(key.bench, key.scheme, key.capacity)
+		}
+		r, err := s.simulate(ctx, key.bench, key.scheme, key.capacity)
+		if err != nil {
+			if isCtxErr(err) {
+				s.mu.Lock()
+				if s.cache[key] == e {
+					delete(s.cache, key)
+				}
+				s.mu.Unlock()
+			}
+			e.err = fmt.Errorf("%s/%s/%d: %w", key.bench, key.scheme, key.capacity, err)
+		} else {
+			e.run = r
+		}
+		close(e.done)
 		return e.run, e.err
 	}
-	if s.OnSimulate != nil {
-		s.OnSimulate(key.bench, key.scheme, key.capacity)
-	}
-	r, err := s.simulate(ctx, key.bench, key.scheme, key.capacity)
-	if err != nil {
-		e.err = fmt.Errorf("%s/%s/%d: %w", key.bench, key.scheme, key.capacity, err)
-	} else {
-		e.run = r
-	}
-	close(e.done)
-	return e.run, e.err
+}
+
+// isCtxErr reports whether err is a cancellation/deadline error rather
+// than a result of the simulation itself.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // parallelism resolves the planner's worker count.
@@ -401,6 +435,9 @@ func (s *Suite) CachedRuns() []*Run {
 }
 
 func (s *Suite) simulate(ctx context.Context, bench string, scheme Scheme, capacity int) (*Run, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if s.Opts.SMs > 1 {
 		return s.simulateChip(ctx, bench, scheme, capacity)
 	}
@@ -435,6 +472,7 @@ func (s *Suite) simulate(ctx context.Context, bench string, scheme Scheme, capac
 		))
 	}
 	run := &Run{Bench: bench, Scheme: scheme, Capacity: capacity, RegLess: rp}
+	smv.AttachContext(ctx)
 	cycle := tr.Start(parent, "run")
 	st, err := smv.Run()
 	tr.End(cycle)

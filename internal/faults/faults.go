@@ -12,7 +12,9 @@
 //	spec   := clause (';' clause)*
 //	clause := class ['@' cycle] (':' key '=' int)*  |  'seed' '=' int
 //	class  := mem-delay | mem-drop | osu-tag | osu-state |
-//	          compress-pattern | meta-bank | meta-erase
+//	          compress-pattern | meta-bank | meta-erase |
+//	          disk-full | slow-disk | store-corrupt |
+//	          client-abort | clock-skew
 //
 // Examples:
 //
@@ -20,12 +22,21 @@
 //	mem-delay@1000:delay=2000; seed=7
 //	osu-tag@2500:shard=1
 //	meta-erase:region=3
+//	disk-full@2; slow-disk@4:delay=100
+//	clock-skew:skew=7200
 //
 // Runtime classes fire at their '@' cycle (default 0: as soon as the
 // target exists); meta-* classes corrupt compiled region metadata before
 // the simulation starts, so their cycle is ignored. Unset targets
 // (shard, region) are picked deterministically from the seed, so one
 // spec string replays the same corruption everywhere.
+//
+// The serve classes (disk-full, slow-disk, store-corrupt, client-abort,
+// clock-skew) are consulted by the sweep service and its disk store
+// rather than by the simulator; for them the '@' value counts store (or
+// HTTP request) operations instead of simulation cycles. Plan.Split
+// separates the two populations so a mixed campaign arms each layer with
+// only its own clauses.
 package faults
 
 import (
@@ -33,6 +44,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Class names a fault family; the value is the spec-language spelling.
@@ -57,12 +69,45 @@ const (
 	// MetaErase deletes one of a region's erase annotations, leaking a
 	// staged register past the region's end (compile-time).
 	MetaErase Class = "meta-erase"
+
+	// DiskFull fails one store write with a synthetic no-space error
+	// (serve level).
+	DiskFull Class = "disk-full"
+	// SlowDisk delays one store operation by Delay milliseconds (serve
+	// level).
+	SlowDisk Class = "slow-disk"
+	// StoreCorrupt flips a byte of a freshly persisted store entry, so a
+	// later read sees torn bytes (serve level).
+	StoreCorrupt Class = "store-corrupt"
+	// ClientAbort aborts one HTTP response mid-flight, as a client
+	// disconnect or proxy reset would (serve level).
+	ClientAbort Class = "client-abort"
+	// ClockSkew skews one access-time stamp the store writes by Skew
+	// seconds into the future, as a wall-clock jump would (serve level).
+	ClockSkew Class = "clock-skew"
 )
 
-// Classes lists every fault class in spec order (test matrices iterate
-// this).
+// Classes lists every simulator-level fault class in spec order (the sim
+// fault-matrix tests iterate this).
 func Classes() []Class {
 	return []Class{MemDelay, MemDrop, OSUTag, OSUState, CompressPattern, MetaBank, MetaErase}
+}
+
+// ServeClasses lists every serve-level fault class in spec order (the
+// service fault-matrix tests iterate this).
+func ServeClasses() []Class {
+	return []Class{DiskFull, SlowDisk, StoreCorrupt, ClientAbort, ClockSkew}
+}
+
+// ServeLevel reports whether the class is consulted by the sweep service
+// and its store rather than by the simulator.
+func (c Class) ServeLevel() bool {
+	for _, k := range ServeClasses() {
+		if c == k {
+			return true
+		}
+	}
+	return false
 }
 
 func validClass(c Class) bool {
@@ -71,7 +116,7 @@ func validClass(c Class) bool {
 			return true
 		}
 	}
-	return false
+	return c.ServeLevel()
 }
 
 // CompileTime reports whether the class corrupts compiled metadata
@@ -81,14 +126,18 @@ func (c Class) CompileTime() bool { return c == MetaBank || c == MetaErase }
 // Fault is one parsed clause.
 type Fault struct {
 	Class Class
-	// At is the cycle the fault becomes due (runtime classes).
+	// At is the cycle the fault becomes due (runtime classes); serve
+	// classes count store or request operations instead of cycles.
 	At uint64
-	// Delay is mem-delay's extra response latency in cycles.
+	// Delay is mem-delay's extra response latency in cycles, or
+	// slow-disk's store-operation delay in milliseconds.
 	Delay int
 	// Shard targets one provider shard (-1: seed-picked).
 	Shard int
 	// Region targets one compiled region (-1: seed-picked).
 	Region int
+	// Skew is clock-skew's access-time offset in seconds.
+	Skew int
 }
 
 // Plan is a parsed spec: the seed plus every fault clause.
@@ -100,10 +149,26 @@ type Plan struct {
 // DefaultDelay is mem-delay's extra latency when the spec omits delay=.
 const DefaultDelay = 1000
 
+// DefaultSlowDiskMillis is slow-disk's store-operation delay when the
+// spec omits delay=.
+const DefaultSlowDiskMillis = 50
+
+// DefaultSkewSeconds is clock-skew's access-time offset when the spec
+// omits skew=.
+const DefaultSkewSeconds = 3600
+
+// defaultDelayFor returns the class's delay= default.
+func defaultDelayFor(c Class) int {
+	if c == SlowDisk {
+		return DefaultSlowDiskMillis
+	}
+	return DefaultDelay
+}
+
 // ArmedClasses returns the distinct fault classes the plan arms, in spec
-// order. Health endpoints report them so a degraded service is
-// attributable to its injection campaign rather than mistaken for an
-// organic failure.
+// order (simulator classes first, then serve classes). Health endpoints
+// report them so a degraded service is attributable to its injection
+// campaign rather than mistaken for an organic failure.
 func (p *Plan) ArmedClasses() []string {
 	if p == nil {
 		return nil
@@ -113,12 +178,36 @@ func (p *Plan) ArmedClasses() []string {
 		armed[f.Class] = true
 	}
 	out := make([]string, 0, len(armed))
-	for _, c := range Classes() {
+	for _, c := range append(Classes(), ServeClasses()...) {
 		if armed[c] {
 			out = append(out, string(c))
 		}
 	}
 	return out
+}
+
+// Split partitions the plan into its simulator-level and serve-level
+// clauses (both sharing the seed), so a mixed chaos campaign arms the
+// simulator with only the classes it consults and the service/store
+// layer with only its own. Either side is nil when it has no clauses.
+func (p *Plan) Split() (simPlan, servePlan *Plan) {
+	if p == nil {
+		return nil, nil
+	}
+	for _, f := range p.Faults {
+		if f.Class.ServeLevel() {
+			if servePlan == nil {
+				servePlan = &Plan{Seed: p.Seed}
+			}
+			servePlan.Faults = append(servePlan.Faults, f)
+		} else {
+			if simPlan == nil {
+				simPlan = &Plan{Seed: p.Seed}
+			}
+			simPlan.Faults = append(simPlan.Faults, f)
+		}
+	}
+	return simPlan, servePlan
 }
 
 // Parse builds a Plan from a spec string. Malformed specs return errors,
@@ -157,6 +246,10 @@ func Parse(spec string) (*Plan, error) {
 		if !validClass(f.Class) {
 			return nil, fmt.Errorf("faults: unknown class %q (valid: %s)", name, classList())
 		}
+		f.Delay = defaultDelayFor(f.Class)
+		if f.Class == ClockSkew {
+			f.Skew = DefaultSkewSeconds
+		}
 		if params != "" {
 			for _, kv := range strings.Split(params, ":") {
 				key, val, ok := strings.Cut(kv, "=")
@@ -169,8 +262,8 @@ func Parse(spec string) (*Plan, error) {
 				}
 				switch strings.TrimSpace(key) {
 				case "delay":
-					if f.Class != MemDelay {
-						return nil, fmt.Errorf("faults: delay= applies to mem-delay, not %s", f.Class)
+					if f.Class != MemDelay && f.Class != SlowDisk {
+						return nil, fmt.Errorf("faults: delay= applies to mem-delay or slow-disk, not %s", f.Class)
 					}
 					if n == 0 {
 						return nil, fmt.Errorf("faults: delay must be positive")
@@ -180,6 +273,14 @@ func Parse(spec string) (*Plan, error) {
 					f.Shard = n
 				case "region":
 					f.Region = n
+				case "skew":
+					if f.Class != ClockSkew {
+						return nil, fmt.Errorf("faults: skew= applies to clock-skew, not %s", f.Class)
+					}
+					if n == 0 {
+						return nil, fmt.Errorf("faults: skew must be positive")
+					}
+					f.Skew = n
 				default:
 					return nil, fmt.Errorf("faults: unknown parameter %q", key)
 				}
@@ -194,8 +295,9 @@ func Parse(spec string) (*Plan, error) {
 }
 
 func classList() string {
-	names := make([]string, 0, len(Classes()))
-	for _, c := range Classes() {
+	all := append(Classes(), ServeClasses()...)
+	names := make([]string, 0, len(all))
+	for _, c := range all {
 		names = append(names, string(c))
 	}
 	return strings.Join(names, ", ")
@@ -210,7 +312,7 @@ func (p *Plan) String() string {
 			b.WriteString("; ")
 		}
 		fmt.Fprintf(&b, "%s@%d", f.Class, f.At)
-		if f.Class == MemDelay && f.Delay != DefaultDelay {
+		if (f.Class == MemDelay || f.Class == SlowDisk) && f.Delay != defaultDelayFor(f.Class) {
 			fmt.Fprintf(&b, ":delay=%d", f.Delay)
 		}
 		if f.Shard >= 0 {
@@ -218,6 +320,9 @@ func (p *Plan) String() string {
 		}
 		if f.Region >= 0 {
 			fmt.Fprintf(&b, ":region=%d", f.Region)
+		}
+		if f.Class == ClockSkew && f.Skew != DefaultSkewSeconds {
+			fmt.Fprintf(&b, ":skew=%d", f.Skew)
 		}
 	}
 	if p.Seed != 0 {
@@ -236,10 +341,19 @@ type armed struct {
 // plus a deterministic picker. A nil *Injector is a valid no-op (the
 // disabled-path idiom shared with metrics and events); every consult
 // costs one branch when no faults are armed.
+//
+// The simulator-level consults (Due, Consume, Pick, MemResponse,
+// CompileTime) are lock-free: each simulation owns its injector on one
+// goroutine. The serve-level consults (StoreWriteFails and friends) are
+// called concurrently from HTTP handlers and pool workers, so they — and
+// the cold inspection methods they share state with — serialize on mu.
 type Injector struct {
 	faults []armed
 	rng    uint64
 	log    []string
+
+	// mu guards faults and log for the concurrent serve-level consults.
+	mu sync.Mutex
 }
 
 // NewInjector arms every fault in the plan for one simulation. Each
@@ -342,11 +456,89 @@ func (in *Injector) MemResponse(now uint64) (drop bool, delay int) {
 	return false, 0
 }
 
+// ---------------------------------------------------------------------
+// Serve-level consults. The store and the sweep service call these at
+// their natural corruption points, passing a monotonically increasing
+// operation index as "now" (the serve analogue of the simulation cycle).
+// All are one-shot arms sharing the Due/Consume discipline, and all are
+// nil-safe no-ops.
+
+// takeServe atomically finds and fires the first due arm of class c,
+// logging detail(f). It returns the fired fault.
+func (in *Injector) takeServe(c Class, now uint64, detail func(Fault) string) (Fault, bool) {
+	if in == nil {
+		return Fault{}, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i := range in.faults {
+		f := &in.faults[i]
+		if !f.fired && f.Class == c && now >= f.At {
+			f.fired = true
+			in.log = append(in.log, fmt.Sprintf("%s: %s", c, detail(f.Fault)))
+			return f.Fault, true
+		}
+	}
+	return Fault{}, false
+}
+
+// StoreWriteFails consults the disk-full arm for one store write.
+func (in *Injector) StoreWriteFails(op uint64) bool {
+	_, ok := in.takeServe(DiskFull, op, func(Fault) string {
+		return fmt.Sprintf("failed store write at op %d", op)
+	})
+	return ok
+}
+
+// StoreDelayMillis consults the slow-disk arm for one store operation,
+// returning the extra latency to impose in milliseconds (0: none).
+func (in *Injector) StoreDelayMillis(op uint64) int {
+	f, ok := in.takeServe(SlowDisk, op, func(f Fault) string {
+		return fmt.Sprintf("delayed store op %d by %dms", op, f.Delay)
+	})
+	if !ok {
+		return 0
+	}
+	return f.Delay
+}
+
+// StoreCorrupts consults the store-corrupt arm after one completed store
+// write; true means the caller should corrupt the persisted bytes.
+func (in *Injector) StoreCorrupts(op uint64) bool {
+	_, ok := in.takeServe(StoreCorrupt, op, func(Fault) string {
+		return fmt.Sprintf("corrupted stored entry at op %d", op)
+	})
+	return ok
+}
+
+// ClockSkewSeconds consults the clock-skew arm for one access-time
+// stamp, returning the forward skew to apply in seconds (0: none).
+func (in *Injector) ClockSkewSeconds(op uint64) int {
+	f, ok := in.takeServe(ClockSkew, op, func(f Fault) string {
+		return fmt.Sprintf("skewed atime stamp by %ds at op %d", f.Skew, op)
+	})
+	if !ok {
+		return 0
+	}
+	return f.Skew
+}
+
+// AbortsClient consults the client-abort arm for one HTTP request; true
+// means the server should abort the response mid-flight.
+func (in *Injector) AbortsClient(req uint64) bool {
+	_, ok := in.takeServe(ClientAbort, req, func(Fault) string {
+		return fmt.Sprintf("aborted client response at request %d", req)
+	})
+	return ok
+}
+
 // Active reports whether any fault is still armed.
 func (in *Injector) Active() bool {
 	if in == nil {
 		return false
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	for i := range in.faults {
 		if !in.faults[i].fired {
 			return true
@@ -361,6 +553,8 @@ func (in *Injector) Applied() []string {
 	if in == nil {
 		return nil
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	out := make([]string, len(in.log))
 	copy(out, in.log)
 	return out
@@ -371,6 +565,8 @@ func (in *Injector) Pending() []Class {
 	if in == nil {
 		return nil
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	var out []Class
 	for i := range in.faults {
 		if !in.faults[i].fired {

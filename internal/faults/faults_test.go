@@ -230,3 +230,175 @@ func TestClassesAndCompileTime(t *testing.T) {
 		}
 	}
 }
+
+func TestServeClasses(t *testing.T) {
+	ss := ServeClasses()
+	if len(ss) != 5 {
+		t.Fatalf("ServeClasses() = %v", ss)
+	}
+	for _, c := range ss {
+		if !c.ServeLevel() {
+			t.Errorf("%s.ServeLevel() = false", c)
+		}
+		if c.CompileTime() {
+			t.Errorf("%s.CompileTime() = true", c)
+		}
+	}
+	for _, c := range Classes() {
+		if c.ServeLevel() {
+			t.Errorf("sim class %s reports ServeLevel", c)
+		}
+	}
+}
+
+func TestParseServeSpecs(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Fault
+	}{
+		{"disk-full@2", Fault{Class: DiskFull, At: 2, Delay: DefaultDelay, Shard: -1, Region: -1}},
+		{"slow-disk@4:delay=100", Fault{Class: SlowDisk, At: 4, Delay: 100, Shard: -1, Region: -1}},
+		{"slow-disk", Fault{Class: SlowDisk, Delay: DefaultSlowDiskMillis, Shard: -1, Region: -1}},
+		{"store-corrupt@1", Fault{Class: StoreCorrupt, At: 1, Delay: DefaultDelay, Shard: -1, Region: -1}},
+		{"client-abort@3", Fault{Class: ClientAbort, At: 3, Delay: DefaultDelay, Shard: -1, Region: -1}},
+		{"clock-skew", Fault{Class: ClockSkew, Delay: DefaultDelay, Shard: -1, Region: -1, Skew: DefaultSkewSeconds}},
+		{"clock-skew:skew=7200", Fault{Class: ClockSkew, Delay: DefaultDelay, Shard: -1, Region: -1, Skew: 7200}},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.spec)
+		if err != nil {
+			t.Errorf("Parse(%q) = %v", c.spec, err)
+			continue
+		}
+		if len(p.Faults) != 1 || p.Faults[0] != c.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.spec, p.Faults, c.want)
+		}
+	}
+	for _, bad := range []struct{ spec, wantErr string }{
+		{"mem-drop:skew=10", "skew= applies to clock-skew"},
+		{"clock-skew:skew=0", "skew must be positive"},
+		{"disk-full:delay=5", "delay= applies to mem-delay or slow-disk"},
+	} {
+		if p, err := Parse(bad.spec); err == nil {
+			t.Errorf("Parse(%q) = %+v, want error", bad.spec, p)
+		} else if !strings.Contains(err.Error(), bad.wantErr) {
+			t.Errorf("Parse(%q) = %v, want error containing %q", bad.spec, err, bad.wantErr)
+		}
+	}
+}
+
+func TestServeStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"disk-full@2; slow-disk@4:delay=100",
+		"clock-skew:skew=7200; store-corrupt@1; seed=5",
+		"client-abort@3; mem-drop@10; seed=9",
+		"slow-disk",
+	}
+	for _, spec := range specs {
+		p1, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q) = %v", spec, err)
+		}
+		p2, err := Parse(p1.String())
+		if err != nil {
+			t.Fatalf("Parse(%q.String() = %q) = %v", spec, p1.String(), err)
+		}
+		if p1.String() != p2.String() {
+			t.Errorf("round trip diverged: %q -> %q", p1.String(), p2.String())
+		}
+	}
+}
+
+func TestPlanSplit(t *testing.T) {
+	p, err := Parse("mem-drop@10; disk-full@2; slow-disk@4:delay=100; osu-tag@20:shard=1; seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, serve := p.Split()
+	if sim == nil || serve == nil {
+		t.Fatalf("Split() = %v, %v", sim, serve)
+	}
+	if sim.Seed != 11 || serve.Seed != 11 {
+		t.Errorf("Split seeds = %d, %d, want 11", sim.Seed, serve.Seed)
+	}
+	if got := sim.String(); got != "mem-drop@10; osu-tag@20:shard=1; seed=11" {
+		t.Errorf("sim side = %q", got)
+	}
+	if got := serve.String(); got != "disk-full@2; slow-disk@4:delay=100; seed=11" {
+		t.Errorf("serve side = %q", got)
+	}
+
+	simOnly, _ := Parse("mem-drop@10")
+	s, sv := simOnly.Split()
+	if s == nil || sv != nil {
+		t.Errorf("sim-only Split() = %v, %v, want plan, nil", s, sv)
+	}
+	serveOnly, _ := Parse("disk-full@1")
+	s, sv = serveOnly.Split()
+	if s != nil || sv == nil {
+		t.Errorf("serve-only Split() = %v, %v, want nil, plan", s, sv)
+	}
+	var nilPlan *Plan
+	s, sv = nilPlan.Split()
+	if s != nil || sv != nil {
+		t.Errorf("nil Split() = %v, %v", s, sv)
+	}
+}
+
+func TestServeConsultsOneShot(t *testing.T) {
+	p, err := Parse("disk-full@2; slow-disk@3:delay=40; store-corrupt@1; clock-skew:skew=60; client-abort@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(p)
+	if in.StoreWriteFails(1) {
+		t.Error("disk-full fired before op 2")
+	}
+	if !in.StoreWriteFails(2) {
+		t.Error("disk-full did not fire at op 2")
+	}
+	if in.StoreWriteFails(3) {
+		t.Error("disk-full fired twice")
+	}
+	if d := in.StoreDelayMillis(2); d != 0 {
+		t.Errorf("slow-disk fired early: %d", d)
+	}
+	if d := in.StoreDelayMillis(3); d != 40 {
+		t.Errorf("StoreDelayMillis(3) = %d, want 40", d)
+	}
+	if d := in.StoreDelayMillis(4); d != 0 {
+		t.Errorf("slow-disk fired twice: %d", d)
+	}
+	if !in.StoreCorrupts(1) {
+		t.Error("store-corrupt did not fire at op 1")
+	}
+	if in.StoreCorrupts(1) {
+		t.Error("store-corrupt fired twice")
+	}
+	if s := in.ClockSkewSeconds(0); s != 60 {
+		t.Errorf("ClockSkewSeconds(0) = %d, want 60", s)
+	}
+	if s := in.ClockSkewSeconds(1); s != 0 {
+		t.Errorf("clock-skew fired twice: %d", s)
+	}
+	if in.AbortsClient(1) {
+		t.Error("client-abort fired before req 2")
+	}
+	if !in.AbortsClient(2) {
+		t.Error("client-abort did not fire at req 2")
+	}
+	if in.Active() {
+		t.Error("injector active after all serve arms consumed")
+	}
+	if got := in.Applied(); len(got) != 5 {
+		t.Errorf("Applied() = %v, want 5 entries", got)
+	}
+
+	var nilIn *Injector
+	if nilIn.StoreWriteFails(0) || nilIn.StoreCorrupts(0) || nilIn.AbortsClient(0) {
+		t.Error("nil injector fired a serve fault")
+	}
+	if nilIn.StoreDelayMillis(0) != 0 || nilIn.ClockSkewSeconds(0) != 0 {
+		t.Error("nil injector returned a serve value")
+	}
+}

@@ -19,6 +19,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/exec"
@@ -73,6 +74,40 @@ type GPU struct {
 	// Mems holds each slot's functional memory (one entry in
 	// single-kernel mode).
 	Mems []*exec.Memory
+
+	// Cooperative cancellation (nil when disabled — see AttachContext).
+	cancelCh         <-chan struct{}
+	cancelCtx        context.Context
+	sinceCancelCheck uint64
+}
+
+// AttachContext arms cooperative cancellation of Run on the same terms as
+// sim.SM.AttachContext: the chip loop polls ctx every
+// sim.CancelCheckInterval iterations, and context.Background() (nil Done
+// channel) leaves the check disabled at the cost of one nil compare per
+// chip cycle.
+func (g *GPU) AttachContext(ctx context.Context) {
+	if ctx == nil || ctx.Done() == nil {
+		g.cancelCh, g.cancelCtx = nil, nil
+		return
+	}
+	g.cancelCh = ctx.Done()
+	g.cancelCtx = ctx
+}
+
+// canceled polls the attached context on the check cadence.
+func (g *GPU) canceled() error {
+	g.sinceCancelCheck++
+	if g.sinceCancelCheck < sim.CancelCheckInterval {
+		return nil
+	}
+	g.sinceCancelCheck = 0
+	select {
+	case <-g.cancelCh:
+		return fmt.Errorf("gpu: chip abandoned: %w", g.cancelCtx.Err())
+	default:
+		return nil
+	}
 }
 
 // New builds a single-kernel GPU: one SM per index, private L1s, shared
@@ -164,6 +199,11 @@ type Result struct {
 // invariant violations) return an error naming the SM.
 func (g *GPU) Run() (*Result, error) {
 	for {
+		if g.cancelCh != nil {
+			if err := g.canceled(); err != nil {
+				return nil, err
+			}
+		}
 		allDone := true
 		for i, smv := range g.SMs {
 			if smv.Done() {

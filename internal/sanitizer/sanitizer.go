@@ -210,6 +210,11 @@ type Diagnostic struct {
 	// (empty outside fault-injection runs).
 	FaultsApplied []string `json:"faults_applied,omitempty"`
 
+	// RequestID ties a service-surfaced diagnostic back to the HTTP
+	// request that triggered the simulation (empty outside regless
+	// serve; stamped on a per-request copy, never the cached value).
+	RequestID string `json:"request_id,omitempty"`
+
 	// Warps is the per-warp machine state (capacity phase, barrier,
 	// pending writes) at detection.
 	Warps []WarpDiag `json:"warps,omitempty"`

@@ -60,14 +60,35 @@ func newAdmitter(workers int, run func(*job)) *admitter {
 // exit, so no admitted waiter is left hanging.
 func (a *admitter) enqueue(j *job) {
 	a.mu.Lock()
+	a.enqueueLocked(j)
+	a.mu.Unlock()
+	a.cond.Signal()
+}
+
+// tryEnqueue is enqueue with load shedding: when the total queued depth
+// has reached limit the job is rejected (false) instead of admitted.
+// The bound is across clients — fairness governs service order, not
+// admission — so one flooding client fills the shared queue and every
+// further submission sheds until workers catch up.
+func (a *admitter) tryEnqueue(j *job, limit int) bool {
+	a.mu.Lock()
+	if limit > 0 && a.queued.Load() >= int64(limit) {
+		a.mu.Unlock()
+		return false
+	}
+	a.enqueueLocked(j)
+	a.mu.Unlock()
+	a.cond.Signal()
+	return true
+}
+
+func (a *admitter) enqueueLocked(j *job) {
 	q, had := a.queues[j.client]
 	if !had || len(q) == 0 {
 		a.order = append(a.order, j.client)
 	}
 	a.queues[j.client] = append(q, j)
 	a.queued.Add(1)
-	a.mu.Unlock()
-	a.cond.Signal()
 }
 
 // dequeue blocks for the next job, serving clients round-robin; ok is

@@ -1,0 +1,295 @@
+package serve
+
+// Service-level chaos: the serve fault classes (disk-full, slow-disk,
+// store-corrupt, client-abort, clock-skew) injected against a live
+// server. The contract mirrors the simulation fault matrix one layer up:
+// every injected fault is tolerated (the request still completes, byte-
+// identical to a direct Suite.Get) or detected (the connection is
+// severed for client-abort), never a hang, a leak, or a partial store
+// entry — and a graceful drain works mid-chaos.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/faults"
+)
+
+// chaosGrid is the request set each chaos pass covers.
+func chaosGrid() []RunRequest {
+	return []RunRequest{
+		{Bench: "nw", Scheme: "baseline"},
+		{Bench: "nw", Scheme: "regless", Capacity: 256},
+		{Bench: "bfs", Scheme: "baseline"},
+	}
+}
+
+// chaosRefs computes, via a direct Suite.Get with no faults armed, the
+// exact bytes every chaos-armed server must serve: serve-level chaos may
+// slow, sever, or re-derive responses, but never change a byte.
+func chaosRefs(t *testing.T) map[string][]byte {
+	t.Helper()
+	opts := testOpts()
+	suite := experiments.NewSuite(opts)
+	ref := map[string][]byte{}
+	for _, rr := range chaosGrid() {
+		capacity := rr.Capacity
+		if capacity == 0 && rr.Scheme == "regless" {
+			capacity = experiments.DefaultCapacity
+		}
+		key := rr.Bench + "/" + rr.Scheme + "/" + fmt.Sprint(rr.Capacity)
+		ref[key] = refPayload(t, suite, opts, rr.Bench, experiments.Scheme(rr.Scheme), capacity)
+	}
+	return ref
+}
+
+// chaosPost fires one wait=1 run over a real connection, retrying once
+// on a severed connection (the client-abort arm is one-shot). Returns
+// how many times the connection was severed.
+func chaosPost(t *testing.T, url string, rr RunRequest, ref []byte) int {
+	t.Helper()
+	body, _ := json.Marshal(rr)
+	aborts := 0
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest("POST", url+"/v1/runs?wait=1", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Regless-Client", "chaos")
+		resp, err := (&http.Client{}).Do(req)
+		if err != nil {
+			// Severed mid-flight (client-abort chaos). One retry must
+			// succeed: the arm is consumed.
+			aborts++
+			if attempt >= 2 {
+				t.Fatalf("%+v: connection severed %d times: %v", rr, aborts, err)
+			}
+			continue
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			aborts++
+			if attempt >= 2 {
+				t.Fatalf("%+v: body severed repeatedly: %v", rr, err)
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%+v: %s: %s", rr, resp.Status, raw)
+		}
+		var st RunStatus
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("%+v: bad response: %v", rr, err)
+		}
+		if st.Status != "done" || len(st.Result) == 0 {
+			t.Fatalf("%+v: status %q (%s)", rr, st.Status, st.Error)
+		}
+		if !bytes.Equal(st.Result, ref) {
+			t.Fatalf("%+v: chaos changed result bytes:\n%s\n%s", rr, st.Result, ref)
+		}
+		return aborts
+	}
+}
+
+// TestServeChaosMatrix runs every serve fault class crossed with the
+// request-deadline setting through two server lifetimes over one store
+// directory: a cold pass (misses, puts) and a restarted warm pass (store
+// reads, where corruption arms fire). Every completed response must be
+// byte-identical to the no-chaos reference, the store must verify clean,
+// and both lifetimes must drain gracefully.
+func TestServeChaosMatrix(t *testing.T) {
+	ref := chaosRefs(t)
+	for _, class := range faults.ServeClasses() {
+		for _, deadline := range []time.Duration{0, 10 * time.Second} {
+			name := fmt.Sprintf("%s/deadline=%v", class, deadline > 0)
+			t.Run(name, func(t *testing.T) {
+				dir := t.TempDir()
+				spec := fmt.Sprintf("%s@2; seed=3", class)
+				aborts := 0
+				for pass := 0; pass < 2; pass++ {
+					plan, err := faults.Parse(spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					o := testOpts()
+					o.Faults = plan
+					s, err := New(Config{Opts: o, StoreDir: dir, RequestTimeout: deadline})
+					if err != nil {
+						t.Fatal(err)
+					}
+					ts := httptest.NewServer(s.Handler())
+					for _, rr := range chaosGrid() {
+						key := rr.Bench + "/" + rr.Scheme + "/" + fmt.Sprint(rr.Capacity)
+						aborts += chaosPost(t, ts.URL, rr, ref[key])
+					}
+					// Chaos must never masquerade as a simulation failure.
+					if got := counter(t, s, "serve/failures"); got != 0 {
+						t.Fatalf("pass %d: chaos recorded %d sim failures", pass, got)
+					}
+					// Nothing partial on disk: every surviving entry verifies.
+					if _, err := s.Store().Verify(); err != nil {
+						t.Fatalf("pass %d: store verify: %v", pass, err)
+					}
+					rep, err := s.Drain(30 * time.Second)
+					if err != nil || rep.TimedOut {
+						t.Fatalf("pass %d: drain = %+v, %v", pass, rep, err)
+					}
+					ts.Close()
+				}
+				if class == faults.ClientAbort && aborts == 0 {
+					t.Fatal("client-abort arm never severed a connection")
+				}
+				if class != faults.ClientAbort && aborts != 0 {
+					t.Fatalf("%s severed %d connections", class, aborts)
+				}
+			})
+		}
+	}
+}
+
+// chaosSoakRequests mirrors soakRequests with a smaller default: the
+// chaos soak runs under -race in CI.
+func chaosSoakRequests(t *testing.T) int {
+	t.Helper()
+	if v := os.Getenv("REGLESS_CHAOS_REQUESTS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad REGLESS_CHAOS_REQUESTS=%q", v)
+		}
+		return n
+	}
+	return 120
+}
+
+// TestServeChaosDrainSoak is the full lifecycle proof: a server with
+// every serve chaos class armed AND a tiny store budget (eviction churns
+// under load) takes concurrent traffic from many clients, gets drained
+// mid-soak, and every request either completes byte-identical to the
+// reference or is rejected cleanly (draining/shed/severed) — no hangs,
+// no partial entries, no sim failures.
+func TestServeChaosDrainSoak(t *testing.T) {
+	n := chaosSoakRequests(t)
+	ref := chaosRefs(t)
+	plan, err := faults.Parse(
+		"disk-full@3; slow-disk@5:delay=10; store-corrupt@7; clock-skew@6; client-abort@10; seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := testOpts()
+	o.Faults = plan
+	s, err := New(Config{
+		Opts:           o,
+		StoreDir:       t.TempDir(),
+		RequestTimeout: 30 * time.Second,
+		StoreMaxBytes:  2048, // a couple of entries: eviction races the soak
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	grid := chaosGrid()
+	const workers = 8
+	var wg sync.WaitGroup
+	var completed, rejected, severed atomic.Int64
+	errCh := make(chan error, workers)
+	halfDone := make(chan struct{})
+	var halfOnce sync.Once
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hc := &http.Client{}
+			for i := 0; i < n/workers; i++ {
+				rr := grid[(w+i)%len(grid)]
+				key := rr.Bench + "/" + rr.Scheme + "/" + fmt.Sprint(rr.Capacity)
+				body, _ := json.Marshal(rr)
+				req, err := http.NewRequest("POST", ts.URL+"/v1/runs?wait=1", bytes.NewReader(body))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				req.Header.Set("X-Regless-Client", fmt.Sprintf("chaos-%d", w))
+				if w%2 == 0 {
+					req.Header.Set("X-Regless-Timeout", "10s")
+				}
+				resp, err := hc.Do(req)
+				if err != nil {
+					severed.Add(1) // client-abort chaos or drained listener
+					continue
+				}
+				raw, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					severed.Add(1)
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var st RunStatus
+					if err := json.Unmarshal(raw, &st); err != nil {
+						errCh <- fmt.Errorf("%+v: bad body: %v", rr, err)
+						return
+					}
+					if st.Status != "done" || string(st.Result) != string(ref[key]) {
+						errCh <- fmt.Errorf("%+v: status %q, bytes match %v (%s)",
+							rr, st.Status, string(st.Result) == string(ref[key]), st.Error)
+						return
+					}
+					completed.Add(1)
+				case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+					rejected.Add(1) // draining or shed: clean rejection
+				default:
+					errCh <- fmt.Errorf("%+v: unexpected %s: %s", rr, resp.Status, raw)
+					return
+				}
+				if completed.Load()+rejected.Load() >= int64(n/2) {
+					halfOnce.Do(func() { close(halfDone) })
+				}
+			}
+		}(w)
+	}
+
+	// Drain mid-soak: in-flight requests finish or cancel, stragglers
+	// get clean 503s.
+	<-halfDone
+	rep, err := s.Drain(30 * time.Second)
+	if err != nil {
+		t.Fatalf("mid-soak drain: %v", err)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	if completed.Load() == 0 {
+		t.Fatal("soak completed no requests before the drain")
+	}
+	if got := counter(t, s, "serve/failures"); got != 0 {
+		t.Fatalf("chaos soak recorded %d sim failures", got)
+	}
+	// The store honors its budget and holds nothing partial.
+	if _, err := s.Store().Verify(); err != nil {
+		t.Fatalf("store verify after soak: %v", err)
+	}
+	if got := s.Store().Bytes(); got > 2048 {
+		t.Fatalf("store bytes %d exceed the 2048 budget", got)
+	}
+	t.Logf("soak: %d completed, %d rejected, %d severed; drain %+v; evictions %d",
+		completed.Load(), rejected.Load(), severed.Load(), rep, s.Store().Stats().Evictions)
+}

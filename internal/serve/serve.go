@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -73,6 +74,22 @@ type Config struct {
 	// execution path.
 	SSEHeartbeat time.Duration
 	SSEBuffer    int
+
+	// RequestTimeout is the default per-request simulation budget: a
+	// job older than this is canceled mid-cycle-loop and reported as
+	// "expired". Clients may shorten (never extend) it per request via
+	// the X-Regless-Timeout header. 0 disables deadlines.
+	RequestTimeout time.Duration
+	// QueueLimit bounds the admission queue; submissions beyond it are
+	// shed with 429 + Retry-After. 0 means the default (1024).
+	QueueLimit int
+	// BreakerThreshold is how many sanitizer Diagnostics a
+	// (bench, scheme, capacity) config may accumulate before the
+	// circuit breaker quarantines it (503 at admission). 0 means 3.
+	BreakerThreshold int
+	// StoreMaxBytes is the disk store's size budget (LRU eviction);
+	// 0 disables eviction. See store.Options.MaxBytes.
+	StoreMaxBytes int64
 }
 
 // RunRequest names one simulation in the server's configuration space.
@@ -122,7 +139,11 @@ type RunResult struct {
 // RunStatus is the poll/fetch view of one submitted run.
 type RunStatus struct {
 	ID     string `json:"id"`
-	Status string `json:"status"` // queued | running | done | failed
+	Status string `json:"status"` // queued | running | done | failed | expired | canceled
+	// RequestID is the X-Request-ID of the submission that created the
+	// job (omitted from Result payloads — those stay byte-identical to
+	// the stored simulation output).
+	RequestID string `json:"request_id,omitempty"`
 	// Cached reports the result was served from the disk store.
 	Cached bool            `json:"cached,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
@@ -144,18 +165,21 @@ type SweepStatus struct {
 	Runs      []RunStatus `json:"runs"`
 }
 
-// Health is the /healthz report. Status is "ok" (HTTP 200) until any run
-// fails with a Diagnostic, then "degraded" (HTTP 503) with the recent
-// failures attached — the service-shaped replacement for PR 4's
-// render-and-exit path.
+// Health is the /healthz report. Status is "ok" (HTTP 200) while the
+// server is healthy; it degrades — always with HTTP 503 so load
+// balancers stop routing — in priority order: "draining" (shutdown in
+// progress), "overloaded" (admission queue at its limit), "degraded"
+// (a run failed with a Diagnostic, or a circuit breaker is open).
 type Health struct {
 	Status        string  `json:"status"`
 	GitSHA        string  `json:"git_sha,omitempty"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// StoreEntries counts the persisted results on disk (-1 when the
-	// listing itself failed).
-	StoreEntries int `json:"store_entries"`
-	Jobs         int `json:"jobs"`
+	// listing itself failed); StoreBytes is the entry-file total the GC
+	// budget is enforced against.
+	StoreEntries int   `json:"store_entries"`
+	StoreBytes   int64 `json:"store_bytes"`
+	Jobs         int   `json:"jobs"`
 	Queued        int64   `json:"queued"`
 	Inflight      int64   `json:"inflight"`
 	Failures      uint64  `json:"failures"`
@@ -166,6 +190,8 @@ type Health struct {
 	Sanitize     bool           `json:"sanitize,omitempty"`
 	Watchdog     uint64         `json:"watchdog,omitempty"`
 	LastFailures []FailureBrief `json:"last_failures,omitempty"`
+	// Breakers lists quarantined (bench/scheme/capacity) configs.
+	Breakers []string `json:"breakers,omitempty"`
 }
 
 // FailureBrief is one failed run in the health report.
@@ -183,6 +209,13 @@ const (
 	jobRunning
 	jobDone
 	jobFailed
+	// jobExpired (request budget ran out) and jobCanceled (abandoned by
+	// its clients or the drain deadline) are terminal like jobFailed but
+	// say nothing about the simulation itself: they do not degrade
+	// /healthz, do not count toward the breaker, and a later submission
+	// of the same key re-runs instead of inheriting them.
+	jobExpired
+	jobCanceled
 )
 
 // job is one admitted simulation, shared by every submission of its key.
@@ -192,6 +225,20 @@ type job struct {
 	id     string
 	key    store.Key
 	client string
+	// reqID is the X-Request-ID of the submission that created the job —
+	// the end-to-end trace handle echoed in statuses and Diagnostics.
+	reqID string
+
+	// ctx carries the job's request budget; cancel is safe to call any
+	// number of times. The cycle loop polls ctx, so canceling frees the
+	// pool slot instead of simulating to completion.
+	ctx    context.Context
+	cancel context.CancelFunc
+	// waiters counts handlers blocked on the job right now; pinned marks
+	// that some submission intends to poll later (async submit). A job
+	// whose last waiter disconnects without a pin is abandoned.
+	waiters atomic.Int64
+	pinned  atomic.Bool
 
 	state stateCell
 	done  chan struct{}
@@ -208,6 +255,19 @@ type job struct {
 	diag    *sanitizer.Diagnostic
 }
 
+// abandonedFinal reports the job ended by cancellation/expiry rather
+// than by computing anything — such entries never satisfy a later
+// submission of the same key.
+func (j *job) abandonedFinal() bool {
+	select {
+	case <-j.done:
+	default:
+		return false
+	}
+	st := j.state.get()
+	return st == jobExpired || st == jobCanceled
+}
+
 type sweep struct {
 	id   string
 	jobs []*job
@@ -222,6 +282,10 @@ type Server struct {
 	admit *admitter
 
 	faultsSpec string
+	// chaos is the serve-level fault injector (disk-full, slow-disk,
+	// store-corrupt, client-abort, clock-skew), split off the config's
+	// fault plan; the sim-level clauses go to the suite. Nil-safe.
+	chaos *faults.Injector
 
 	reg    *metrics.Registry
 	jsonl  *metrics.JSONLWriter
@@ -231,6 +295,8 @@ type Server struct {
 	cSubmissions, cDedup                    metrics.AtomicCounter
 	cHits, cMisses, cFailures, cStoreErrors metrics.AtomicCounter
 	cSSEDropped                             metrics.AtomicCounter
+	cShed, cExpired, cCanceled              metrics.AtomicCounter
+	cBreakerTrips, cBreakerRejects          metrics.AtomicCounter
 	// span-latency histograms, observed at the execute/handler span
 	// boundaries (names frozen; see DESIGN.md §15).
 	hSpanQueue, hSpanStoreGet, hSpanSimulate metrics.Histogram
@@ -240,6 +306,9 @@ type Server struct {
 	jobs   map[string]*job
 	sweeps map[string]*sweep
 	recent []FailureBrief
+	// breakerHits/breakerOpen quarantine poisoned configs (under mu).
+	breakerHits map[breakerKey]int
+	breakerOpen map[breakerKey]bool
 
 	// sseMu guards runSubs: per-job SSE subscriber lists, appended at
 	// stream registration and drained by publishRun when the job ends.
@@ -250,12 +319,23 @@ type Server struct {
 	// tests use it to hold jobs while they stage SSE subscribers.
 	testExecGate func(*job)
 
-	start    time.Time
-	stopWin  chan struct{}
-	winDone  chan struct{}
-	handler  http.Handler
-	closedMu sync.Mutex
-	closed   bool
+	start   time.Time
+	stopWin chan struct{}
+	winDone chan struct{}
+	handler http.Handler
+
+	// Lifecycle: accepting -> draining -> stopped (see lifecycle.go).
+	// sseDrain closes once every pending job has resolved during drain
+	// (sweep streams flush terminal events); drained closes when the
+	// drain completes end to end.
+	state    atomic.Int32
+	sseDrain chan struct{}
+	drained  chan struct{}
+
+	// Request-ID minting and the client-abort chaos request counter.
+	bootID string
+	reqSeq atomic.Uint64
+	reqNum atomic.Uint64
 }
 
 // New opens the store and starts the admission pool and metrics loop.
@@ -281,21 +361,43 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SSEBuffer < 1 {
 		cfg.SSEBuffer = 64
 	}
-	st, err := store.Open(cfg.StoreDir)
+	if cfg.QueueLimit < 1 {
+		cfg.QueueLimit = 1024
+	}
+	// Split the fault plan: sim-level clauses go to the suite (and into
+	// store keys — they change simulation output), serve-level clauses
+	// arm the chaos injector shared by the store and the HTTP layer
+	// (they must NOT change any result byte).
+	simPlan, servePlan := cfg.Opts.Faults.Split()
+	cfg.Opts.Faults = simPlan
+	var chaos *faults.Injector
+	if servePlan != nil {
+		chaos = faults.NewInjector(servePlan)
+	}
+	st, err := store.OpenWith(cfg.StoreDir, store.Options{
+		MaxBytes: cfg.StoreMaxBytes,
+		Chaos:    chaos,
+	})
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		suite:   experiments.NewSuite(cfg.Opts),
-		st:      st,
-		jobs:    map[string]*job{},
-		sweeps:  map[string]*sweep{},
-		runSubs: map[string][]*sseStream{},
-		start:   time.Now(),
-		stopWin: make(chan struct{}),
-		winDone: make(chan struct{}),
+		cfg:         cfg,
+		suite:       experiments.NewSuite(cfg.Opts),
+		st:          st,
+		chaos:       chaos,
+		jobs:        map[string]*job{},
+		sweeps:      map[string]*sweep{},
+		runSubs:     map[string][]*sseStream{},
+		breakerHits: map[breakerKey]int{},
+		breakerOpen: map[breakerKey]bool{},
+		start:       time.Now(),
+		stopWin:     make(chan struct{}),
+		winDone:     make(chan struct{}),
+		sseDrain:    make(chan struct{}),
+		drained:     make(chan struct{}),
 	}
+	s.bootID = bootIDFrom(s.start)
 	if cfg.Opts.Faults != nil {
 		s.faultsSpec = cfg.Opts.Faults.String()
 	}
@@ -317,11 +419,20 @@ func (s *Server) initMetrics() {
 	s.cFailures = s.reg.AtomicCounter("serve/failures")
 	s.cStoreErrors = s.reg.AtomicCounter("serve/store_errors")
 	s.cSSEDropped = s.reg.AtomicCounter("serve/sse_dropped")
+	s.cShed = s.reg.AtomicCounter("serve/shed")
+	s.cExpired = s.reg.AtomicCounter("serve/expired")
+	s.cCanceled = s.reg.AtomicCounter("serve/canceled")
+	s.cBreakerTrips = s.reg.AtomicCounter("serve/breaker_trips")
+	s.cBreakerRejects = s.reg.AtomicCounter("serve/breaker_rejects")
 	s.reg.Gauge("serve/queue_depth", func() uint64 { return clampGauge(s.admit.queued.Load()) })
 	s.reg.Gauge("serve/inflight", func() uint64 { return clampGauge(s.admit.inflight.Load()) })
 	s.reg.Gauge("store/puts", func() uint64 { return s.st.Stats().Puts })
 	s.reg.Gauge("store/quarantined", func() uint64 { return s.st.Stats().Quarantined })
 	s.reg.Gauge("store/recovered_temps", func() uint64 { return s.st.Stats().RecoveredTemps })
+	s.reg.Gauge("store/bytes", func() uint64 { return clampGauge(s.st.Bytes()) })
+	s.reg.Gauge("store/evictions", func() uint64 { return s.st.Stats().Evictions })
+	s.reg.Gauge("store/gc_runs", func() uint64 { return s.st.Stats().GCRuns })
+	s.reg.Gauge("store/gc_us", func() uint64 { return s.st.Stats().GCMicros })
 	// Span-latency histograms in wall microseconds; bucket bounds span
 	// 50us to 10s. Names and bounds are frozen — the Prometheus
 	// exposition derives bucket labels from them.
@@ -366,25 +477,13 @@ func (s *Server) windowLoop() {
 	}
 }
 
-// Close drains the admission pool (every admitted job completes — the
-// watchdog and MaxCycles bound each simulation), closes the final
-// metrics window, and flushes the JSONL stream.
+// Close is Drain with no deadline: every admitted job completes (the
+// watchdog and MaxCycles bound each simulation), the final metrics
+// window closes, the JSONL stream flushes, and the store fsyncs.
+// Idempotent, and safe after Drain.
 func (s *Server) Close() error {
-	s.closedMu.Lock()
-	if s.closed {
-		s.closedMu.Unlock()
-		return nil
-	}
-	s.closed = true
-	s.closedMu.Unlock()
-	s.admit.close()
-	close(s.stopWin)
-	<-s.winDone
-	s.reg.CloseWindow(uint64(time.Since(s.start)/time.Second) + 1)
-	if s.jsonl != nil {
-		return s.jsonl.Flush()
-	}
-	return nil
+	_, err := s.Drain(0)
+	return err
 }
 
 // Store exposes the underlying store (tests assert consistency on it).
@@ -439,27 +538,58 @@ func (s *Server) KeyFor(req RunRequest) (store.Key, error) {
 }
 
 // submit admits one run (or attaches to the job already covering its
-// key) and returns the shared job.
-func (s *Server) submit(key store.Key, client string) (*job, error) {
+// key) and returns the shared job. Admission can reject: errDraining
+// (shutdown in progress, 503), errOverloaded (queue at its limit, 429),
+// or a quarantined config (breaker open, 503).
+func (s *Server) submit(key store.Key, client, reqID string, budget time.Duration) (*job, error) {
 	id, err := key.Hash()
 	if err != nil {
 		return nil, err
 	}
+	if s.draining() {
+		return nil, errDraining
+	}
+	bk := breakerKey{bench: key.Bench, scheme: key.Scheme, capacity: key.Capacity}
+	if s.breakerBlocks(bk) {
+		s.cBreakerRejects.Inc()
+		return nil, fmt.Errorf("config %s is quarantined after repeated diagnostics", bk)
+	}
 	s.cSubmissions.Inc()
 	s.mu.Lock()
-	if j, ok := s.jobs[id]; ok {
+	if j, ok := s.jobs[id]; ok && !j.abandonedFinal() {
 		s.mu.Unlock()
 		s.cDedup.Inc()
+		// A re-submission of a config that already failed with a
+		// Diagnostic counts against the breaker even though the job map
+		// never re-simulates the identical key: the breaker's purpose is
+		// to stop variations of the config from re-simulating forever.
+		if j.state.get() == jobFailed && j.diag != nil {
+			s.noteDiagnostic(bk)
+		}
 		return j, nil
 	}
-	j := &job{id: id, key: key, client: client, done: make(chan struct{})}
+	j := &job{id: id, key: key, client: client, reqID: reqID, done: make(chan struct{})}
+	if budget > 0 {
+		j.ctx, j.cancel = context.WithTimeout(context.Background(), budget)
+	} else {
+		j.ctx, j.cancel = context.WithCancel(context.Background())
+	}
 	// The queue span starts at the trace epoch (offset 0) so the child
 	// spans tile the root exactly from its first microsecond.
 	j.trace = obs.NewTrace("run")
 	j.qspan = j.trace.StartAt(obs.Root, "queue", 0)
+	// Enqueue while still holding s.mu (admit workers never take s.mu
+	// with a.mu held, so the nesting is one-way): the job is visible in
+	// s.jobs only if admission accepted it, and a shed submission leaves
+	// no trace to dedup against.
+	if !s.admit.tryEnqueue(j, s.cfg.QueueLimit) {
+		s.mu.Unlock()
+		j.cancel()
+		s.cShed.Inc()
+		return nil, errOverloaded
+	}
 	s.jobs[id] = j
 	s.mu.Unlock()
-	s.admit.enqueue(j)
 	return j, nil
 }
 
@@ -472,12 +602,21 @@ func (s *Server) execute(j *job) {
 	if gate := s.testExecGate; gate != nil {
 		gate(j)
 	}
+	defer j.cancel()
 	j.state.set(jobRunning)
 	defer s.publishRun(j)
 	tr := j.trace
 	t0 := tr.Now()
 	tr.EndAt(j.qspan, t0)
 	s.hSpanQueue.Observe(uint64(t0))
+
+	if err := j.ctx.Err(); err != nil {
+		// Abandoned (or expired) while queued: free the slot without
+		// touching the store or the suite.
+		tr.CloseAt(t0)
+		s.finishAbandoned(j, err)
+		return
+	}
 
 	sg := tr.StartAt(obs.Root, "store-get", t0)
 	payload, ok, err := s.st.Get(j.key)
@@ -497,15 +636,25 @@ func (s *Server) execute(j *job) {
 	s.cMisses.Inc()
 
 	simSpan := tr.StartAt(obs.Root, "simulate", t1)
-	run, rep, err := s.simulateJob(obs.NewContext(context.Background(), tr, simSpan), j.key)
+	run, rep, err := s.simulateJob(obs.NewContext(j.ctx, tr, simSpan), j.key)
 	t2 := tr.Now()
 	tr.EndAt(simSpan, t2)
 	s.hSpanSimulate.Observe(uint64(t2 - t1))
 	if err != nil {
+		if isAbandonErr(err) {
+			tr.CloseAt(t2)
+			s.finishAbandoned(j, err)
+			return
+		}
 		j.errText = err.Error()
 		var d *sanitizer.Diagnostic
 		if errors.As(err, &d) {
-			j.diag = d
+			// Annotate a copy: the Diagnostic value is shared through the
+			// suite's error cache with other requests.
+			dc := *d
+			dc.RequestID = j.reqID
+			j.diag = &dc
+			s.noteDiagnostic(breakerKey{bench: j.key.Bench, scheme: j.key.Scheme, capacity: j.key.Capacity})
 		}
 		s.recordFailure(j)
 		tr.CloseAt(t2)
@@ -566,6 +715,28 @@ func (s *Server) resultFrom(r *experiments.Run) RunResult {
 	}
 }
 
+// isAbandonErr reports the error is the request budget or cancellation
+// surfacing through the cycle loop, not a simulation failure.
+func isAbandonErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// finishAbandoned ends a job that stopped because its request went away
+// (canceled) or its budget ran out (expired). Neither says anything
+// about the simulation: no recordFailure, no healthz degradation, no
+// breaker accounting.
+func (s *Server) finishAbandoned(j *job, err error) {
+	j.errText = err.Error()
+	st := jobCanceled
+	if errors.Is(err, context.DeadlineExceeded) {
+		st = jobExpired
+		s.cExpired.Inc()
+	} else {
+		s.cCanceled.Inc()
+	}
+	j.finish(st)
+}
+
 func (s *Server) recordFailure(j *job) {
 	s.cFailures.Inc()
 	fb := FailureBrief{ID: j.id, Bench: j.key.Bench, Scheme: j.key.Scheme, Brief: j.errText}
@@ -591,7 +762,7 @@ func (j *job) finish(state int32) { j.state.set(state); close(j.done) }
 // status renders the job for a response; includeResult attaches the
 // payload bytes (exactly as stored, so hits are byte-identical).
 func (j *job) status(includeResult bool) RunStatus {
-	st := RunStatus{ID: j.id}
+	st := RunStatus{ID: j.id, RequestID: j.reqID}
 	select {
 	case <-j.done:
 	default:
@@ -602,10 +773,19 @@ func (j *job) status(includeResult bool) RunStatus {
 		}
 		return st
 	}
-	if j.state.get() == jobFailed {
+	switch j.state.get() {
+	case jobFailed:
 		st.Status = "failed"
 		st.Error = j.errText
 		st.Diagnostic = j.diag
+		return st
+	case jobExpired:
+		st.Status = "expired"
+		st.Error = j.errText
+		return st
+	case jobCanceled:
+		st.Status = "canceled"
+		st.Error = j.errText
 		return st
 	}
 	st.Status = "done"
@@ -641,9 +821,20 @@ func (s *Server) initHandler() {
 	s.handler = mux
 }
 
-// Handler returns the service's HTTP handler.
+// Handler returns the service's HTTP handler. The wrapper assigns (or
+// echoes) the request's X-Request-ID, counts and times the request, and
+// consults the client-abort chaos class — an injected abort severs the
+// connection exactly as a real client disconnect would, which is the
+// point: the abandonment paths get exercised deterministically.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.chaos != nil && s.chaos.AbortsClient(s.reqNum.Add(1)) {
+			panic(http.ErrAbortHandler)
+		}
+		reqID := s.requestID(r)
+		w.Header().Set("X-Request-ID", reqID)
+		// Normalize onto the request so downstream handlers read one place.
+		r.Header.Set("X-Request-ID", reqID)
 		s.cHTTPRequests.Inc()
 		start := time.Now()
 		s.handler.ServeHTTP(w, r)
@@ -692,13 +883,46 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	return nil
 }
 
-// waitJob blocks for the job unless the client goes away first.
-func waitJob(r *http.Request, j *job) bool {
-	select {
-	case <-j.done:
-		return true
-	case <-r.Context().Done():
-		return false
+// waitJobs blocks for the jobs unless the client goes away first. Every
+// waiting handler is accounted: when the last waiter of an unpinned job
+// disconnects, the job is abandoned — its context cancels, the cycle
+// loop (or the admission queue) observes it, and the pool slot frees
+// instead of simulating for nobody.
+func (s *Server) waitJobs(r *http.Request, jobs ...*job) bool {
+	for _, j := range jobs {
+		j.waiters.Add(1)
+	}
+	defer func() {
+		for _, j := range jobs {
+			if j.waiters.Add(-1) == 0 && !j.pinned.Load() {
+				select {
+				case <-j.done:
+				default:
+					j.cancel()
+				}
+			}
+		}
+	}()
+	for _, j := range jobs {
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+			return false
+		}
+	}
+	return true
+}
+
+// submitError maps an admission rejection to its HTTP shape.
+func (s *Server) submitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errDraining):
+		s.httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, errOverloaded):
+		w.Header().Set("Retry-After", fmt.Sprint(s.retryAfterSeconds()))
+		s.httpError(w, http.StatusTooManyRequests, "%v", err)
+	default:
+		s.httpError(w, http.StatusServiceUnavailable, "%v", err)
 	}
 }
 
@@ -713,19 +937,27 @@ func (s *Server) handlePostRun(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	j, err := s.submit(key, clientOf(r))
+	budget, err := s.budgetFor(r)
 	if err != nil {
-		s.httpError(w, http.StatusInternalServerError, "%v", err)
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.submit(key, clientOf(r), r.Header.Get("X-Request-ID"), budget)
+	if err != nil {
+		s.submitError(w, err)
 		return
 	}
 	if wantWait(r) {
-		if !waitJob(r, j) {
+		if !s.waitJobs(r, j) {
 			s.httpError(w, http.StatusServiceUnavailable, "client gave up waiting")
 			return
 		}
 		writeJSON(w, http.StatusOK, j.status(true))
 		return
 	}
+	// An async submission intends to poll later: pin the job so it
+	// survives having no waiter attached right now.
+	j.pinned.Store(true)
 	writeJSON(w, http.StatusAccepted, j.status(true))
 }
 
@@ -738,7 +970,7 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusNotFound, "unknown run %q", id)
 		return
 	}
-	if wantWait(r) && !waitJob(r, j) {
+	if wantWait(r) && !s.waitJobs(r, j) {
 		s.httpError(w, http.StatusServiceUnavailable, "client gave up waiting")
 		return
 	}
@@ -790,13 +1022,19 @@ func (s *Server) handlePostSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		keys = append(keys, k)
 	}
+	budget, err := s.budgetFor(r)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	client := clientOf(r)
+	reqID := r.Header.Get("X-Request-ID")
 	var jobs []*job
 	seen := map[string]bool{}
 	for _, k := range keys {
-		j, err := s.submit(k, client)
+		j, err := s.submit(k, client, reqID, budget)
 		if err != nil {
-			s.httpError(w, http.StatusInternalServerError, "%v", err)
+			s.submitError(w, err)
 			return
 		}
 		if !seen[j.id] {
@@ -818,14 +1056,15 @@ func (s *Server) handlePostSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if wantWait(r) {
-		for _, j := range sw.jobs {
-			if !waitJob(r, j) {
-				s.httpError(w, http.StatusServiceUnavailable, "client gave up waiting")
-				return
-			}
+		if !s.waitJobs(r, sw.jobs...) {
+			s.httpError(w, http.StatusServiceUnavailable, "client gave up waiting")
+			return
 		}
 		writeJSON(w, http.StatusOK, sw.status())
 		return
+	}
+	for _, j := range sw.jobs {
+		j.pinned.Store(true)
 	}
 	writeJSON(w, http.StatusAccepted, sw.status())
 }
@@ -838,7 +1077,10 @@ func (sw *sweep) status() SweepStatus {
 		switch rs.Status {
 		case "done":
 			st.Completed++
-		case "failed":
+		case "failed", "expired", "canceled":
+			// Expired/canceled runs are terminal without a result: the
+			// sweep cannot end "done", so they count as failures at the
+			// sweep level even though they say nothing about the sim.
 			st.Completed++
 			st.Failed++
 		}
@@ -866,13 +1108,9 @@ func (s *Server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
 		return
 	}
-	if wantWait(r) {
-		for _, j := range sw.jobs {
-			if !waitJob(r, j) {
-				s.httpError(w, http.StatusServiceUnavailable, "client gave up waiting")
-				return
-			}
-		}
+	if wantWait(r) && !s.waitJobs(r, sw.jobs...) {
+		s.httpError(w, http.StatusServiceUnavailable, "client gave up waiting")
+		return
 	}
 	writeJSON(w, http.StatusOK, sw.status())
 }
@@ -883,19 +1121,19 @@ func (s *Server) handleSweepTable(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
 		return
 	}
-	for _, j := range sw.jobs {
-		if wantWait(r) {
-			if !waitJob(r, j) {
-				s.httpError(w, http.StatusServiceUnavailable, "client gave up waiting")
+	if wantWait(r) {
+		if !s.waitJobs(r, sw.jobs...) {
+			s.httpError(w, http.StatusServiceUnavailable, "client gave up waiting")
+			return
+		}
+	} else {
+		for _, j := range sw.jobs {
+			select {
+			case <-j.done:
+			default:
+				s.httpError(w, http.StatusConflict, "sweep still running (%s)", j.id)
 				return
 			}
-			continue
-		}
-		select {
-		case <-j.done:
-		default:
-			s.httpError(w, http.StatusConflict, "sweep still running (%s)", j.id)
-			return
 		}
 	}
 	tb, err := sw.table(s.cfg.Opts.Warps, s.cfg.Opts.SMs)
@@ -917,8 +1155,15 @@ func (sw *sweep) table(warps, sms int) (*experiments.Table, error) {
 		Header: []string{"bench", "scheme", "capacity", "cycles", "insns", "IPC", "SIMT eff"},
 	}
 	for _, j := range sw.jobs {
-		if j.state.get() == jobFailed {
+		switch j.state.get() {
+		case jobFailed:
 			tb.AddRow(j.key.Bench, j.key.Scheme, fmt.Sprint(j.key.Capacity), "error", j.errText, "", "")
+			continue
+		case jobExpired:
+			tb.AddRow(j.key.Bench, j.key.Scheme, fmt.Sprint(j.key.Capacity), "expired", j.errText, "", "")
+			continue
+		case jobCanceled:
+			tb.AddRow(j.key.Bench, j.key.Scheme, fmt.Sprint(j.key.Capacity), "canceled", j.errText, "", "")
 			continue
 		}
 		var res RunResult
@@ -944,6 +1189,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := Health{
 		GitSHA:        s.cfg.GitSHA,
 		StoreEntries:  entries,
+		StoreBytes:    s.st.Bytes(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Jobs:          jobs,
 		Queued:        s.admit.queued.Load(),
@@ -952,13 +1198,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Sanitize:      s.cfg.Opts.Sanitize,
 		Watchdog:      s.cfg.Opts.Watchdog,
 		LastFailures:  recent,
+		Breakers:      s.openBreakers(),
 	}
 	if s.cfg.Opts.Faults != nil {
 		h.ArmedFaults = s.cfg.Opts.Faults.ArmedClasses()
 	}
 	code := http.StatusOK
 	h.Status = "ok"
-	if h.Failures > 0 {
+	switch {
+	case s.draining():
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	case h.Queued >= int64(s.cfg.QueueLimit):
+		h.Status = "overloaded"
+		code = http.StatusServiceUnavailable
+	case h.Failures > 0 || len(h.Breakers) > 0:
 		h.Status = "degraded"
 		code = http.StatusServiceUnavailable
 	}
@@ -1009,5 +1263,9 @@ func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"id": id, "root": j.trace.Tree()})
+	resp := map[string]any{"id": id, "root": j.trace.Tree()}
+	if j.reqID != "" {
+		resp["request_id"] = j.reqID
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -84,7 +84,7 @@ type runEvent struct {
 	Bench    string `json:"bench"`
 	Scheme   string `json:"scheme"`
 	Capacity int    `json:"capacity"`
-	Status   string `json:"status"` // done | failed
+	Status   string `json:"status"` // done | failed | expired | canceled
 	Cached   bool   `json:"cached,omitempty"`
 	Error    string `json:"error,omitempty"`
 }
@@ -96,10 +96,17 @@ func runEventFrame(j *job) []byte {
 		Scheme:   j.key.Scheme,
 		Capacity: j.key.Capacity,
 	}
-	if j.state.get() == jobFailed {
+	switch j.state.get() {
+	case jobFailed:
 		ev.Status = "failed"
 		ev.Error = j.errText
-	} else {
+	case jobExpired:
+		ev.Status = "expired"
+		ev.Error = j.errText
+	case jobCanceled:
+		ev.Status = "canceled"
+		ev.Error = j.errText
+	default:
 		ev.Status = "done"
 		ev.Cached = j.cached
 	}
@@ -235,33 +242,54 @@ func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		case <-st.complete:
-			// Drain frames that raced the completion signal, then close
-			// with the sweep summary.
-			for {
-				select {
-				case f := <-st.ch:
-					if !sw.frame(f) {
-						return
-					}
-					continue
-				default:
-				}
-				break
+			sweepTerminalFrames(sw, st, swp, true)
+			return
+		case <-s.sseDrain:
+			// Server drain: every pending job has resolved (cleanly or by
+			// the drain deadline). Flush buffered frames, then close with
+			// the sweep summary if the sweep actually completed, else an
+			// explicit "draining" event so the client knows to re-poll a
+			// future process rather than wait.
+			select {
+			case <-st.complete:
+				sweepTerminalFrames(sw, st, swp, true)
+			default:
+				sweepTerminalFrames(sw, st, swp, false)
 			}
-			if !sw.reportDrops(st) {
-				return
-			}
-			sum := swp.status()
-			data, _ := json.Marshal(map[string]any{
-				"id": sum.ID, "status": sum.Status, "total": sum.Total,
-				"completed": sum.Completed, "failed": sum.Failed,
-			})
-			sw.frame(sseFrame("summary", data))
 			return
 		case <-r.Context().Done():
 			return
 		}
 	}
+}
+
+// sweepTerminalFrames drains frames that raced the terminal signal and
+// closes the stream with a "summary" (complete) or "draining" event.
+func sweepTerminalFrames(sw *sseWriter, st *sseStream, swp *sweep, complete bool) {
+	for {
+		select {
+		case f := <-st.ch:
+			if !sw.frame(f) {
+				return
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if !sw.reportDrops(st) {
+		return
+	}
+	sum := swp.status()
+	data, _ := json.Marshal(map[string]any{
+		"id": sum.ID, "status": sum.Status, "total": sum.Total,
+		"completed": sum.Completed, "failed": sum.Failed,
+	})
+	if complete {
+		sw.frame(sseFrame("summary", data))
+		return
+	}
+	sw.frame(sseFrame("draining", data))
 }
 
 // ---------------------------------------------------------------------

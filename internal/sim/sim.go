@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -256,6 +257,11 @@ type SM struct {
 	fault        *sanitizer.Diagnostic
 	lastProgress uint64
 
+	// Cooperative cancellation (nil when disabled — see AttachContext).
+	cancelCh         <-chan struct{}
+	cancelCtx        context.Context
+	sinceCancelCheck uint64
+
 	sfuNextIssue []uint64
 
 	// Working-set window tracking: a per-warp register bitmask (maskWords
@@ -407,6 +413,11 @@ func (sm *SM) after(delay int, fn func()) {
 // *sanitizer.Diagnostic error carrying the machine state at detection.
 func (sm *SM) Run() (*Stats, error) {
 	for !sm.Done() {
+		if sm.cancelCh != nil {
+			if err := sm.canceled(); err != nil {
+				return nil, err
+			}
+		}
 		if sm.cycle >= sm.Cfg.MaxCycles {
 			return nil, sm.diagnose(&sanitizer.Diagnostic{
 				Component: "sim/maxcycles",

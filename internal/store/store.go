@@ -33,6 +33,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"unicode/utf8"
 )
@@ -153,7 +154,8 @@ func (k Key) Hash() (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
-// Stats counts store activity since Open. All fields are monotonic.
+// Stats counts store activity since Open. All fields except Bytes (a
+// gauge) are monotonic.
 type Stats struct {
 	// Hits and Misses count Get outcomes; a quarantined entry counts as
 	// both a miss and a quarantine.
@@ -165,15 +167,30 @@ type Stats struct {
 	// moved aside; RecoveredTemps counts partial tmp files swept at Open.
 	Quarantined    uint64 `json:"quarantined"`
 	RecoveredTemps uint64 `json:"recovered_temps"`
+	// Bytes is the current entry-file total; Evictions counts entries
+	// removed by GC; GCRuns and GCMicros count GC passes and their total
+	// wall time.
+	Bytes     int64  `json:"bytes"`
+	Evictions uint64 `json:"evictions"`
+	GCRuns    uint64 `json:"gc_runs"`
+	GCMicros  uint64 `json:"gc_us"`
 }
 
 // Store is a disk-backed content-addressed result cache. All methods are
 // safe for concurrent use: entries are immutable once renamed into place,
-// and the counters are atomic.
+// the counters are atomic, and eviction (the one operation that removes
+// live entries) takes mu as a writer while Get/Put hold it as readers —
+// GC can never yank an entry out from under an in-flight read or write.
 type Store struct {
-	dir string
+	dir  string
+	opts Options
+
+	mu sync.RWMutex
 
 	hits, misses, puts, quarantined, recovered atomic.Uint64
+	evictions, gcRuns, gcMicros                atomic.Uint64
+	bytes                                      atomic.Int64
+	ops                                        atomic.Uint64
 }
 
 // entry is the on-disk format: the full key (so a listing is
@@ -186,12 +203,22 @@ type entry struct {
 }
 
 // Open opens (creating if needed) a store rooted at dir and sweeps any
-// partial tmp files a previous crash left behind.
+// partial tmp files a previous crash left behind. Equivalent to OpenWith
+// with zero Options: unbounded, no chaos.
 func Open(dir string) (*Store, error) {
+	return OpenWith(dir, Options{})
+}
+
+// OpenWith opens a store with explicit resource limits and hooks. Besides
+// the tmp-file sweep, it re-derives the entry byte total from disk (the
+// total is not persisted — disk is the source of truth after a crash) and
+// immediately enforces the byte budget, so a warm restart under a smaller
+// budget trims itself before serving.
+func OpenWith(dir string, opts Options) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
 	}
-	s := &Store{dir: dir}
+	s := &Store{dir: dir, opts: opts}
 	for _, d := range []string{dir, s.tmpDir(), s.quarantineDir()} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
@@ -205,6 +232,10 @@ func Open(dir string) (*Store, error) {
 		if err := os.Remove(filepath.Join(s.tmpDir(), t.Name())); err == nil {
 			s.recovered.Add(1)
 		}
+	}
+	// One GC pass at open: sums bytes, trims to budget, ages quarantine.
+	if _, err := s.GC(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -228,6 +259,10 @@ func (s *Store) Stats() Stats {
 		Puts:           s.puts.Load(),
 		Quarantined:    s.quarantined.Load(),
 		RecoveredTemps: s.recovered.Load(),
+		Bytes:          s.bytes.Load(),
+		Evictions:      s.evictions.Load(),
+		GCRuns:         s.gcRuns.Load(),
+		GCMicros:       s.gcMicros.Load(),
 	}
 }
 
@@ -239,12 +274,17 @@ func payloadSHA(p []byte) string {
 // Get returns the stored payload for the key, reporting whether it was
 // found intact. Corrupt entries (unparseable, checksum mismatch, key not
 // matching the address) are quarantined and reported as a miss; only I/O
-// errors other than not-exist surface as err.
+// errors other than not-exist surface as err. A hit refreshes the
+// entry's access-time sidecar, which is what GC's LRU ordering reads.
 func (s *Store) Get(k Key) ([]byte, bool, error) {
 	hash, err := k.Hash()
 	if err != nil {
 		return nil, false, err
 	}
+	op := s.ops.Add(1)
+	s.chaosDelay(op)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	path := s.path(hash)
 	raw, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -254,6 +294,11 @@ func (s *Store) Get(k Key) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, fmt.Errorf("store: %w", err)
 	}
+	if s.opts.Chaos.StoreCorrupts(op) && len(raw) > 0 {
+		// Simulated bit rot: flip one byte of what was read so the
+		// checksum path below detects it and the caller recomputes.
+		raw[len(raw)/2] ^= 0x40
+	}
 	payload, verr := verifyEntry(hash, raw)
 	if verr != nil {
 		s.quarantine(path)
@@ -261,6 +306,7 @@ func (s *Store) Get(k Key) ([]byte, bool, error) {
 		return nil, false, nil
 	}
 	s.hits.Add(1)
+	s.touch(hash, op)
 	return payload, true, nil
 }
 
@@ -309,6 +355,27 @@ func (s *Store) Put(k Key, payload []byte) error {
 	if err != nil {
 		return err
 	}
+	op := s.ops.Add(1)
+	s.chaosDelay(op)
+	if s.opts.Chaos.StoreWriteFails(op) {
+		return fmt.Errorf("store: %w", errInjectedDiskFull)
+	}
+	if err := s.put(k, hash, payload, op); err != nil {
+		return err
+	}
+	// Budget enforcement happens outside the read lock put held.
+	s.maybeGC()
+	return nil
+}
+
+// errInjectedDiskFull marks a chaos-injected write failure; callers treat
+// it like any other Put error (result still served from memory, entry
+// recomputed next time).
+var errInjectedDiskFull = fmt.Errorf("injected disk-full fault")
+
+func (s *Store) put(k Key, hash string, payload []byte, op uint64) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	body, err := json.Marshal(entry{Key: k.Normalized(), PayloadSHA: payloadSHA(payload), Payload: payload})
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -331,11 +398,20 @@ func (s *Store) Put(k Key, payload []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
 	}
+	// Replacing an existing entry rewrites identical bytes (results are
+	// deterministic), so the byte delta of a replacement is zero; only a
+	// fresh entry grows the total.
+	var old int64
+	if fi, err := os.Stat(final); err == nil {
+		old = fi.Size()
+	}
 	if err := os.Rename(tmp.Name(), final); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
 	}
+	s.bytes.Add(int64(len(body)) - old)
 	s.puts.Add(1)
+	s.touch(hash, op)
 	return nil
 }
 
@@ -385,8 +461,16 @@ func (s *Store) Verify() (int, error) {
 }
 
 // walkEntries visits every entry file as (hash, path), skipping the tmp
-// and quarantine directories.
+// and quarantine directories and non-entry files (access-time sidecars).
 func (s *Store) walkEntries(fn func(hash, path string) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.walkEntriesLocked(fn)
+}
+
+// walkEntriesLocked is walkEntries for callers already holding mu in
+// either mode.
+func (s *Store) walkEntriesLocked(fn func(hash, path string) error) error {
 	shards, err := os.ReadDir(s.dir)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -401,7 +485,10 @@ func (s *Store) walkEntries(fn func(hash, path string) error) error {
 			return fmt.Errorf("store: %w", err)
 		}
 		for _, f := range files {
-			hash := strings.TrimSuffix(f.Name(), ".json")
+			hash, ok := strings.CutSuffix(f.Name(), ".json")
+			if !ok {
+				continue
+			}
 			if err := fn(hash, filepath.Join(s.dir, name, f.Name())); err != nil {
 				return err
 			}

@@ -119,3 +119,13 @@ kill -TERM "$servepid"
 wait "$servepid"
 test "$(grep -c "shut down cleanly" "$tracedir/serve-log.txt")" = 2
 REGLESS_SOAK_REQUESTS=250 go test -race -count=1 -run TestServeSoak ./internal/serve
+
+# Lifecycle smoke (DESIGN.md §16): lifecheck owns its own server with a
+# tiny -store-max-bytes, SIGTERMs it with a sweep still in flight, and
+# verifies the shutdown contract — exit 0, a drain report, no orphaned
+# tmp files, the byte budget honored on disk, and a healthy warm restart
+# that serves a run. The chaos drain soak then runs every serve fault
+# class against a live server under -race at a pinned request count,
+# with a mid-soak drain.
+go run ./scripts/lifecheck -bin "$tracedir/regless"
+REGLESS_CHAOS_REQUESTS=160 go test -race -count=1 -run TestServeChaosDrainSoak ./internal/serve
